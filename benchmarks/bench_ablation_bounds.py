@@ -1,0 +1,63 @@
+"""Ablation: lower-bound strength.
+
+DESIGN.md calls out the choice of lower bound as the pruning engine of
+Algorithm BBU.  This bench compares the three tails on the same
+instances: the paper's min-front bound must expand no more nodes than
+min-link, which must expand no more than the trivial bound.
+"""
+
+import pytest
+
+from repro.bnb.sequential import exact_mut
+from repro.matrix.generators import random_metric_matrix
+
+from benchmarks.common import once, record_series
+
+BOUNDS = ("trivial", "minlink", "minfront")
+INSTANCE_SEEDS = (42, 7, 11)
+N = 11
+
+
+@pytest.mark.parametrize("bound", BOUNDS)
+def test_ablation_lower_bound(benchmark, bound):
+    matrices = [random_metric_matrix(N, seed=s) for s in INSTANCE_SEEDS]
+
+    def run():
+        return [exact_mut(m, lower_bound=bound) for m in matrices]
+
+    results = once(benchmark, run)
+    record_series(
+        "ablation_bounds",
+        f"bound={bound} (n={N})",
+        [
+            f"seed={seed}: nodes={r.stats.nodes_expanded} "
+            f"time_s={r.stats.elapsed_seconds:.4f} cost={r.cost:.2f}"
+            for seed, r in zip(INSTANCE_SEEDS, results)
+        ],
+    )
+
+
+def test_ablation_bounds_ordering(benchmark):
+    def compute():
+        rows = []
+        for seed in INSTANCE_SEEDS:
+            m = random_metric_matrix(N, seed=seed)
+            nodes = {
+                bound: exact_mut(m, lower_bound=bound).stats.nodes_expanded
+                for bound in BOUNDS
+            }
+            rows.append((seed, nodes))
+        return rows
+
+    rows = once(benchmark, compute)
+    record_series(
+        "ablation_bounds",
+        "ordering summary",
+        [
+            f"seed={seed}: trivial={n['trivial']} minlink={n['minlink']} "
+            f"minfront={n['minfront']}"
+            for seed, n in rows
+        ],
+    )
+    for _, nodes in rows:
+        assert nodes["minfront"] <= nodes["minlink"] <= nodes["trivial"]

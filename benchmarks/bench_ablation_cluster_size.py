@@ -1,0 +1,63 @@
+"""Ablation: cluster size sweep (p = 1, 2, 4, 8, 16).
+
+Extends the papers' 16-vs-1 comparison into a scaling curve, on the
+heaviest random instance of the battery.
+"""
+
+import pytest
+
+from repro.parallel.config import ClusterConfig
+from repro.parallel.simulator import ParallelBranchAndBound
+
+from benchmarks.common import once, pbb_random_matrix, record_series
+
+WORKER_COUNTS = (1, 2, 4, 8, 16)
+N = 16
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_ablation_cluster_size(benchmark, workers):
+    matrix = pbb_random_matrix(N)
+    cfg = ClusterConfig(n_workers=workers)
+
+    def run():
+        return ParallelBranchAndBound(cfg).solve(matrix)
+
+    result = once(benchmark, run)
+    record_series(
+        "ablation_cluster_size",
+        f"p={workers} (n={N})",
+        [
+            f"simulated_makespan={result.makespan:.0f}",
+            f"nodes={result.total_nodes_expanded}",
+            f"efficiency={result.efficiency():.2f}",
+        ],
+    )
+
+
+def test_ablation_scaling_curve(benchmark):
+    def compute():
+        matrix = pbb_random_matrix(N)
+        rows = []
+        for p in WORKER_COUNTS:
+            result = ParallelBranchAndBound(
+                ClusterConfig(n_workers=p)
+            ).solve(matrix)
+            rows.append((p, result))
+        return rows
+
+    rows = once(benchmark, compute)
+    base = rows[0][1].makespan
+    record_series(
+        "ablation_cluster_size",
+        "scaling summary",
+        [
+            f"p={p}: makespan={r.makespan:.0f} speedup={base / r.makespan:.2f}"
+            for p, r in rows
+        ],
+    )
+    # Monotone improvement up the sweep (with 5% slack for scheduling noise).
+    for (p_small, small), (p_big, big) in zip(rows, rows[1:]):
+        assert big.makespan <= small.makespan * 1.05
+    # The full cluster is far better than one worker.
+    assert base / rows[-1][1].makespan > 4.0

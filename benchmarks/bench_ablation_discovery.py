@@ -1,0 +1,46 @@
+"""Ablation: compact-set discovery cost.
+
+The paper's Algorithm *Compact Sets* re-examines the whole matrix after
+every Kruskal merge (O(n^3) total); it cites Liang's O(n^2) method as
+the efficient alternative.  This bench times both on the same matrices
+-- the only benchmark here that exercises multiple timing rounds, since
+discovery is milliseconds rather than seconds.
+"""
+
+import pytest
+
+from repro.graph.compact_linear import find_compact_sets_fast
+from repro.graph.compact_sets import find_compact_sets
+from repro.matrix.generators import hierarchical_matrix
+
+from benchmarks.common import record_series
+
+SIZES = (24, 48)
+
+
+def _matrix(n):
+    spec = {24: [[6, 6], [6, 6]], 48: [[12, 12], [12, 12]]}[n]
+    return hierarchical_matrix(spec, seed=5, jitter=0.25)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_discovery_scan(benchmark, n):
+    matrix = _matrix(n)
+    result = benchmark(find_compact_sets, matrix)
+    record_series(
+        "ablation_discovery",
+        f"paper scan (O(n^3)) n={n}",
+        [f"compact_sets={len(result)}"],
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_discovery_fast(benchmark, n):
+    matrix = _matrix(n)
+    result = benchmark(find_compact_sets_fast, matrix)
+    record_series(
+        "ablation_discovery",
+        f"Liang-style (O(n^2)) n={n}",
+        [f"compact_sets={len(result)}"],
+    )
+    assert result == find_compact_sets(matrix)

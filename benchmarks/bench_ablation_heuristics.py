@@ -1,0 +1,77 @@
+"""Ablation: heuristic quality ladder.
+
+Positions every heuristic in the repository against the exact optimum on
+the same instances: UPGMA (infeasible, tight), UPGMM (feasible upper
+bound, BBU's seed), greedy sequential addition (feasible, usually
+tighter than UPGMM), and the compact-set pipeline (feasible,
+near-optimal).
+"""
+
+import pytest
+
+from repro.bnb.sequential import exact_mut
+from repro.core.pipeline import CompactSetTreeBuilder
+from repro.heuristics.greedy import greedy_insertion
+from repro.heuristics.upgma import upgma, upgmm
+from repro.matrix.generators import hierarchical_matrix
+
+from benchmarks.common import once, record_series
+
+SEEDS = (3, 7, 11)
+
+
+def _instance(seed):
+    return hierarchical_matrix([[4, 3], [4, 3]], seed=seed, jitter=0.3)
+
+
+METHODS = {
+    "upgma": lambda m: upgma(m).cost(),
+    "upgmm": lambda m: upgmm(m).cost(),
+    "greedy": lambda m: greedy_insertion(m).cost(),
+    "compact": lambda m: CompactSetTreeBuilder(max_exact_size=16).build(m).cost,
+}
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_ablation_heuristic(benchmark, method):
+    matrices = [_instance(seed) for seed in SEEDS]
+
+    def run():
+        return [METHODS[method](m) for m in matrices]
+
+    costs = once(benchmark, run)
+    record_series(
+        "ablation_heuristics",
+        f"method={method}",
+        [f"seed={seed}: cost={c:.2f}" for seed, c in zip(SEEDS, costs)],
+    )
+
+
+def test_ablation_heuristic_ladder(benchmark):
+    def compute():
+        rows = []
+        for seed in SEEDS:
+            m = _instance(seed)
+            optimal = exact_mut(m).cost
+            gaps = {
+                name: fn(m) / optimal - 1.0 for name, fn in METHODS.items()
+            }
+            rows.append((seed, optimal, gaps))
+        return rows
+
+    rows = once(benchmark, compute)
+    record_series(
+        "ablation_heuristics",
+        "gap vs exact optimum",
+        [
+            f"seed={seed} (opt={opt:.2f}): "
+            + " ".join(f"{k}={100 * v:+.2f}%" for k, v in sorted(gaps.items()))
+            for seed, opt, gaps in rows
+        ],
+    )
+    for _, _, gaps in rows:
+        # Feasible methods can never dip below the optimum.
+        for name in ("upgmm", "greedy", "compact"):
+            assert gaps[name] >= -1e-9
+        # The compact pipeline is the tightest feasible method here.
+        assert gaps["compact"] <= gaps["upgmm"] + 1e-9

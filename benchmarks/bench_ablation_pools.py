@@ -1,0 +1,70 @@
+"""Ablation: load-balancing policy (global-pool donation + stealing).
+
+The HPCAsia paper credits its global/local pool design for keeping the
+cluster busy.  This bench disables the two balancing mechanisms in turn
+and reports makespan and efficiency on the same instance.
+"""
+
+import pytest
+
+from repro.parallel.config import ClusterConfig
+from repro.parallel.simulator import ParallelBranchAndBound
+
+from benchmarks.common import once, pbb_random_matrix, record_series
+
+POLICIES = {
+    "full-balancing": dict(donate_when_global_empty=True, steal_from_loaded=True),
+    "donate-only": dict(donate_when_global_empty=True, steal_from_loaded=False),
+    "static-partition": dict(donate_when_global_empty=False, steal_from_loaded=False),
+}
+N = 16
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_ablation_pool_policy(benchmark, policy):
+    matrix = pbb_random_matrix(N)
+    cfg = ClusterConfig(n_workers=16, **POLICIES[policy])
+
+    def run():
+        return ParallelBranchAndBound(cfg).solve(matrix)
+
+    result = once(benchmark, run)
+    record_series(
+        "ablation_pools",
+        f"policy={policy} (n={N}, 16 workers)",
+        [
+            f"simulated_makespan={result.makespan:.0f}",
+            f"efficiency={result.efficiency():.2f}",
+            f"steals={sum(w.steals for w in result.workers)}",
+            f"donations={sum(w.donations for w in result.workers)}",
+        ],
+    )
+    assert result.cost > 0
+
+
+def test_ablation_pools_balancing_helps(benchmark):
+    def compute():
+        matrix = pbb_random_matrix(N)
+        out = {}
+        for name, flags in POLICIES.items():
+            cfg = ClusterConfig(n_workers=16, **flags)
+            out[name] = ParallelBranchAndBound(cfg).solve(matrix)
+        return out
+
+    results = once(benchmark, compute)
+    record_series(
+        "ablation_pools",
+        "summary",
+        [
+            f"{name}: makespan={r.makespan:.0f} efficiency={r.efficiency():.2f}"
+            for name, r in results.items()
+        ],
+    )
+    # All policies find the same optimum...
+    costs = {round(r.cost, 6) for r in results.values()}
+    assert len(costs) == 1
+    # ...and full balancing is at least as fast as a static partition.
+    assert (
+        results["full-balancing"].makespan
+        <= results["static-partition"].makespan
+    )

@@ -1,0 +1,76 @@
+"""Ablation: the reduction type (PaCT Section 3.1).
+
+The paper names three reduced-matrix types -- maximum, minimum, average
+-- and studies only *maximum*.  This bench quantifies the trade-off the
+other two make: lower tree cost, lost feasibility (d_T >= M no longer
+guaranteed).
+"""
+
+import pytest
+
+from repro.core.pipeline import CompactSetTreeBuilder
+from repro.matrix.generators import hierarchical_matrix
+from repro.tree.checks import dominates_matrix
+
+from benchmarks.common import once, record_series
+
+MODES = ("maximum", "average", "minimum")
+SPECS = {14: [7, 7], 18: [6, 6, 6]}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_ablation_reduction(benchmark, mode):
+    matrices = {
+        n: hierarchical_matrix(spec, seed=100 + n, jitter=0.3)
+        for n, spec in SPECS.items()
+    }
+
+    def run():
+        builder = CompactSetTreeBuilder(reduction=mode, max_exact_size=16)
+        return {n: builder.build(m) for n, m in matrices.items()}
+
+    results = once(benchmark, run)
+    record_series(
+        "ablation_reduction",
+        f"reduction={mode}",
+        [
+            f"n={n}: cost={r.cost:.2f} "
+            f"feasible={dominates_matrix(r.tree, matrices[n])}"
+            for n, r in results.items()
+        ],
+    )
+
+
+def test_ablation_reduction_tradeoff(benchmark):
+    def compute():
+        rows = []
+        for n, spec in SPECS.items():
+            m = hierarchical_matrix(spec, seed=100 + n, jitter=0.3)
+            per_mode = {}
+            for mode in MODES:
+                result = CompactSetTreeBuilder(
+                    reduction=mode, max_exact_size=16
+                ).build(m)
+                per_mode[mode] = (result.cost, dominates_matrix(result.tree, m))
+            rows.append((n, per_mode))
+        return rows
+
+    rows = once(benchmark, compute)
+    record_series(
+        "ablation_reduction",
+        "trade-off summary (cost, feasible)",
+        [
+            f"n={n}: "
+            + " ".join(
+                f"{mode}=({cost:.2f},{feasible})"
+                for mode, (cost, feasible) in per_mode.items()
+            )
+            for n, per_mode in rows
+        ],
+    )
+    for _, per_mode in rows:
+        # Cost ordering: minimum <= average <= maximum.
+        assert per_mode["minimum"][0] <= per_mode["average"][0] + 1e-9
+        assert per_mode["average"][0] <= per_mode["maximum"][0] + 1e-9
+        # Only maximum guarantees feasibility.
+        assert per_mode["maximum"][1]

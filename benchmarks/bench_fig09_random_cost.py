@@ -1,0 +1,31 @@
+"""PaCT 2005, Figure 9: total tree cost on random data.
+
+Series: total tree cost with vs without compact sets.  The paper reports
+the two curves nearly coincide, with a difference below 5%; the
+reproduction asserts exactly that bound.
+"""
+
+from benchmarks.common import FIG8_SIZES, fig8_compact, fig8_exact, once, record_series
+
+
+def test_fig09_total_tree_cost(benchmark):
+    def compute():
+        rows = []
+        for n in FIG8_SIZES:
+            compact = fig8_compact(n).cost
+            optimal = fig8_exact(n).cost
+            rows.append((n, compact, optimal, compact / optimal - 1.0))
+        return rows
+
+    rows = once(benchmark, compute)
+    record_series(
+        "fig09_random_cost",
+        "total tree cost: compact vs without",
+        [
+            f"n={n}: compact={c:.2f} without={o:.2f} diff={100 * d:+.2f}%"
+            for n, c, o, d in rows
+        ],
+    )
+    for n, compact, optimal, diff in rows:
+        assert compact >= optimal - 1e-9, "compact tree cannot beat the optimum"
+        assert diff < 0.05, f"cost difference {diff:.2%} exceeds the paper's 5% at n={n}"

@@ -1,0 +1,63 @@
+"""PaCT 2005, Figure 13: computing time of 30-DNA sets.
+
+"For computing time, the performances of the experiments on both 26 and
+30 DNAs are alike" -- both stay small for clock-like data.
+"""
+
+from repro.bnb.sequential import exact_mut
+from repro.core.pipeline import CompactSetTreeBuilder
+
+from benchmarks.common import hmdna26_batch, hmdna30_batch, once, record_series
+
+
+def test_fig13_with_compact_sets(benchmark):
+    builder = CompactSetTreeBuilder(max_exact_size=16)
+
+    def run():
+        return [builder.build(d.matrix) for d in hmdna30_batch()]
+
+    results = once(benchmark, run)
+    record_series(
+        "fig13_hmdna30_time",
+        "with compact sets (per data set)",
+        [
+            f"{d.name}: time_s={r.elapsed_seconds:.4f} maxsub={r.max_subproblem_size}"
+            for d, r in zip(hmdna30_batch(), results)
+        ],
+    )
+
+
+def test_fig13_without_compact_sets(benchmark):
+    def run():
+        return [
+            exact_mut(d.matrix, node_limit=500_000) for d in hmdna30_batch()
+        ]
+
+    results = once(benchmark, run)
+    record_series(
+        "fig13_hmdna30_time",
+        "without compact sets (per data set)",
+        [
+            f"{d.name}: time_s={r.stats.elapsed_seconds:.4f} nodes={r.stats.nodes_expanded}"
+            for d, r in zip(hmdna30_batch(), results)
+        ],
+    )
+
+
+def test_fig13_26_vs_30_alike(benchmark):
+    """Paper: performance at 26 and 30 DNAs is alike (same order)."""
+
+    def compute():
+        builder = CompactSetTreeBuilder(max_exact_size=16)
+        t26 = [builder.build(d.matrix).elapsed_seconds for d in hmdna26_batch()]
+        t30 = [builder.build(d.matrix).elapsed_seconds for d in hmdna30_batch()]
+        return sum(t26) / len(t26), sum(t30) / len(t30)
+
+    avg26, avg30 = once(benchmark, compute)
+    record_series(
+        "fig13_hmdna30_time",
+        "summary: average compact-set time",
+        [f"26 species: {avg26:.4f}s", f"30 species: {avg30:.4f}s"],
+    )
+    # "Alike": within one order of magnitude of each other.
+    assert avg30 < avg26 * 10

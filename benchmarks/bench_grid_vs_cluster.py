@@ -1,0 +1,82 @@
+"""NSC report (NCS2005 paper), Tables 3-6: single machine vs cluster vs grid.
+
+The project's second-year report benchmarks the same parallel B&B on
+three environments: one PC, the dedicated 16-node cluster, and the
+UniGrid national grid testbed (donated, heterogeneous machines behind
+Internet-grade latency).  Findings reproduced here:
+
+* both parallel environments beat the single machine as species grow
+  (Table 3 / 圖4);
+* at equal node counts the grid is somewhat slower than the cluster
+  ("網格並無任何優勢... 效能較叢集電腦差") because its interconnect is
+  the Internet (Table 6);
+* a 24-node grid overtakes the 16-node cluster ("如果網格使用24節點，
+  則效能遠超過叢集電腦16節點") -- more donated nodes buy back the
+  latency (Table 6 / 圖7).
+"""
+
+import pytest
+
+from repro.parallel.config import ClusterConfig, grid_config
+from repro.parallel.simulator import ParallelBranchAndBound
+
+from benchmarks.common import once, pbb_random_matrix, record_series
+
+ENVIRONMENTS = {
+    "single": ClusterConfig(n_workers=1),
+    "cluster-16": ClusterConfig(n_workers=16),
+    "grid-16": grid_config(16),
+    "grid-24": grid_config(24),
+}
+SWEEP = (12, 14, 16)
+
+
+@pytest.mark.parametrize("environment", sorted(ENVIRONMENTS))
+def test_table3_environment_sweep(benchmark, environment):
+    cfg = ENVIRONMENTS[environment]
+
+    def run():
+        return {
+            n: ParallelBranchAndBound(cfg).solve(pbb_random_matrix(n))
+            for n in SWEEP
+        }
+
+    results = once(benchmark, run)
+    record_series(
+        "grid_vs_cluster",
+        f"environment={environment}",
+        [
+            f"n={n}: makespan={r.makespan:.0f} nodes={r.total_nodes_expanded}"
+            for n, r in results.items()
+        ],
+    )
+
+
+def test_table6_grid_node_count(benchmark):
+    n = SWEEP[-1]
+
+    def run():
+        return {
+            name: ParallelBranchAndBound(cfg).solve(pbb_random_matrix(n))
+            for name, cfg in ENVIRONMENTS.items()
+        }
+
+    results = once(benchmark, run)
+    record_series(
+        "grid_vs_cluster",
+        f"Table 6 summary (n={n})",
+        [
+            f"{name}: makespan={r.makespan:.0f}"
+            for name, r in results.items()
+        ],
+    )
+    # Same optimum everywhere.
+    costs = {round(r.cost, 6) for r in results.values()}
+    assert len(costs) == 1
+    # Both parallel environments beat the single machine decisively.
+    assert results["cluster-16"].makespan < results["single"].makespan / 4
+    assert results["grid-16"].makespan < results["single"].makespan / 4
+    # Equal node count: the cluster's fast interconnect wins.
+    assert results["cluster-16"].makespan < results["grid-16"].makespan
+    # More grid nodes overtake the smaller cluster.
+    assert results["grid-24"].makespan < results["cluster-16"].makespan

@@ -1,0 +1,73 @@
+"""NSC report (NCS2005), Tables 3-5: median / average / worst times.
+
+The report quotes three statistics per species count over batches of
+datasets because branch-and-bound effort is violently
+instance-dependent ("不同 distance matrices ... lead to different
+performance"; the report even picks the *median* as its headline metric
+for that reason).  This bench reproduces the table structure with the
+BatchRunner over batches of synthetic HMDNA matrices.
+"""
+
+import pytest
+
+from repro.core.batch import BatchRunner
+from repro.sequences.hmdna import hmdna_matrices
+
+from benchmarks.common import once, record_series
+
+SWEEP = (12, 16, 20)
+DATASETS = 5
+
+
+def _batch(n):
+    return [d.matrix for d in hmdna_matrices(n, DATASETS, seed=500 + n)]
+
+
+@pytest.mark.parametrize("n", SWEEP)
+def test_ncs_tables_species(benchmark, n):
+    matrices = _batch(n)
+    runner = BatchRunner(
+        ["bnb", "compact", "upgmm"],
+        method_options={"compact": {"max_exact_size": 16}},
+    )
+
+    def run():
+        return runner.run(matrices)
+
+    report = once(benchmark, run)
+    record_series(
+        "ncs_tables",
+        f"n={n} ({DATASETS} datasets)",
+        [agg.row() for agg in report.aggregates()],
+    )
+    # Median exact time dominates median worst time, by definition.
+    bnb = report.aggregate("bnb")
+    assert bnb.median_seconds <= bnb.worst_seconds
+    # Exact search never loses to the heuristics on cost.
+    for i in range(DATASETS):
+        assert report.costs["bnb"][i] <= report.costs["compact"][i] + 1e-9
+        assert report.costs["compact"][i] <= report.costs["upgmm"][i] + 1e-9
+
+
+def test_ncs_median_vs_worst_spread(benchmark):
+    """The instance-dependence the report highlights: worst-case time
+    visibly exceeds the median on at least one sweep point."""
+
+    def compute():
+        spreads = []
+        for n in SWEEP:
+            report = BatchRunner(["bnb"]).run(_batch(n))
+            agg = report.aggregate("bnb")
+            spreads.append((n, agg.median_seconds, agg.worst_seconds))
+        return spreads
+
+    spreads = once(benchmark, compute)
+    record_series(
+        "ncs_tables",
+        "median vs worst (bnb)",
+        [
+            f"n={n}: median={med:.4f}s worst={worst:.4f}s"
+            for n, med, worst in spreads
+        ],
+    )
+    assert any(worst > med * 1.2 for _, med, worst in spreads)

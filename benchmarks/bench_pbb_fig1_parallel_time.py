@@ -1,0 +1,26 @@
+"""HPCAsia 2005, Figure 1: computing time for 16 processors, HMDNA.
+
+Series: simulated-cluster makespan of the parallel branch-and-bound over
+a species sweep of (noisy) HMDNA matrices.  Times are simulated work
+units -- the substrate substitution documented in DESIGN.md -- so the
+shape (growth with species count) is the comparable quantity.
+"""
+
+import pytest
+
+from benchmarks.common import PBB_HMDNA_SIZES, once, pbb_simulation, record_series
+
+
+@pytest.mark.parametrize("n", PBB_HMDNA_SIZES)
+def test_pbb_fig1_16_processors_hmdna(benchmark, n):
+    result = once(benchmark, pbb_simulation, "hmdna", n, 16)
+    record_series(
+        "pbb_fig1_parallel_time",
+        f"16 processors, HMDNA n={n}",
+        [
+            f"simulated_makespan={result.makespan:.0f}",
+            f"nodes_expanded={result.total_nodes_expanded}",
+            f"messages={result.messages}",
+        ],
+    )
+    assert result.cost > 0

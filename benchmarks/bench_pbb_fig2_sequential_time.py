@@ -1,0 +1,23 @@
+"""HPCAsia 2005, Figure 2: computing time for a single processor, HMDNA.
+
+The single-worker simulation of the same instances; together with
+Figure 1 this yields the speedup curves of Figure 3.
+"""
+
+import pytest
+
+from benchmarks.common import PBB_HMDNA_SIZES, once, pbb_simulation, record_series
+
+
+@pytest.mark.parametrize("n", PBB_HMDNA_SIZES)
+def test_pbb_fig2_single_processor_hmdna(benchmark, n):
+    result = once(benchmark, pbb_simulation, "hmdna", n, 1)
+    record_series(
+        "pbb_fig2_sequential_time",
+        f"single processor, HMDNA n={n}",
+        [
+            f"simulated_makespan={result.makespan:.0f}",
+            f"nodes_expanded={result.total_nodes_expanded}",
+        ],
+    )
+    assert result.cost > 0

@@ -1,0 +1,40 @@
+"""HPCAsia 2005, Figure 3: speedup, 16 processors vs single, HMDNA.
+
+The paper reports super-linear speedups on some instances (the parallel
+search finds better upper bounds earlier and prunes more).  The
+reproduction computes the same ratio from the simulated makespans and
+asserts the qualitative shape: consistent speedup, super-linear on at
+least some instances of the whole PBB battery (see also Figure 6).
+"""
+
+from benchmarks.common import PBB_HMDNA_SIZES, once, pbb_simulation, record_series
+
+
+def test_pbb_fig3_speedup_hmdna(benchmark):
+    def compute():
+        rows = []
+        for n in PBB_HMDNA_SIZES:
+            sequential = pbb_simulation("hmdna", n, 1)
+            parallel = pbb_simulation("hmdna", n, 16)
+            rows.append(
+                (
+                    n,
+                    sequential.makespan / parallel.makespan,
+                    sequential.total_nodes_expanded,
+                    parallel.total_nodes_expanded,
+                )
+            )
+        return rows
+
+    rows = once(benchmark, compute)
+    record_series(
+        "pbb_fig3_speedup",
+        "speedup (16 vs 1 processor), HMDNA",
+        [
+            f"n={n}: speedup={s:.2f} nodes_1p={n1} nodes_16p={n16}"
+            for n, s, n1, n16 in rows
+        ],
+    )
+    # Large instances must parallelise; tiny ones may not fill 16 workers.
+    assert max(s for _, s, _, _ in rows) > 2.0
+    assert all(s >= 0.9 for _, s, _, _ in rows)

@@ -1,0 +1,40 @@
+"""HPCAsia 2005, Figure 4: 16 processors, with vs without 3-3
+relationship, HMDNA.
+
+The 3-3 constraint prunes the initial branching; the paper found it
+"can reduce computing time when number of species grows" while keeping
+the same result trees.
+"""
+
+import pytest
+
+from benchmarks.common import PBB_HMDNA_SIZES, once, pbb_simulation, record_series
+
+
+def test_pbb_fig4_33_relationship_hmdna(benchmark):
+    def compute():
+        rows = []
+        for n in PBB_HMDNA_SIZES:
+            without = pbb_simulation("hmdna", n, 16, False)
+            with_33 = pbb_simulation("hmdna", n, 16, True)
+            rows.append((n, without, with_33))
+        return rows
+
+    rows = once(benchmark, compute)
+    record_series(
+        "pbb_fig4_33relationship",
+        "16 processors, HMDNA, 3-3 relationship",
+        [
+            f"n={n}: makespan without={w.makespan:.0f} with={w33.makespan:.0f} "
+            f"nodes without={w.total_nodes_expanded} with={w33.total_nodes_expanded}"
+            for n, w, w33 in rows
+        ],
+    )
+    for n, without, with_33 in rows:
+        # Same optimum (the paper: "have the same results")...
+        assert with_33.cost == pytest.approx(without.cost)
+        # ...and no more search effort.
+        assert (
+            with_33.total_nodes_expanded
+            <= without.total_nodes_expanded + 16  # dispatch jitter allowance
+        )

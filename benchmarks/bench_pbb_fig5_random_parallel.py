@@ -1,0 +1,20 @@
+"""HPCAsia 2005, Figure 5: computing time for 16 processors, random data."""
+
+import pytest
+
+from benchmarks.common import PBB_RANDOM_SIZES, once, pbb_simulation, record_series
+
+
+@pytest.mark.parametrize("n", PBB_RANDOM_SIZES)
+def test_pbb_fig5_16_processors_random(benchmark, n):
+    result = once(benchmark, pbb_simulation, "random", n, 16)
+    record_series(
+        "pbb_fig5_random_parallel",
+        f"16 processors, random n={n}",
+        [
+            f"simulated_makespan={result.makespan:.0f}",
+            f"nodes_expanded={result.total_nodes_expanded}",
+            f"efficiency={result.efficiency():.2f}",
+        ],
+    )
+    assert result.cost > 0

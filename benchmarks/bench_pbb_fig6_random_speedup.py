@@ -1,0 +1,67 @@
+"""HPCAsia 2005, Figure 6: speedup, 16 vs 1 processor, random data.
+
+This is where the paper's super-linear claim is most visible: on random
+matrices the parallel frontier finds good upper bounds early, pruning
+nodes the sequential order would have expanded.
+"""
+
+from benchmarks.common import PBB_RANDOM_SIZES, once, pbb_simulation, record_series
+
+
+def test_pbb_fig6_speedup_random(benchmark):
+    def compute():
+        rows = []
+        for n in PBB_RANDOM_SIZES:
+            sequential = pbb_simulation("random", n, 1)
+            parallel = pbb_simulation("random", n, 16)
+            rows.append(
+                (
+                    n,
+                    sequential.makespan / parallel.makespan,
+                    sequential.total_nodes_expanded,
+                    parallel.total_nodes_expanded,
+                )
+            )
+        return rows
+
+    rows = once(benchmark, compute)
+    record_series(
+        "pbb_fig6_random_speedup",
+        "speedup (16 vs 1 processor), random data",
+        [
+            f"n={n}: speedup={s:.2f} nodes_1p={n1} nodes_16p={n16}"
+            for n, s, n1, n16 in rows
+        ],
+    )
+    # The largest instance must show substantial parallel benefit.
+    assert rows[-1][1] > 4.0
+
+
+def test_pbb_fig6_superlinear_exists(benchmark):
+    """Some (instance, p) pair beats linear speedup -- the paper's claim."""
+
+    def compute():
+        hits = []
+        for n in PBB_RANDOM_SIZES:
+            sequential = pbb_simulation("random", n, 1)
+            for p in (2, 4):
+                from repro.parallel.config import ClusterConfig
+                from repro.parallel.simulator import ParallelBranchAndBound
+
+                from benchmarks.common import pbb_random_matrix
+
+                parallel = ParallelBranchAndBound(
+                    ClusterConfig(n_workers=p)
+                ).solve(pbb_random_matrix(n))
+                speedup = sequential.makespan / parallel.makespan
+                if speedup > p:
+                    hits.append((n, p, speedup))
+        return hits
+
+    hits = once(benchmark, compute)
+    record_series(
+        "pbb_fig6_random_speedup",
+        "super-linear cases (speedup > p)",
+        [f"n={n} p={p}: speedup={s:.2f}" for n, p, s in hits] or ["none"],
+    )
+    assert hits, "expected at least one super-linear case in the battery"

@@ -1,0 +1,38 @@
+"""HPCAsia 2005, Figure 7: computing time for a single processor, random
+data -- the curve that explodes with species count."""
+
+import pytest
+
+from benchmarks.common import PBB_RANDOM_SIZES, once, pbb_simulation, record_series
+
+
+@pytest.mark.parametrize("n", PBB_RANDOM_SIZES)
+def test_pbb_fig7_single_processor_random(benchmark, n):
+    result = once(benchmark, pbb_simulation, "random", n, 1)
+    record_series(
+        "pbb_fig7_random_sequential",
+        f"single processor, random n={n}",
+        [
+            f"simulated_makespan={result.makespan:.0f}",
+            f"nodes_expanded={result.total_nodes_expanded}",
+        ],
+    )
+    assert result.cost > 0
+
+
+def test_pbb_fig7_growth_shape(benchmark):
+    """Sequential effort grows steeply with the species count."""
+
+    def compute():
+        return [
+            (n, pbb_simulation("random", n, 1).makespan)
+            for n in PBB_RANDOM_SIZES
+        ]
+
+    rows = once(benchmark, compute)
+    record_series(
+        "pbb_fig7_random_sequential",
+        "growth summary",
+        [f"n={n}: makespan={m:.0f}" for n, m in rows],
+    )
+    assert rows[-1][1] > rows[0][1] * 5

@@ -1,0 +1,29 @@
+"""HPCAsia 2005, Figure 8: 16 processors, with vs without 3-3
+relationship, random data."""
+
+import pytest
+
+from benchmarks.common import PBB_RANDOM_SIZES, once, pbb_simulation, record_series
+
+
+def test_pbb_fig8_33_relationship_random(benchmark):
+    def compute():
+        rows = []
+        for n in PBB_RANDOM_SIZES:
+            without = pbb_simulation("random", n, 16, False)
+            with_33 = pbb_simulation("random", n, 16, True)
+            rows.append((n, without, with_33))
+        return rows
+
+    rows = once(benchmark, compute)
+    record_series(
+        "pbb_fig8_random_33",
+        "16 processors, random data, 3-3 relationship",
+        [
+            f"n={n}: makespan without={w.makespan:.0f} with={w33.makespan:.0f} "
+            f"nodes without={w.total_nodes_expanded} with={w33.total_nodes_expanded}"
+            for n, w, w33 in rows
+        ],
+    )
+    for n, without, with_33 in rows:
+        assert with_33.cost == pytest.approx(without.cost)

@@ -1,0 +1,18 @@
+"""Benchmark-session setup: start each run with a clean results folder."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from benchmarks.common import RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_results_dir():
+    """Wipe benchmarks/results/ once per session so series do not pile up."""
+    if RESULTS_DIR.exists():
+        shutil.rmtree(RESULTS_DIR)
+    RESULTS_DIR.mkdir()
+    yield

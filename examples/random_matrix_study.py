@@ -1,0 +1,69 @@
+"""Scenario: when do compact sets pay off?
+
+Sweeps matrix structure from fully uniform (no compact sets) to strongly
+clustered (rich compact sets) and reports, for each regime, the
+decomposition quality and the time/cost trade-off against plain exact
+search -- the practical guidance a user of the technique needs.
+
+Run with::
+
+    python examples/random_matrix_study.py
+"""
+
+import time
+
+from repro import (
+    CompactSetHierarchy,
+    find_compact_sets,
+    hierarchical_matrix,
+    random_metric_matrix,
+)
+from repro.bnb import exact_mut
+from repro.core import CompactSetTreeBuilder
+
+
+def study(name, matrix):
+    sets = find_compact_sets(matrix)
+    hierarchy = CompactSetHierarchy.from_matrix(matrix)
+
+    t0 = time.perf_counter()
+    compact = CompactSetTreeBuilder(max_exact_size=16).build(matrix)
+    t_compact = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    exact = exact_mut(matrix, node_limit=400_000)
+    t_exact = time.perf_counter() - t0
+
+    gap = compact.cost / exact.cost - 1
+    saved = 1 - t_compact / max(t_exact, 1e-9)
+    print(f"{name:<22} {len(sets):>4} {hierarchy.max_subproblem_size():>6} "
+          f"{t_exact:>9.3f}s {t_compact:>9.3f}s {100 * saved:>7.1f}% "
+          f"{100 * gap:>+7.2f}%")
+
+
+def main() -> None:
+    n = 14
+    print(f"all instances: {n} species\n")
+    print(f"{'structure':<22} {'sets':>4} {'maxsub':>6} {'exact':>10} "
+          f"{'compact':>10} {'saved':>8} {'cost gap':>8}")
+
+    # Uniform random: compact sets are rare; decomposition degenerates.
+    study("uniform random", random_metric_matrix(n, seed=1))
+
+    # Flat clusters of growing tightness.
+    study("two loose clusters", hierarchical_matrix([7, 7], seed=2, jitter=0.4))
+    study("two tight clusters", hierarchical_matrix([7, 7], seed=2, jitter=0.1))
+
+    # Nested structure: the decomposition shines.
+    study("nested clusters", hierarchical_matrix([[4, 3], [4, 3]], seed=3, jitter=0.3))
+
+    print(
+        "\nreading: 'saved' is the construction-time reduction from the\n"
+        "compact-set technique; 'cost gap' its distance from the optimal\n"
+        "tree cost.  Structure in the data turns the technique from a\n"
+        "no-op into a ~99% saving at <2% cost -- the paper's Figure 8/9."
+    )
+
+
+if __name__ == "__main__":
+    main()

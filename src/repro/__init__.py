@@ -1,0 +1,120 @@
+"""repro -- minimum ultrametric evolutionary trees via compact sets.
+
+A reproduction of *"A Fast Technique for Constructing Evolutionary Tree
+with the Application of Compact Sets"* (Yu et al., PaCT 2005) and its
+substrate, the parallel branch-and-bound minimum-ultrametric-tree solver
+(Yu et al., HPCAsia 2005).
+
+Quickstart::
+
+    from repro import DistanceMatrix, construct_tree
+
+    matrix = DistanceMatrix([[0, 2, 8], [2, 0, 8], [8, 8, 0]])
+    result = construct_tree(matrix, method="compact")
+    print(result.cost, result.tree)
+"""
+
+from repro.matrix import (
+    DistanceMatrix,
+    matrix_summary,
+    maxmin_permutation,
+    metric_closure,
+    random_metric_matrix,
+    clustered_matrix,
+    perturbed_ultrametric_matrix,
+    read_phylip,
+    write_phylip,
+)
+from repro.matrix.generators import hierarchical_matrix, random_ultrametric_matrix
+from repro.graph import (
+    kruskal_mst,
+    prim_mst,
+    find_compact_sets,
+    find_compact_sets_fast,
+    is_compact,
+    CompactSetHierarchy,
+)
+from repro.tree import (
+    UltrametricTree,
+    TreeNode,
+    to_newick,
+    parse_newick,
+    count_33_contradictions,
+    majority_consensus,
+    render_ascii,
+    robinson_foulds,
+    cophenetic_correlation,
+)
+from repro.heuristics import upgma, upgmm, neighbor_joining
+from repro.bnb import BranchAndBoundSolver, exact_mut
+from repro.parallel import (
+    ClusterConfig,
+    grid_config,
+    ParallelBranchAndBound,
+    multiprocess_mut,
+)
+from repro.core import (
+    CompactSetTreeBuilder,
+    construct_tree,
+    reduce_matrix,
+    validate_tree,
+)
+from repro.sequences import (
+    generate_hmdna_dataset,
+    hmdna_matrices,
+    distance_matrix_from_sequences,
+    read_fasta,
+    write_fasta,
+    bootstrap_support,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistanceMatrix",
+    "matrix_summary",
+    "maxmin_permutation",
+    "metric_closure",
+    "random_metric_matrix",
+    "clustered_matrix",
+    "hierarchical_matrix",
+    "random_ultrametric_matrix",
+    "perturbed_ultrametric_matrix",
+    "read_phylip",
+    "write_phylip",
+    "kruskal_mst",
+    "prim_mst",
+    "find_compact_sets",
+    "find_compact_sets_fast",
+    "is_compact",
+    "CompactSetHierarchy",
+    "UltrametricTree",
+    "TreeNode",
+    "to_newick",
+    "parse_newick",
+    "count_33_contradictions",
+    "majority_consensus",
+    "render_ascii",
+    "robinson_foulds",
+    "cophenetic_correlation",
+    "upgma",
+    "upgmm",
+    "neighbor_joining",
+    "BranchAndBoundSolver",
+    "exact_mut",
+    "ClusterConfig",
+    "grid_config",
+    "ParallelBranchAndBound",
+    "multiprocess_mut",
+    "CompactSetTreeBuilder",
+    "construct_tree",
+    "reduce_matrix",
+    "validate_tree",
+    "generate_hmdna_dataset",
+    "hmdna_matrices",
+    "distance_matrix_from_sequences",
+    "read_fasta",
+    "write_fasta",
+    "bootstrap_support",
+    "__version__",
+]

@@ -1,0 +1,262 @@
+"""Algorithm BBU: sequential branch-and-bound for minimum ultrametric trees.
+
+The solver follows the pseudo-code both papers reproduce from Wu, Chao &
+Tang (1999):
+
+1. relabel the species into a max-min permutation;
+2. create the BBT root -- the unique topology over species 1 and 2;
+3. run UPGMM, store its cost as the initial upper bound UB;
+4. depth-first search: branch by grafting the next species onto every
+   edge (children visited best-lower-bound first), delete nodes with
+   ``LB >= UB``, update UB whenever a cheaper complete tree appears.
+
+The optional 3-3 relationship constraint (Step 4 of the parallel paper)
+filters children as they are generated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.bnb.bounds import LOWER_BOUNDS, half_matrix
+from repro.bnb.relationship import insertion_is_consistent
+from repro.bnb.topology import PartialTopology
+from repro.heuristics.upgma import upgmm
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.maxmin import apply_maxmin
+from repro.tree.ultrametric import UltrametricTree
+
+__all__ = ["SearchStats", "BBUResult", "BranchAndBoundSolver", "exact_mut"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one branch-and-bound run."""
+
+    nodes_created: int = 0
+    nodes_expanded: int = 0
+    nodes_pruned: int = 0
+    nodes_filtered_33: int = 0
+    ub_updates: int = 0
+    initial_upper_bound: float = 0.0
+    best_cost: float = float("inf")
+    elapsed_seconds: float = 0.0
+    max_open_size: int = 0
+    node_limit_hit: bool = False
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another run's counters (used by the pipeline)."""
+        self.nodes_created += other.nodes_created
+        self.nodes_expanded += other.nodes_expanded
+        self.nodes_pruned += other.nodes_pruned
+        self.nodes_filtered_33 += other.nodes_filtered_33
+        self.ub_updates += other.ub_updates
+        self.elapsed_seconds += other.elapsed_seconds
+        self.max_open_size = max(self.max_open_size, other.max_open_size)
+        self.node_limit_hit = self.node_limit_hit or other.node_limit_hit
+
+
+@dataclass
+class BBUResult:
+    """Outcome of a branch-and-bound run."""
+
+    tree: UltrametricTree
+    cost: float
+    stats: SearchStats
+    optimal: bool = True
+    #: All cost-optimal trees, populated when ``collect_all`` is set.
+    all_trees: List[UltrametricTree] = field(default_factory=list)
+
+
+class BranchAndBoundSolver:
+    """Configurable Algorithm-BBU solver.
+
+    Parameters
+    ----------
+    lower_bound:
+        One of ``"trivial"``, ``"minlink"``, ``"minfront"`` (default;
+        the paper's bound).
+    use_maxmin:
+        Relabel species into max-min order first (BBU Step 1).  Turning
+        this off is only useful for the ablation benchmark.
+    relationship_33:
+        Apply the 3-3 relationship constraint when inserting the third
+        species (the parallel paper's Step 4).
+    enforce_all_33:
+        Generalize the constraint to every insertion.  Heuristic: may
+        prune the optimum on non-ultrametric inputs.
+    node_limit:
+        Abort after expanding this many BBT nodes; the best tree found so
+        far is returned with ``optimal=False``.
+    collect_all:
+        Also gather *every* optimal tree (within ``1e-9`` of the optimum),
+        mirroring the papers' "results set".
+    on_incumbent:
+        Optional callback ``(cost, tree)`` fired whenever the search
+        finds a strictly better complete tree — anytime progress
+        reporting for long runs (the UPGMM seed is reported first).
+    """
+
+    def __init__(
+        self,
+        *,
+        lower_bound: str = "minfront",
+        use_maxmin: bool = True,
+        relationship_33: bool = False,
+        enforce_all_33: bool = False,
+        node_limit: Optional[int] = None,
+        collect_all: bool = False,
+        on_incumbent: Optional[
+            Callable[[float, UltrametricTree], None]
+        ] = None,
+    ) -> None:
+        if lower_bound not in LOWER_BOUNDS:
+            raise ValueError(
+                f"unknown lower bound {lower_bound!r}; "
+                f"choose from {sorted(LOWER_BOUNDS)}"
+            )
+        self.lower_bound = lower_bound
+        self.use_maxmin = use_maxmin
+        self.relationship_33 = relationship_33
+        self.enforce_all_33 = enforce_all_33
+        self.node_limit = node_limit
+        self.collect_all = collect_all
+        self.on_incumbent = on_incumbent
+
+    # ------------------------------------------------------------------
+    def solve(self, matrix: DistanceMatrix) -> BBUResult:
+        """Construct a minimum ultrametric tree for ``matrix``."""
+        start = time.perf_counter()
+        stats = SearchStats()
+        n = matrix.n
+        if n == 0:
+            raise ValueError("cannot build a tree over zero species")
+        if n == 1:
+            tree = UltrametricTree.leaf(matrix.labels[0])
+            stats.best_cost = 0.0
+            return BBUResult(tree, 0.0, stats)
+
+        if self.use_maxmin:
+            ordered, _ = apply_maxmin(matrix)
+        else:
+            ordered = matrix
+        labels = ordered.labels
+        values = [list(map(float, row)) for row in ordered.values]
+
+        if n == 2:
+            tree = UltrametricTree.join(
+                UltrametricTree.leaf(labels[0]),
+                UltrametricTree.leaf(labels[1]),
+                values[0][1] / 2.0,
+            )
+            cost = tree.cost()
+            stats.best_cost = cost
+            stats.elapsed_seconds = time.perf_counter() - start
+            return BBUResult(tree, cost, stats)
+
+        half = half_matrix(ordered)
+        tails = LOWER_BOUNDS[self.lower_bound](ordered)
+
+        seed = upgmm(ordered)
+        upper_bound = seed.cost()
+        stats.initial_upper_bound = upper_bound
+        if self.on_incumbent is not None:
+            self.on_incumbent(upper_bound, seed)
+        best: Optional[PartialTopology] = None
+        best_complete: List[PartialTopology] = []
+
+        root = PartialTopology.initial(half)
+        root.lower_bound = root.cost + tails[2]
+        open_nodes: List[PartialTopology] = [root]
+        stats.nodes_created = 1
+        keep_margin = _EPS if self.collect_all else -_EPS
+
+        check_33 = self.relationship_33 or self.enforce_all_33
+
+        while open_nodes:
+            if self.node_limit is not None and stats.nodes_expanded >= self.node_limit:
+                stats.node_limit_hit = True
+                break
+            node = open_nodes.pop()
+            if node.lower_bound > upper_bound + keep_margin:
+                stats.nodes_pruned += 1
+                continue
+            stats.nodes_expanded += 1
+            s = node.next_species
+            tail = tails[s + 1]
+            children: List[PartialTopology] = []
+            for position in range(len(node.parent)):
+                child = node.child(position, tail)
+                stats.nodes_created += 1
+                if child.lower_bound > upper_bound + keep_margin:
+                    stats.nodes_pruned += 1
+                    continue
+                if check_33 and not insertion_is_consistent(
+                    child, values, s, check_all_pairs=self.enforce_all_33
+                ):
+                    stats.nodes_filtered_33 += 1
+                    continue
+                children.append(child)
+            if node.num_leaves + 1 == n:
+                for child in children:
+                    cost = child.cost
+                    if cost < upper_bound - _EPS:
+                        upper_bound = cost
+                        best = child
+                        stats.ub_updates += 1
+                        if self.on_incumbent is not None:
+                            self.on_incumbent(cost, child.to_tree(labels))
+                        if self.collect_all:
+                            best_complete = [
+                                t for t in best_complete
+                                if t.cost <= upper_bound + _EPS
+                            ]
+                    if self.collect_all and cost <= upper_bound + _EPS:
+                        best_complete.append(child)
+                        if best is None or cost < best.cost - _EPS:
+                            best = child
+                    elif best is None and cost <= upper_bound + _EPS:
+                        # UPGMM tree matched by search; remember topology.
+                        best = child
+            else:
+                # Depth-first, cheapest lower bound expanded first.
+                children.sort(key=lambda c: -c.lower_bound)
+                open_nodes.extend(children)
+                if len(open_nodes) > stats.max_open_size:
+                    stats.max_open_size = len(open_nodes)
+
+        stats.best_cost = upper_bound if best is not None else stats.initial_upper_bound
+        stats.elapsed_seconds = time.perf_counter() - start
+
+        if best is None:
+            # The UPGMM seed was never beaten (it is optimal or the node
+            # limit stopped us first); return it.
+            tree = seed
+            cost = upper_bound
+        else:
+            tree = best.to_tree(labels)
+            cost = best.cost
+        result = BBUResult(
+            tree,
+            cost,
+            stats,
+            optimal=not stats.node_limit_hit,
+        )
+        if self.collect_all:
+            unique = {}
+            for topo in best_complete:
+                if topo.cost <= cost + _EPS:
+                    unique[topo.signature()] = topo
+            result.all_trees = [t.to_tree(labels) for t in unique.values()]
+            if not result.all_trees and best is not None:
+                result.all_trees = [tree]
+        return result
+
+
+def exact_mut(matrix: DistanceMatrix, **solver_options) -> BBUResult:
+    """One-call exact minimum ultrametric tree (convenience wrapper)."""
+    return BranchAndBoundSolver(**solver_options).solve(matrix)

@@ -1,0 +1,357 @@
+"""Command-line front-end: ``repro-mut``.
+
+The project report ships the pipeline as "a user-friendly tool system";
+this CLI is that surface.  Examples::
+
+    # exact minimum ultrametric tree from a PHYLIP matrix
+    repro-mut build matrix.phy --method bnb
+
+    # the paper's pipeline, with the simulated 16-node cluster
+    repro-mut build matrix.phy --method compact-parallel --workers 16
+
+    # inspect the compact sets of a matrix
+    repro-mut compact-sets matrix.phy
+
+    # generate a synthetic HMDNA matrix and write it out
+    repro-mut generate --species 26 --seed 7 --out hmdna.phy
+
+    # compute a distance matrix from FASTA sequences
+    repro-mut distances seqs.fasta --out matrix.phy
+
+    # draw a tree, validate it, or compare two Newick trees
+    repro-mut render matrix.phy --width 50
+    repro-mut validate matrix.phy --method compact
+    repro-mut compare tree_a.nwk tree_b.nwk
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.api import METHODS, construct_tree
+from repro.graph.compact_sets import find_compact_sets
+from repro.graph.hierarchy import CompactSetHierarchy
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import random_metric_matrix
+from repro.matrix.io import read_csv_matrix, read_phylip, write_phylip
+from repro.parallel.config import ClusterConfig
+from repro.sequences.hmdna import generate_hmdna_dataset
+from repro.tree.newick import to_newick
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(path: str) -> DistanceMatrix:
+    file = Path(path)
+    if not file.exists():
+        raise SystemExit(f"error: no such matrix file: {path}")
+    if file.suffix.lower() == ".csv":
+        return read_csv_matrix(file)
+    return read_phylip(file)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mut",
+        description="Minimum ultrametric evolutionary trees via compact sets",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="construct a tree from a matrix file")
+    build.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
+    build.add_argument(
+        "--method", choices=METHODS, default="compact",
+        help="construction method (default: compact)",
+    )
+    build.add_argument(
+        "--reduction", choices=("maximum", "minimum", "average"),
+        default="maximum", help="group-matrix reduction for compact methods",
+    )
+    build.add_argument("--workers", type=int, default=16,
+                       help="simulated cluster size for parallel methods")
+    build.add_argument("--max-exact", type=int, default=None,
+                       help="fall back to UPGMM above this subproblem size")
+    build.add_argument("--newick-out", default=None,
+                       help="write the tree in Newick format to this file")
+    build.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+
+    compact = sub.add_parser("compact-sets", help="list compact sets of a matrix")
+    compact.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
+    compact.add_argument("--json", action="store_true")
+
+    generate = sub.add_parser("generate", help="generate a synthetic matrix")
+    generate.add_argument("--kind", choices=("hmdna", "random"), default="hmdna")
+    generate.add_argument("--species", type=int, default=26)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output PHYLIP file")
+    generate.add_argument("--fasta-out", default=None,
+                          help="also write the generated sequences as FASTA "
+                               "(hmdna kind only)")
+
+    distances = sub.add_parser(
+        "distances", help="compute a distance matrix from FASTA sequences"
+    )
+    distances.add_argument("fasta", help="input FASTA file")
+    distances.add_argument("--out", required=True, help="output PHYLIP file")
+    distances.add_argument(
+        "--distance", choices=("p", "p-count", "jukes-cantor", "edit"),
+        default="p-count", help="pairwise distance (default: p-count)",
+    )
+
+    render = sub.add_parser("render", help="draw a constructed tree as ASCII")
+    render.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
+    render.add_argument("--method", choices=METHODS, default="compact")
+    render.add_argument("--width", type=int, default=60)
+
+    validate = sub.add_parser(
+        "validate", help="construct a tree and report its quality"
+    )
+    validate.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
+    validate.add_argument("--method", choices=METHODS, default="compact")
+    validate.add_argument(
+        "--compare-optimal", action="store_true",
+        help="also compute the exact optimum (small matrices only)",
+    )
+
+    inspect = sub.add_parser(
+        "inspect", help="summarise a matrix and its compact structure"
+    )
+    inspect.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
+    inspect.add_argument("--json", action="store_true")
+
+    compare = sub.add_parser("compare", help="compare two Newick trees")
+    compare.add_argument("tree_a", help="first Newick file")
+    compare.add_argument("tree_b", help="second Newick file")
+    compare.add_argument("--json", action="store_true")
+
+    bootstrap = sub.add_parser(
+        "bootstrap", help="clade support by bootstrap over FASTA sequences"
+    )
+    bootstrap.add_argument("fasta", help="aligned FASTA sequences")
+    bootstrap.add_argument("--replicates", type=int, default=100)
+    bootstrap.add_argument("--seed", type=int, default=0)
+    bootstrap.add_argument(
+        "--distance", choices=("p", "p-count", "jukes-cantor"),
+        default="p-count",
+    )
+    bootstrap.add_argument("--json", action="store_true")
+    return parser
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    options = {}
+    if args.method.startswith("compact"):
+        options["reduction"] = args.reduction
+        if args.max_exact is not None:
+            options["max_exact_size"] = args.max_exact
+    cluster = ClusterConfig(n_workers=args.workers)
+    result = construct_tree(matrix, args.method, cluster=cluster, **options)
+
+    if args.method == "nj":
+        newick = result.tree.newick()
+    else:
+        newick = to_newick(result.tree)
+
+    if args.json:
+        print(json.dumps({
+            "method": result.method,
+            "n_species": matrix.n,
+            "cost": result.cost,
+            "newick": newick,
+        }, indent=2))
+    else:
+        print(f"method : {result.method}")
+        print(f"species: {matrix.n}")
+        print(f"cost   : {result.cost:.6f}")
+        print(f"tree   : {newick}")
+    if args.newick_out:
+        Path(args.newick_out).write_text(newick + "\n")
+    return 0
+
+
+def _cmd_compact_sets(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    sets = find_compact_sets(matrix)
+    hierarchy = CompactSetHierarchy.from_matrix(matrix)
+    named = [sorted(matrix.labels[i] for i in members) for members in sets]
+    if args.json:
+        print(json.dumps({
+            "n_species": matrix.n,
+            "compact_sets": named,
+            "max_subproblem_size": hierarchy.max_subproblem_size(),
+        }, indent=2))
+    else:
+        print(f"{len(sets)} non-trivial compact set(s) in {matrix.n} species")
+        for members in named:
+            print("  {" + ", ".join(members) + "}")
+        print(f"largest reduced matrix after decomposition: "
+              f"{hierarchy.max_subproblem_size()}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "hmdna":
+        dataset = generate_hmdna_dataset(args.species, seed=args.seed)
+        matrix = dataset.matrix
+        if args.fasta_out:
+            from repro.sequences.fasta import write_fasta
+
+            write_fasta(dataset.sequences, args.fasta_out)
+            print(f"wrote sequences to {args.fasta_out}")
+    else:
+        if args.fasta_out:
+            raise SystemExit("error: --fasta-out requires --kind hmdna")
+        matrix = random_metric_matrix(args.species, seed=args.seed)
+    write_phylip(matrix, args.out)
+    print(f"wrote {args.kind} matrix ({matrix.n} species) to {args.out}")
+    return 0
+
+
+def _cmd_distances(args: argparse.Namespace) -> int:
+    from repro.sequences.distance import distance_matrix_from_sequences
+    from repro.sequences.fasta import read_fasta
+
+    if not Path(args.fasta).exists():
+        raise SystemExit(f"error: no such FASTA file: {args.fasta}")
+    sequences = read_fasta(args.fasta)
+    matrix = distance_matrix_from_sequences(sequences, method=args.distance)
+    write_phylip(matrix, args.out)
+    print(f"wrote {matrix.n}-species {args.distance} matrix to {args.out}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.tree.render import render_ascii
+
+    matrix = _load_matrix(args.matrix)
+    if args.method == "nj":
+        raise SystemExit("error: render supports ultrametric methods only")
+    result = construct_tree(matrix, args.method)
+    print(f"method: {args.method}   cost: {result.cost:.4f}")
+    print(render_ascii(result.tree, width=args.width))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.validation import validate_tree
+
+    matrix = _load_matrix(args.matrix)
+    if args.method == "nj":
+        raise SystemExit("error: validate supports ultrametric methods only")
+    result = construct_tree(matrix, args.method)
+    report = validate_tree(
+        result.tree, matrix, compare_optimal=args.compare_optimal
+    )
+    print(f"method: {args.method}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from repro.matrix.stats import matrix_summary
+
+    matrix = _load_matrix(args.matrix)
+    summary = matrix_summary(matrix)
+    if args.json:
+        print(json.dumps(asdict(summary), indent=2))
+    else:
+        print(summary.describe())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.tree.compare import (
+        normalized_robinson_foulds,
+        robinson_foulds,
+        shared_clades,
+    )
+    from repro.tree.newick import parse_newick
+
+    trees = []
+    for path in (args.tree_a, args.tree_b):
+        if not Path(path).exists():
+            raise SystemExit(f"error: no such tree file: {path}")
+        trees.append(parse_newick(Path(path).read_text()))
+    a, b = trees
+    rf = robinson_foulds(a, b)
+    nrf = normalized_robinson_foulds(a, b)
+    shared = len(shared_clades(a, b))
+    if args.json:
+        print(json.dumps({
+            "robinson_foulds": rf,
+            "normalized": nrf,
+            "shared_clades": shared,
+        }, indent=2))
+    else:
+        print(f"Robinson-Foulds distance : {rf}")
+        print(f"normalized (0 = same)    : {nrf:.4f}")
+        print(f"shared clades            : {shared}")
+    return 0
+
+
+def _cmd_bootstrap(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import CompactSetTreeBuilder
+    from repro.sequences.bootstrap import bootstrap_support
+    from repro.sequences.distance import distance_matrix_from_sequences
+    from repro.sequences.fasta import read_fasta
+
+    if not Path(args.fasta).exists():
+        raise SystemExit(f"error: no such FASTA file: {args.fasta}")
+    sequences = read_fasta(args.fasta)
+    matrix = distance_matrix_from_sequences(sequences, method=args.distance)
+    tree = CompactSetTreeBuilder(max_exact_size=12).build(matrix).tree
+    support = bootstrap_support(
+        tree,
+        sequences,
+        n_replicates=args.replicates,
+        seed=args.seed,
+        method=args.distance,
+    )
+    ranked = sorted(support.items(), key=lambda item: -item[1])
+    if args.json:
+        print(json.dumps({
+            "replicates": args.replicates,
+            "newick": to_newick(tree),
+            "support": [
+                {"clade": sorted(clade), "support": fraction}
+                for clade, fraction in ranked
+            ],
+        }, indent=2))
+    else:
+        print(f"tree: {to_newick(tree, precision=3)}")
+        print(f"clade support over {args.replicates} bootstrap replicates:")
+        for clade, fraction in ranked:
+            members = ", ".join(sorted(clade))
+            print(f"  {fraction:5.0%}  {{{members}}}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "build": _cmd_build,
+        "compact-sets": _cmd_compact_sets,
+        "generate": _cmd_generate,
+        "distances": _cmd_distances,
+        "render": _cmd_render,
+        "validate": _cmd_validate,
+        "inspect": _cmd_inspect,
+        "compare": _cmd_compare,
+        "bootstrap": _cmd_bootstrap,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:  # pragma: no cover
+        raise SystemExit(2)
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

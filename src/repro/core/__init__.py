@@ -1,0 +1,41 @@
+"""The paper's primary contribution: compact-set tree construction.
+
+``decompose -> solve small matrices -> merge subtrees``:
+
+1. find all compact sets of the distance matrix and arrange them as a
+   laminar hierarchy (:mod:`repro.graph`);
+2. for each internal hierarchy node, build the small *reduced* matrix
+   over its child groups (:mod:`repro.core.reduction`; the paper studies
+   the *maximum* reduction);
+3. solve every reduced matrix exactly with (parallel) branch-and-bound
+   (:mod:`repro.bnb`, :mod:`repro.parallel`);
+4. graft the solved subtrees back together (:mod:`repro.core.merge`) --
+   compactness guarantees the graft is a feasible ultrametric tree.
+"""
+
+from repro.core.reduction import reduce_matrix, REDUCTIONS
+from repro.core.merge import merge_group_tree
+from repro.core.pipeline import (
+    CompactSetTreeBuilder,
+    CompactResult,
+    SubproblemReport,
+)
+from repro.core.api import construct_tree, METHODS
+from repro.core.validation import TreeReport, validate_tree
+from repro.core.batch import BatchRunner, BatchReport, MethodAggregate
+
+__all__ = [
+    "reduce_matrix",
+    "REDUCTIONS",
+    "merge_group_tree",
+    "CompactSetTreeBuilder",
+    "CompactResult",
+    "SubproblemReport",
+    "construct_tree",
+    "METHODS",
+    "TreeReport",
+    "validate_tree",
+    "BatchRunner",
+    "BatchReport",
+    "MethodAggregate",
+]

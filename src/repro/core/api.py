@@ -1,0 +1,105 @@
+"""One-call public API: ``construct_tree(matrix, method=...)``.
+
+The project report promises "an efficient and user-friendly parallel
+system" for biologists; this module is the friendly part.  Every method
+the repository implements is reachable by name:
+
+=================  =========================================================
+``"compact"``      compact-set decomposition + sequential branch-and-bound
+``"compact-parallel"``  compact-set decomposition + simulated-cluster B&B
+``"bnb"``          plain sequential Algorithm BBU (exact)
+``"parallel-bnb"`` plain simulated-cluster Algorithm BBU (exact)
+``"upgma"``        UPGMA heuristic
+``"upgmm"``        UPGMM heuristic (feasible upper bound)
+``"greedy"``       sequential-addition heuristic (feasible, cheaper)
+``"nj"``           Neighbor-Joining (additive, non-ultrametric baseline)
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.bnb.sequential import BranchAndBoundSolver
+from repro.core.pipeline import CompactSetTreeBuilder
+from repro.heuristics.nj import neighbor_joining
+from repro.heuristics.greedy import greedy_insertion
+from repro.heuristics.upgma import upgma, upgmm
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.parallel.config import ClusterConfig
+from repro.parallel.simulator import ParallelBranchAndBound
+
+__all__ = ["ConstructionResult", "construct_tree", "METHODS"]
+
+METHODS = (
+    "compact",
+    "compact-parallel",
+    "bnb",
+    "parallel-bnb",
+    "upgma",
+    "upgmm",
+    "greedy",
+    "nj",
+)
+
+
+@dataclass
+class ConstructionResult:
+    """Uniform wrapper over every construction method's output.
+
+    ``tree`` is an :class:`~repro.tree.ultrametric.UltrametricTree` for
+    all methods except ``"nj"``, which yields an
+    :class:`~repro.heuristics.nj.AdditiveTree`.  ``details`` holds the
+    method-specific result object (``BBUResult``, ``CompactResult``,
+    ``ParallelResult`` or ``None``) for callers who want the statistics.
+    """
+
+    tree: Any
+    cost: float
+    method: str
+    details: Any = None
+
+
+def construct_tree(
+    matrix: DistanceMatrix,
+    method: str = "compact",
+    *,
+    cluster: Optional[ClusterConfig] = None,
+    **options,
+) -> ConstructionResult:
+    """Construct an evolutionary tree for ``matrix`` with ``method``.
+
+    ``options`` are forwarded to the underlying engine (e.g.
+    ``lower_bound=...``, ``reduction=...``, ``max_exact_size=...``).
+    """
+    if method == "compact":
+        builder = CompactSetTreeBuilder(solver="bnb", **options)
+        result = builder.build(matrix)
+        return ConstructionResult(result.tree, result.cost, method, result)
+    if method == "compact-parallel":
+        builder = CompactSetTreeBuilder(
+            solver="parallel", cluster=cluster, **options
+        )
+        result = builder.build(matrix)
+        return ConstructionResult(result.tree, result.cost, method, result)
+    if method == "bnb":
+        result = BranchAndBoundSolver(**options).solve(matrix)
+        return ConstructionResult(result.tree, result.cost, method, result)
+    if method == "parallel-bnb":
+        solver = ParallelBranchAndBound(cluster, **options)
+        result = solver.solve(matrix)
+        return ConstructionResult(result.tree, result.cost, method, result)
+    if method == "upgma":
+        tree = upgma(matrix)
+        return ConstructionResult(tree, tree.cost(), method)
+    if method == "upgmm":
+        tree = upgmm(matrix)
+        return ConstructionResult(tree, tree.cost(), method)
+    if method == "greedy":
+        tree = greedy_insertion(matrix, **options)
+        return ConstructionResult(tree, tree.cost(), method)
+    if method == "nj":
+        tree = neighbor_joining(matrix)
+        return ConstructionResult(tree, tree.cost(), method)
+    raise ValueError(f"unknown method {method!r}; choose from {METHODS}")

@@ -1,0 +1,122 @@
+"""Batch experiment runner.
+
+The papers never report single runs: the HPCAsia evaluation uses "20
+instances [per species count] to reduce the factor influenced by
+distance matrix", and the NSC report's tables quote the *median*,
+*average* and *worst* times over 10 datasets precisely because B&B
+effort is so instance-dependent.  :class:`BatchRunner` packages that
+methodology: run one or more construction methods over a batch of
+matrices and aggregate cost/time/effort statistics.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.api import construct_tree
+from repro.matrix.distance_matrix import DistanceMatrix
+
+__all__ = ["MethodAggregate", "BatchReport", "BatchRunner"]
+
+
+@dataclass(frozen=True)
+class MethodAggregate:
+    """Median / mean / worst statistics for one method over a batch."""
+
+    method: str
+    runs: int
+    median_seconds: float
+    mean_seconds: float
+    worst_seconds: float
+    median_cost: float
+    mean_cost: float
+    worst_cost: float
+
+    def row(self) -> str:
+        """One table row in the NSC-report style."""
+        return (
+            f"{self.method:<18} runs={self.runs:<3} "
+            f"time median={self.median_seconds:.4f}s "
+            f"mean={self.mean_seconds:.4f}s worst={self.worst_seconds:.4f}s | "
+            f"cost median={self.median_cost:.2f} worst={self.worst_cost:.2f}"
+        )
+
+
+@dataclass
+class BatchReport:
+    """Per-instance measurements plus per-method aggregates."""
+
+    methods: List[str]
+    #: seconds[method][i] / costs[method][i] for instance i.
+    seconds: Dict[str, List[float]] = field(default_factory=dict)
+    costs: Dict[str, List[float]] = field(default_factory=dict)
+
+    def aggregate(self, method: str) -> MethodAggregate:
+        times = self.seconds[method]
+        costs = self.costs[method]
+        return MethodAggregate(
+            method=method,
+            runs=len(times),
+            median_seconds=statistics.median(times),
+            mean_seconds=statistics.fmean(times),
+            worst_seconds=max(times),
+            median_cost=statistics.median(costs),
+            mean_cost=statistics.fmean(costs),
+            worst_cost=max(costs),
+        )
+
+    def aggregates(self) -> List[MethodAggregate]:
+        return [self.aggregate(method) for method in self.methods]
+
+    def table(self) -> str:
+        """The full comparison table as text."""
+        return "\n".join(agg.row() for agg in self.aggregates())
+
+    def cost_ratio(self, method: str, baseline: str) -> List[float]:
+        """Per-instance cost ratios ``method / baseline``."""
+        return [
+            a / b for a, b in zip(self.costs[method], self.costs[baseline])
+        ]
+
+
+class BatchRunner:
+    """Run construction methods over a batch of matrices.
+
+    ``method_options`` maps a method name to the keyword arguments its
+    engine should receive (e.g. ``{"compact": {"max_exact_size": 16}}``).
+    A custom ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        methods: Sequence[str],
+        *,
+        method_options: Dict[str, dict] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if not methods:
+            raise ValueError("need at least one method")
+        self.methods = list(methods)
+        self.method_options = dict(method_options or {})
+        self.clock = clock
+
+    def run(self, matrices: Sequence[DistanceMatrix]) -> BatchReport:
+        """Execute every method on every matrix."""
+        if not matrices:
+            raise ValueError("need at least one matrix")
+        report = BatchReport(methods=list(self.methods))
+        for method in self.methods:
+            report.seconds[method] = []
+            report.costs[method] = []
+        for matrix in matrices:
+            for method in self.methods:
+                options = self.method_options.get(method, {})
+                start = self.clock()
+                result = construct_tree(matrix, method, **options)
+                elapsed = self.clock() - start
+                report.seconds[method].append(elapsed)
+                report.costs[method].append(result.cost)
+        return report

@@ -1,0 +1,135 @@
+"""End-to-end validation of a constructed tree.
+
+The "user-friendly tool system" the project report promises should tell
+a biologist whether the tree it hands back is trustworthy.
+:func:`validate_tree` runs every check the theory provides and returns a
+structured :class:`TreeReport`:
+
+* structural validity (binary, monotone heights, zero-height leaves);
+* feasibility (``d_T >= M``, the MUT constraint);
+* optimality bracket (cost vs the UPGMM upper bound; optionally vs the
+  exact optimum when the instance is small enough to afford it);
+* faithfulness (3-3 contradictions, cophenetic correlation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.heuristics.upgma import upgmm
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.tree.checks import (
+    count_33_contradictions,
+    dominates_matrix,
+    is_valid_ultrametric_tree,
+)
+from repro.tree.compare import cophenetic_correlation
+from repro.tree.ultrametric import UltrametricTree
+
+__all__ = ["TreeReport", "validate_tree"]
+
+
+@dataclass
+class TreeReport:
+    """Everything a user needs to judge a constructed tree."""
+
+    n_species: int
+    cost: float
+    structurally_valid: bool
+    feasible: bool
+    upgmm_cost: float
+    contradictions_33: int
+    cophenetic: float
+    optimal_cost: Optional[float] = None
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No problems found."""
+        return not self.problems
+
+    @property
+    def gap_vs_upgmm(self) -> float:
+        """How far below the heuristic bound the tree landed (negative is
+        better; 0 means no improvement over UPGMM)."""
+        if self.upgmm_cost == 0:
+            return 0.0
+        return self.cost / self.upgmm_cost - 1.0
+
+    @property
+    def gap_vs_optimal(self) -> Optional[float]:
+        """Relative distance from the exact optimum, when computed."""
+        if self.optimal_cost is None or self.optimal_cost == 0:
+            return None
+        return self.cost / self.optimal_cost - 1.0
+
+    def summary(self) -> str:
+        """A short human-readable report."""
+        lines = [
+            f"species            : {self.n_species}",
+            f"tree cost          : {self.cost:.4f}",
+            f"structurally valid : {self.structurally_valid}",
+            f"feasible (d_T >= M): {self.feasible}",
+            f"UPGMM bound        : {self.upgmm_cost:.4f} "
+            f"(gap {100 * self.gap_vs_upgmm:+.2f}%)",
+        ]
+        if self.optimal_cost is not None:
+            lines.append(
+                f"exact optimum      : {self.optimal_cost:.4f} "
+                f"(gap {100 * (self.gap_vs_optimal or 0):+.2f}%)"
+            )
+        lines.append(f"3-3 contradictions : {self.contradictions_33}")
+        lines.append(f"cophenetic corr.   : {self.cophenetic:.4f}")
+        lines.append("verdict            : " + ("OK" if self.ok else "; ".join(self.problems)))
+        return "\n".join(lines)
+
+
+def validate_tree(
+    tree: UltrametricTree,
+    matrix: DistanceMatrix,
+    *,
+    compare_optimal: bool = False,
+    optimal_limit: int = 12,
+) -> TreeReport:
+    """Validate ``tree`` against ``matrix`` and summarise its quality.
+
+    With ``compare_optimal`` and ``matrix.n <= optimal_limit`` the exact
+    minimum is computed too (exponential -- hence the cap).
+    """
+    if set(tree.leaf_labels) != set(matrix.labels):
+        raise ValueError("tree leaves and matrix labels differ")
+
+    problems: List[str] = []
+    valid = is_valid_ultrametric_tree(tree)
+    if not valid:
+        problems.append("tree is not a valid ultrametric tree")
+    feasible = dominates_matrix(tree, matrix)
+    if not feasible:
+        problems.append("tree violates d_T >= M")
+
+    cost = tree.cost()
+    upper = upgmm(matrix).cost()
+
+    optimal_cost: Optional[float] = None
+    if compare_optimal and matrix.n <= optimal_limit:
+        from repro.bnb.sequential import exact_mut
+
+        optimal_cost = exact_mut(matrix).cost
+        if cost < optimal_cost - 1e-6:
+            problems.append(
+                "tree cost is below the exact optimum (infeasible or buggy)"
+            )
+
+    report = TreeReport(
+        n_species=matrix.n,
+        cost=cost,
+        structurally_valid=valid,
+        feasible=feasible,
+        upgmm_cost=upper,
+        contradictions_33=count_33_contradictions(tree, matrix),
+        cophenetic=cophenetic_correlation(tree, matrix),
+        optimal_cost=optimal_cost,
+        problems=problems,
+    )
+    return report

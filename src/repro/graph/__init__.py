@@ -1,0 +1,32 @@
+"""Graph substrate: union-find, minimum spanning trees, compact sets.
+
+The PaCT 2005 decomposition views the distance matrix as a complete
+weighted graph, extracts a minimum spanning tree (Kruskal), and scans the
+MST edges in ascending order to enumerate all *compact sets* -- subsets
+whose largest internal distance is smaller than every distance leaving the
+subset (Lemma 2).  Compact sets form a laminar family (Lemma 3), captured
+here as a :class:`~repro.graph.hierarchy.CompactSetHierarchy`.
+"""
+
+from repro.graph.union_find import UnionFind
+from repro.graph.mst import kruskal_mst, prim_mst, mst_is_unique
+from repro.graph.compact_sets import (
+    find_compact_sets,
+    is_compact,
+    compact_sets_brute_force,
+)
+from repro.graph.compact_linear import find_compact_sets_fast
+from repro.graph.hierarchy import CompactSetHierarchy, HierarchyNode
+
+__all__ = [
+    "UnionFind",
+    "kruskal_mst",
+    "prim_mst",
+    "mst_is_unique",
+    "find_compact_sets",
+    "find_compact_sets_fast",
+    "is_compact",
+    "compact_sets_brute_force",
+    "CompactSetHierarchy",
+    "HierarchyNode",
+]

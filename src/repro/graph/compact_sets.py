@@ -1,0 +1,155 @@
+"""Compact sets of a distance graph (PaCT 2005, Section 3.1).
+
+A subset ``C`` of the vertex set is *compact* (Lemma 2) when its largest
+internal distance is strictly smaller than every distance between ``C``
+and the rest of the graph::
+
+    max{ M[i, j] : i, j in C }  <  min{ M[i, j] : i in C, j not in C }
+
+The paper's Algorithm *Compact Sets* discovers all of them with a single
+Kruskal scan: process MST edges in ascending order, merge the endpoint
+groups, and test the merged group against Lemma 2.  Every compact set
+appears as one of the scanned groups because its internal MST edges are
+all lighter than its outgoing edges (Lemma 4), so Kruskal finishes the set
+before leaving it.
+
+A brute-force enumerator over all subsets is included for property tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.graph.mst import kruskal_mst
+from repro.graph.union_find import UnionFind
+from repro.matrix.distance_matrix import DistanceMatrix
+
+__all__ = [
+    "is_compact",
+    "find_compact_sets",
+    "compact_sets_brute_force",
+    "max_internal_distance",
+    "min_outgoing_distance",
+]
+
+
+def max_internal_distance(matrix: DistanceMatrix, subset: Sequence[int]) -> float:
+    """``Max(A)`` of the paper: the largest distance within ``subset``.
+
+    Returns ``0.0`` for singletons (no internal pair), matching the
+    convention that singletons are vacuously compact.
+    """
+    idx = np.fromiter(subset, dtype=int)
+    if idx.size < 2:
+        return 0.0
+    block = matrix.values[np.ix_(idx, idx)]
+    return float(block.max())
+
+
+def min_outgoing_distance(matrix: DistanceMatrix, subset: Sequence[int]) -> float:
+    """``Min(A, !A)`` of the paper: the smallest distance leaving ``subset``.
+
+    Returns ``+inf`` when the subset is the whole vertex set.
+    """
+    idx = np.fromiter(subset, dtype=int)
+    outside = np.setdiff1d(np.arange(matrix.n), idx, assume_unique=False)
+    if outside.size == 0:
+        return float("inf")
+    block = matrix.values[np.ix_(idx, outside)]
+    return float(block.min())
+
+
+def is_compact(matrix: DistanceMatrix, subset: Sequence[int]) -> bool:
+    """Direct Lemma-2 test: ``Max(A) < Min(A, !A)``.
+
+    The whole vertex set and singletons are compact by convention
+    (``Min = +inf`` and ``Max = 0`` respectively).
+    """
+    members = set(subset)
+    if not members:
+        return False
+    if any(not 0 <= m < matrix.n for m in members):
+        raise ValueError("subset contains out-of-range vertices")
+    return max_internal_distance(matrix, sorted(members)) < min_outgoing_distance(
+        matrix, sorted(members)
+    )
+
+
+def find_compact_sets(
+    matrix: DistanceMatrix,
+    *,
+    include_singletons: bool = False,
+    include_universe: bool = False,
+) -> List[FrozenSet[int]]:
+    """All compact sets of ``matrix`` via the paper's MST scan.
+
+    Follows Algorithm *Compact Sets* literally: Kruskal MST, edges in
+    ascending order, union the endpoint groups, and emit the merged group
+    whenever ``Max(A) < Min(A, !A)``.  Results are returned in discovery
+    order (non-decreasing diameter), which for the paper's Figure 3
+    example yields ``{1,3}, {4,6}, {1,2,3}, {1,2,3,5}``.
+
+    ``include_singletons`` / ``include_universe`` append the trivially
+    compact sets, which the decomposition hierarchy needs but the paper's
+    listing omits.
+    """
+    n = matrix.n
+    found: List[FrozenSet[int]] = []
+    if include_singletons:
+        found.extend(frozenset({i}) for i in range(n))
+    if n >= 2:
+        uf = UnionFind(n)
+        for i, j, _ in kruskal_mst(matrix):
+            uf.union(i, j)
+            group = uf.group(i)
+            if len(group) == n:
+                break  # the universe is handled below
+            if max_internal_distance(matrix, group) < min_outgoing_distance(
+                matrix, group
+            ):
+                found.append(frozenset(group))
+    if include_universe and n >= 1:
+        universe = frozenset(range(n))
+        if universe not in found:
+            found.append(universe)
+    return found
+
+
+def compact_sets_brute_force(
+    matrix: DistanceMatrix,
+    *,
+    include_singletons: bool = False,
+    include_universe: bool = False,
+) -> List[FrozenSet[int]]:
+    """Enumerate compact sets by checking every subset (test oracle).
+
+    Exponential; intended for ``n <= 14`` in property tests that confirm
+    the MST scan finds exactly the compact sets.
+    """
+    n = matrix.n
+    found: List[FrozenSet[int]] = []
+    vertices = range(n)
+    low = 1 if include_singletons else 2
+    high = n if include_universe else n - 1
+    for size in range(low, high + 1):
+        for subset in combinations(vertices, size):
+            if is_compact(matrix, subset):
+                found.append(frozenset(subset))
+    return found
+
+
+def laminar_violations(sets: Iterable[FrozenSet[int]]) -> List[tuple]:
+    """Pairs of sets that properly cross (Lemma 3 says there are none).
+
+    Exposed for tests: for any two compact sets ``A`` and ``B`` that
+    intersect, one must contain the other.
+    """
+    sets = list(sets)
+    bad = []
+    for a, b in combinations(sets, 2):
+        if a & b and not (a <= b or b <= a):
+            bad.append((a, b))
+    return bad

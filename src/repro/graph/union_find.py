@@ -1,0 +1,73 @@
+"""Disjoint-set union with path compression and union by size.
+
+Used by Kruskal's algorithm and by the compact-set scan, both of which
+merge vertex groups edge by edge.  The structure additionally tracks the
+member list of every root so the compact-set algorithm can inspect the
+current group of a vertex in ``O(|group|)`` without a full sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic disjoint-set forest over ``range(n)``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._members: Dict[int, List[int]] = {i: [i] for i in range(n)}
+        self._count = n
+
+    @property
+    def count(self) -> int:
+        """Number of disjoint groups currently alive."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Root of ``x``'s group, with path compression."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the groups of ``a`` and ``b``.
+
+        Returns ``True`` when a merge happened, ``False`` when the two
+        vertices were already together (the signal Kruskal uses to skip a
+        cycle-forming edge).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._members[ra].extend(self._members.pop(rb))
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Are ``a`` and ``b`` in the same group?"""
+        return self.find(a) == self.find(b)
+
+    def group(self, x: int) -> List[int]:
+        """The members of ``x``'s group (a copy, safe to mutate)."""
+        return list(self._members[self.find(x)])
+
+    def groups(self) -> Iterable[List[int]]:
+        """All current groups as member lists."""
+        return [list(members) for members in self._members.values()]
+
+    def group_size(self, x: int) -> int:
+        """Size of ``x``'s group."""
+        return self._size[self.find(x)]

@@ -1,0 +1,23 @@
+"""Heuristic tree builders.
+
+* :func:`~repro.heuristics.upgma.upgma` -- the classic Unweighted Pair
+  Group Method with Arithmetic mean;
+* :func:`~repro.heuristics.upgma.upgmm` -- the *maximum*-linkage variant
+  the papers call UPGMM, whose output always dominates the input matrix
+  and therefore seeds the branch-and-bound upper bound (BBU Step 3);
+* :func:`~repro.heuristics.nj.neighbor_joining` -- the Neighbor-Joining
+  baseline mentioned in both introductions.
+"""
+
+from repro.heuristics.upgma import upgma, upgmm, agglomerative_tree
+from repro.heuristics.nj import neighbor_joining, AdditiveTree
+from repro.heuristics.greedy import greedy_insertion
+
+__all__ = [
+    "upgma",
+    "upgmm",
+    "agglomerative_tree",
+    "neighbor_joining",
+    "AdditiveTree",
+    "greedy_insertion",
+]

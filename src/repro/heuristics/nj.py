@@ -1,0 +1,148 @@
+"""Neighbor-Joining baseline (Saitou & Nei 1987).
+
+Both papers cite NJ as the popular heuristic biologists use when an exact
+tree is out of reach.  NJ produces an *additive* (unrooted, generally
+non-ultrametric) tree, so it gets its own light-weight tree type rather
+than forcing it into :class:`~repro.tree.ultrametric.UltrametricTree`.
+The benchmarks use its total edge weight as a context line next to the
+ultrametric costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.matrix.distance_matrix import DistanceMatrix
+
+__all__ = ["AdditiveTree", "neighbor_joining"]
+
+
+class AdditiveTree:
+    """An unrooted, edge-weighted tree produced by Neighbor-Joining.
+
+    Stored as an adjacency map ``node -> [(neighbour, branch length)]``.
+    Leaf nodes are species labels; internal nodes are integers.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[object, List[Tuple[object, float]]] = {}
+
+    def add_edge(self, a: object, b: object, length: float) -> None:
+        if length < -1e-9:
+            length = 0.0  # NJ can produce tiny negative lengths; clamp
+        self._adjacency.setdefault(a, []).append((b, length))
+        self._adjacency.setdefault(b, []).append((a, length))
+
+    @property
+    def nodes(self) -> List[object]:
+        return list(self._adjacency)
+
+    @property
+    def leaves(self) -> List[str]:
+        return sorted(
+            node for node, nbrs in self._adjacency.items()
+            if isinstance(node, str) and len(nbrs) == 1
+        )
+
+    def cost(self) -> float:
+        """Total branch length of the tree."""
+        total = 0.0
+        seen = set()
+        for a, nbrs in self._adjacency.items():
+            for b, length in nbrs:
+                key = (id(a), id(b)) if id(a) < id(b) else (id(b), id(a))
+                if key not in seen:
+                    seen.add(key)
+                    total += length
+        return total
+
+    def distance(self, a: str, b: str) -> float:
+        """Path length between two leaves."""
+        if a == b:
+            return 0.0
+        stack: List[Tuple[object, Optional[object], float]] = [(a, None, 0.0)]
+        while stack:
+            node, parent, dist = stack.pop()
+            if node == b:
+                return dist
+            for nxt, length in self._adjacency[node]:
+                if nxt != parent:
+                    stack.append((nxt, node, dist + length))
+        raise KeyError(f"no path between {a!r} and {b!r}")
+
+    def newick(self) -> str:
+        """Serialize rooted arbitrarily at the first internal node."""
+        internal = [n for n in self._adjacency if not isinstance(n, str)]
+        root = internal[0] if internal else next(iter(self._adjacency))
+
+        def render(node: object, parent: Optional[object]) -> str:
+            children = [
+                (nxt, length)
+                for nxt, length in self._adjacency[node]
+                if nxt != parent
+            ]
+            if not children:
+                return str(node)
+            inner = ",".join(
+                f"{render(nxt, node)}:{length:.6f}" for nxt, length in children
+            )
+            name = node if isinstance(node, str) else ""
+            return f"({inner}){name}"
+
+        return render(root, None) + ";"
+
+
+def neighbor_joining(matrix: DistanceMatrix) -> AdditiveTree:
+    """Classic Neighbor-Joining over ``matrix``.
+
+    Follows Saitou & Nei with Studier-Keppler Q-criterion; deterministic
+    tie-breaking on indices.
+    """
+    n = matrix.n
+    tree = AdditiveTree()
+    if n == 1:
+        tree._adjacency[matrix.labels[0]] = []
+        return tree
+    if n == 2:
+        tree.add_edge(matrix.labels[0], matrix.labels[1], matrix.values[0, 1])
+        return tree
+
+    dist = matrix.values.astype(float).copy()
+    taxa: List[object] = list(matrix.labels)
+    next_internal = 0
+
+    while len(taxa) > 3:
+        m = len(taxa)
+        row_sums = dist.sum(axis=1)
+        q = (m - 2) * dist - row_sums[:, None] - row_sums[None, :]
+        np.fill_diagonal(q, np.inf)
+        flat = int(np.argmin(q))
+        i, j = divmod(flat, m)
+        if i > j:
+            i, j = j, i
+        delta = (row_sums[i] - row_sums[j]) / (m - 2)
+        limb_i = 0.5 * (dist[i, j] + delta)
+        limb_j = 0.5 * (dist[i, j] - delta)
+        new_node = next_internal
+        next_internal += 1
+        tree.add_edge(taxa[i], new_node, limb_i)
+        tree.add_edge(taxa[j], new_node, limb_j)
+        # Distances from the new node to the remaining taxa.
+        keep = [k for k in range(m) if k not in (i, j)]
+        new_row = 0.5 * (dist[i, keep] + dist[j, keep] - dist[i, j])
+        reduced = np.zeros((m - 1, m - 1))
+        reduced[: m - 2, : m - 2] = dist[np.ix_(keep, keep)]
+        reduced[m - 2, : m - 2] = new_row
+        reduced[: m - 2, m - 2] = new_row
+        dist = reduced
+        taxa = [taxa[k] for k in keep] + [new_node]
+
+    # Join the final three taxa on a central node.
+    center = next_internal
+    d01, d02, d12 = dist[0, 1], dist[0, 2], dist[1, 2]
+    tree.add_edge(taxa[0], center, 0.5 * (d01 + d02 - d12))
+    tree.add_edge(taxa[1], center, 0.5 * (d01 + d12 - d02))
+    tree.add_edge(taxa[2], center, 0.5 * (d02 + d12 - d01))
+    return tree

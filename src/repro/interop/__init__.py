@@ -1,0 +1,25 @@
+"""Interoperability with the scientific-Python ecosystem.
+
+Currently: conversions between :class:`~repro.tree.ultrametric.UltrametricTree`
+and ``scipy.cluster.hierarchy`` linkage matrices, so trees built here can
+be drawn with scipy/matplotlib dendrograms and scipy clusterings can be
+validated with this repository's feasibility checks.
+"""
+
+from repro.interop.scipy_hierarchy import (
+    tree_to_linkage,
+    linkage_to_tree,
+)
+from repro.interop.networkx_graph import (
+    matrix_to_graph,
+    mst_graph,
+    tree_to_digraph,
+)
+
+__all__ = [
+    "tree_to_linkage",
+    "linkage_to_tree",
+    "matrix_to_graph",
+    "mst_graph",
+    "tree_to_digraph",
+]

@@ -1,0 +1,76 @@
+"""Conversions to/from networkx.
+
+The distance matrix is "a complete, weighted, undirected graph" (PaCT
+Section 2); these helpers materialise that view for users who want to
+run graph algorithms or draw the structures with networkx:
+
+* :func:`matrix_to_graph` -- the complete weighted graph of a matrix;
+* :func:`mst_graph` -- the matrix's MST as a networkx graph (the test
+  suite uses ``networkx.minimum_spanning_tree`` as an independent
+  oracle for our Kruskal);
+* :func:`tree_to_digraph` -- an ultrametric tree as a rooted DiGraph
+  with ``height``/``label`` node attributes and ``weight`` edges.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+
+from repro.graph.mst import kruskal_mst
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.tree.ultrametric import TreeNode, UltrametricTree
+
+__all__ = ["matrix_to_graph", "mst_graph", "tree_to_digraph"]
+
+
+def matrix_to_graph(matrix: DistanceMatrix) -> nx.Graph:
+    """The complete weighted graph of ``matrix`` (nodes = labels)."""
+    graph = nx.Graph()
+    labels = matrix.labels
+    graph.add_nodes_from(labels)
+    for i, j, weight in matrix.pairs():
+        graph.add_edge(labels[i], labels[j], weight=weight)
+    return graph
+
+
+def mst_graph(matrix: DistanceMatrix) -> nx.Graph:
+    """The Kruskal MST of ``matrix`` as a networkx graph."""
+    graph = nx.Graph()
+    labels = matrix.labels
+    graph.add_nodes_from(labels)
+    for i, j, weight in kruskal_mst(matrix):
+        graph.add_edge(labels[i], labels[j], weight=weight)
+    return graph
+
+
+def tree_to_digraph(tree: UltrametricTree) -> Tuple[nx.DiGraph, str]:
+    """An ultrametric tree as a rooted DiGraph.
+
+    Returns ``(digraph, root_id)``.  Leaf nodes are named by their
+    labels; internal nodes get synthetic ids ``"node<k>"``.  Every node
+    carries a ``height`` attribute (leaves 0), leaves additionally a
+    ``label``, and each edge a ``weight`` equal to the branch length.
+    """
+    graph = nx.DiGraph()
+    counter = 0
+
+    def visit(node: TreeNode) -> str:
+        nonlocal counter
+        if node.is_leaf:
+            name = node.label or f"leaf{counter}"
+            graph.add_node(name, height=0.0, label=node.label)
+            return name
+        name = f"node{counter}"
+        counter += 1
+        graph.add_node(name, height=node.height)
+        for child in node.children:
+            child_name = visit(child)
+            graph.add_edge(
+                name, child_name, weight=node.height - child.height
+            )
+        return name
+
+    root = visit(tree.root)
+    return graph, root

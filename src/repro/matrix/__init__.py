@@ -1,0 +1,47 @@
+"""Distance-matrix substrate.
+
+This subpackage supplies everything the paper assumes about its input: the
+:class:`~repro.matrix.distance_matrix.DistanceMatrix` container with the
+symmetry / metricity / ultrametricity predicates of the paper's Definitions
+1-3, the max-min permutation used by Algorithm BBU, random and clustered
+workload generators, metric repair, and PHYLIP/CSV I/O.
+"""
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.maxmin import maxmin_permutation
+from repro.matrix.repair import metric_closure, is_triangle_violating
+from repro.matrix.generators import (
+    random_metric_matrix,
+    clustered_matrix,
+    perturbed_ultrametric_matrix,
+)
+from repro.matrix.stats import (
+    MatrixSummary,
+    matrix_summary,
+    structure_score,
+    ultrametricity_defect,
+)
+from repro.matrix.io import (
+    read_phylip,
+    write_phylip,
+    read_csv_matrix,
+    write_csv_matrix,
+)
+
+__all__ = [
+    "DistanceMatrix",
+    "maxmin_permutation",
+    "metric_closure",
+    "is_triangle_violating",
+    "random_metric_matrix",
+    "clustered_matrix",
+    "perturbed_ultrametric_matrix",
+    "MatrixSummary",
+    "matrix_summary",
+    "structure_score",
+    "ultrametricity_defect",
+    "read_phylip",
+    "write_phylip",
+    "read_csv_matrix",
+    "write_csv_matrix",
+]

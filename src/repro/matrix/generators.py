@@ -1,0 +1,253 @@
+"""Workload generators for the paper's experiments.
+
+Three families of matrices appear in the evaluation:
+
+* **uniform random matrices** (PaCT Figures 8-9, HPCAsia Figures 5-8):
+  integer distances drawn uniformly, made metric by shortest-path closure;
+* **clustered matrices**: distances with explicit group structure so that
+  every group is a compact set -- this is the regime in which the
+  compact-set technique shines and is the synthetic stand-in for data with
+  phylogenetic signal;
+* **perturbed ultrametric matrices**: matrices of a random ultrametric tree
+  with multiplicative noise, modelling near-clock-like evolution.
+
+All generators accept either a seed or a ``numpy.random.Generator`` and are
+fully deterministic given one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.repair import metric_closure
+
+__all__ = [
+    "random_metric_matrix",
+    "clustered_matrix",
+    "hierarchical_matrix",
+    "random_ultrametric_matrix",
+    "perturbed_ultrametric_matrix",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_metric_matrix(
+    n: int,
+    seed: RngLike = None,
+    *,
+    low: float = 1.0,
+    high: float = 100.0,
+    integer: bool = True,
+) -> DistanceMatrix:
+    """Uniform random distances in ``[low, high]`` repaired into a metric.
+
+    Mirrors the HPCAsia experiments: "randomly generated data sample set,
+    the range of the data values is from 0 to 100".  The shortest-path
+    closure may lower some entries, so the final values live in
+    ``[low, high]`` but are no longer independent.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = _rng(seed)
+    if integer:
+        values = rng.integers(int(low), int(high) + 1, size=(n, n)).astype(float)
+    else:
+        values = rng.uniform(low, high, size=(n, n))
+    values = np.triu(values, k=1)
+    values = values + values.T
+    matrix = DistanceMatrix(values, validate=False)
+    return metric_closure(matrix)
+
+
+def clustered_matrix(
+    cluster_sizes: Sequence[int],
+    seed: RngLike = None,
+    *,
+    within: Tuple[float, float] = (10.0, 30.0),
+    between: Tuple[float, float] = (40.0, 70.0),
+    labels: Optional[Sequence[str]] = None,
+) -> DistanceMatrix:
+    """A flat block matrix in which every block is a compact set.
+
+    Distances inside a block are drawn from ``within`` and distances across
+    blocks from ``between``.  Compactness of each block requires
+    ``max(within) < min(between)``; metricity of the cross distances
+    requires ``max(between) <= 2 * min(between)`` (any two cross edges
+    support the third) and ``max(between) <= min(between) + min(within)``
+    is not needed because within-distances only shorten paths.  Both are
+    validated eagerly so misuse fails loudly.
+    """
+    if within[1] >= between[0]:
+        raise ValueError(
+            "compactness needs max(within) < min(between); "
+            f"got within={within}, between={between}"
+        )
+    if between[1] > 2 * between[0]:
+        raise ValueError(
+            "metricity needs max(between) <= 2 * min(between); "
+            f"got between={between}"
+        )
+    rng = _rng(seed)
+    membership: List[int] = []
+    for block, size in enumerate(cluster_sizes):
+        if size < 1:
+            raise ValueError("cluster sizes must be positive")
+        membership.extend([block] * size)
+    n = len(membership)
+    values = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if membership[i] == membership[j]:
+                d = rng.uniform(*within)
+            else:
+                d = rng.uniform(*between)
+            values[i, j] = values[j, i] = d
+    matrix = DistanceMatrix(values, labels, validate=False)
+    return metric_closure(matrix)
+
+
+def hierarchical_matrix(
+    spec: Sequence,
+    seed: RngLike = None,
+    *,
+    base: float = 8.0,
+    gap: float = 2.5,
+    jitter: float = 0.15,
+    labels: Optional[Sequence[str]] = None,
+) -> DistanceMatrix:
+    """A nested-cluster matrix realising a laminar family of compact sets.
+
+    ``spec`` is a nested list whose integer leaves are group sizes, e.g.
+    ``[[3, 2], [4]]`` builds 9 species: a 5-species super-group split 3+2,
+    and a 4-species group.  The distance between two species depends on the
+    depth of their lowest common group: pairs separated near the root get
+    roughly ``base * gap**depth_of_tree`` while pairs in the same innermost
+    group get roughly ``base``.  With ``jitter`` small relative to ``gap``
+    the distance bands of different levels do not overlap, so every group
+    of the specification is a compact set of the resulting matrix (the
+    property the decomposition tests rely on).
+    """
+    if gap <= 1.0:
+        raise ValueError("gap must exceed 1 for the level bands to separate")
+    if not 0.0 <= jitter < (gap - 1.0) / (gap + 1.0):
+        raise ValueError(
+            f"jitter={jitter} too large for gap={gap}; bands would overlap"
+        )
+    rng = _rng(seed)
+
+    paths: List[Tuple[int, ...]] = []
+
+    def walk(node, prefix: Tuple[int, ...]) -> None:
+        if isinstance(node, int):
+            if node < 1:
+                raise ValueError("group sizes must be positive")
+            for leaf in range(node):
+                paths.append(prefix + (leaf,))
+            return
+        for child_index, child in enumerate(node):
+            walk(child, prefix + (child_index,))
+
+    walk(list(spec), ())
+    n = len(paths)
+    if n < 1:
+        raise ValueError("specification describes no species")
+    depth = max(len(p) for p in paths)
+
+    values = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            shared = 0
+            for a, b in zip(paths[i], paths[j]):
+                if a != b:
+                    break
+                shared += 1
+            # shared == depth-1 means same innermost group.
+            level = depth - 1 - shared  # 0 = same group, larger = farther
+            scale = base * gap ** level
+            values[i, j] = values[j, i] = scale * (
+                1.0 + rng.uniform(-jitter, jitter)
+            )
+    matrix = DistanceMatrix(values, labels, validate=False)
+    return metric_closure(matrix)
+
+
+def random_ultrametric_matrix(
+    n: int,
+    seed: RngLike = None,
+    *,
+    min_height: float = 1.0,
+    max_height: float = 50.0,
+) -> DistanceMatrix:
+    """The exact distance matrix of a random ultrametric tree.
+
+    Built by random agglomeration: repeatedly merge two random clusters at
+    a height strictly above both, then set ``M[i, j] = 2 * height`` of the
+    merge separating ``i`` and ``j``.  The result is ultrametric (hence
+    metric) by construction; useful as a ground-truth input for which the
+    minimum ultrametric tree cost is known analytically.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = _rng(seed)
+    values = np.zeros((n, n))
+    clusters: List[List[int]] = [[i] for i in range(n)]
+    heights: List[float] = [0.0] * n
+    while len(clusters) > 1:
+        a, b = rng.choice(len(clusters), size=2, replace=False)
+        a, b = int(min(a, b)), int(max(a, b))
+        floor = max(heights[a], heights[b], min_height / 2.0)
+        height = rng.uniform(floor, max(max_height / 2.0, floor * 1.5))
+        if height <= floor:
+            height = floor * 1.0001 + 1e-6
+        for i in clusters[a]:
+            for j in clusters[b]:
+                values[i, j] = values[j, i] = 2.0 * height
+        merged = clusters[a] + clusters[b]
+        new_clusters = [
+            c for k, c in enumerate(clusters) if k not in (a, b)
+        ]
+        new_heights = [
+            h for k, h in enumerate(heights) if k not in (a, b)
+        ]
+        clusters = new_clusters + [merged]
+        heights = new_heights + [height]
+    return DistanceMatrix(values, validate=False)
+
+
+def perturbed_ultrametric_matrix(
+    n: int,
+    seed: RngLike = None,
+    *,
+    noise: float = 0.1,
+    min_height: float = 1.0,
+    max_height: float = 50.0,
+) -> DistanceMatrix:
+    """An ultrametric matrix with multiplicative noise, re-repaired.
+
+    Models near-clock-like evolution: start from
+    :func:`random_ultrametric_matrix`, scale every entry by an independent
+    factor in ``[1 - noise, 1]`` (shrinking only, so the closure stays
+    close to the sample), then take the metric closure.
+    """
+    if not 0.0 <= noise < 1.0:
+        raise ValueError("noise must be in [0, 1)")
+    rng = _rng(seed)
+    clean = random_ultrametric_matrix(
+        n, rng, min_height=min_height, max_height=max_height
+    )
+    factors = rng.uniform(1.0 - noise, 1.0, size=(n, n))
+    factors = np.triu(factors, k=1)
+    factors = factors + factors.T
+    np.fill_diagonal(factors, 1.0)
+    noisy = DistanceMatrix(clean.values * factors, validate=False)
+    return metric_closure(noisy)

@@ -1,0 +1,123 @@
+"""Distance-matrix I/O.
+
+The tool system the project report describes exposes the pipeline to
+biologists, so the matrix formats they actually use are supported:
+
+* **PHYLIP square format** -- first line the species count, then one row
+  per species: a name (first whitespace-delimited token) followed by ``n``
+  distances;
+* **CSV** -- header row of labels, then one labelled row per species.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.matrix.distance_matrix import DistanceMatrix, MatrixValidationError
+
+__all__ = ["read_phylip", "write_phylip", "read_csv_matrix", "write_csv_matrix"]
+
+PathLike = Union[str, Path]
+
+
+def _read_text(source: Union[PathLike, _io.TextIOBase]) -> str:
+    if hasattr(source, "read"):
+        return source.read()  # type: ignore[union-attr]
+    return Path(source).read_text()
+
+
+def read_phylip(source: Union[PathLike, _io.TextIOBase]) -> DistanceMatrix:
+    """Parse a PHYLIP square distance matrix from a path or open file."""
+    text = _read_text(source)
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise MatrixValidationError("empty PHYLIP input")
+    try:
+        n = int(lines[0].split()[0])
+    except (ValueError, IndexError):
+        raise MatrixValidationError(
+            f"first PHYLIP line must be the species count, got {lines[0]!r}"
+        ) from None
+    if len(lines) - 1 < n:
+        raise MatrixValidationError(
+            f"PHYLIP header promises {n} rows, found {len(lines) - 1}"
+        )
+    labels: List[str] = []
+    values = np.zeros((n, n))
+    for row, line in enumerate(lines[1 : n + 1]):
+        tokens = line.split()
+        if len(tokens) != n + 1:
+            raise MatrixValidationError(
+                f"PHYLIP row {row} has {len(tokens) - 1} distances, expected {n}"
+            )
+        labels.append(tokens[0])
+        values[row] = [float(t) for t in tokens[1:]]
+    return DistanceMatrix(values, labels)
+
+
+def write_phylip(matrix: DistanceMatrix, destination: Union[PathLike, _io.TextIOBase]) -> None:
+    """Write ``matrix`` in PHYLIP square format.
+
+    Distances are written with full float precision so a read-back
+    matrix is bit-identical (rounding could otherwise break the strict
+    metric predicate).
+    """
+    lines = [f"{matrix.n}"]
+    width = max(len(label) for label in matrix.labels) if matrix.n else 0
+    for i, label in enumerate(matrix.labels):
+        row = " ".join(f"{matrix.values[i, j]:.17g}" for j in range(matrix.n))
+        lines.append(f"{label:<{width}} {row}")
+    text = "\n".join(lines) + "\n"
+    if hasattr(destination, "write"):
+        destination.write(text)  # type: ignore[union-attr]
+    else:
+        Path(destination).write_text(text)
+
+
+def read_csv_matrix(source: Union[PathLike, _io.TextIOBase]) -> DistanceMatrix:
+    """Parse a labelled CSV distance matrix.
+
+    Expected layout: a header ``,label1,label2,...`` and one row per
+    species, ``label,<d1>,<d2>,...``.
+    """
+    text = _read_text(source)
+    rows = [row for row in csv.reader(_io.StringIO(text)) if row]
+    if len(rows) < 2:
+        raise MatrixValidationError("CSV matrix needs a header and data rows")
+    header = [cell.strip() for cell in rows[0][1:]]
+    n = len(header)
+    labels: List[str] = []
+    values = np.zeros((n, n))
+    if len(rows) - 1 != n:
+        raise MatrixValidationError(
+            f"CSV header names {n} species, found {len(rows) - 1} rows"
+        )
+    for i, row in enumerate(rows[1:]):
+        if len(row) != n + 1:
+            raise MatrixValidationError(
+                f"CSV row {i} has {len(row) - 1} values, expected {n}"
+            )
+        labels.append(row[0].strip())
+        values[i] = [float(cell) for cell in row[1:]]
+    if labels != header:
+        raise MatrixValidationError("CSV row labels must match the header order")
+    return DistanceMatrix(values, labels)
+
+
+def write_csv_matrix(matrix: DistanceMatrix, destination: Union[PathLike, _io.TextIOBase]) -> None:
+    """Write ``matrix`` as labelled CSV (inverse of :func:`read_csv_matrix`)."""
+    buffer = _io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([""] + matrix.labels)
+    for i, label in enumerate(matrix.labels):
+        writer.writerow([label] + [f"{matrix.values[i, j]:.17g}" for j in range(matrix.n)])
+    text = buffer.getvalue()
+    if hasattr(destination, "write"):
+        destination.write(text)  # type: ignore[union-attr]
+    else:
+        Path(destination).write_text(text)

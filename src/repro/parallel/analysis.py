@@ -1,0 +1,113 @@
+"""Scaling analysis of the parallel branch-and-bound.
+
+Turns raw simulator runs into the quantities the HPCAsia evaluation
+reasons about: speedup curves, parallel efficiency, and the Karp-Flatt
+experimentally-determined serial fraction (which exposes load-imbalance
+and communication overhead growth that raw speedup hides).  Karp-Flatt
+is *negative* exactly when the run is super-linear -- a compact numeric
+witness of the papers' anomaly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.parallel.config import ClusterConfig
+from repro.parallel.simulator import ParallelBranchAndBound, ParallelResult
+
+__all__ = ["ScalingPoint", "speedup_curve", "karp_flatt", "amdahl_bound"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a strong-scaling curve."""
+
+    workers: int
+    makespan: float
+    speedup: float
+    efficiency: float
+    nodes_expanded: int
+    serial_fraction: Optional[float]  # Karp-Flatt; None at p = 1
+
+    @property
+    def superlinear(self) -> bool:
+        return self.speedup > self.workers
+
+
+def karp_flatt(speedup: float, workers: int) -> float:
+    """The experimentally determined serial fraction.
+
+    ``e = (1/S - 1/p) / (1 - 1/p)``.  Values near 0 mean near-perfect
+    scaling; growth with ``p`` indicates overhead; negative values mean
+    super-linear speedup.
+    """
+    if workers < 2:
+        raise ValueError("Karp-Flatt needs at least two workers")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return (1.0 / speedup - 1.0 / workers) / (1.0 - 1.0 / workers)
+
+
+def amdahl_bound(serial_fraction: float, workers: int) -> float:
+    """Amdahl's-law speedup ceiling for a given serial fraction."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / workers)
+
+
+def speedup_curve(
+    matrix: DistanceMatrix,
+    worker_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    *,
+    base_config: Optional[ClusterConfig] = None,
+    **solver_options,
+) -> List[ScalingPoint]:
+    """Run the simulator at each cluster size and build the scaling curve.
+
+    ``base_config`` supplies every parameter except ``n_workers`` (and
+    per-worker speeds, which are truncated/invalid across sizes and so
+    must be ``None``).  The first entry of ``worker_counts`` is the
+    speedup baseline; conventionally 1.
+    """
+    if not worker_counts:
+        raise ValueError("need at least one worker count")
+    template = base_config or ClusterConfig()
+    if template.worker_speeds is not None:
+        raise ValueError(
+            "speedup_curve requires a homogeneous base configuration"
+        )
+
+    results: List[ParallelResult] = []
+    for p in worker_counts:
+        cfg = ClusterConfig(
+            n_workers=p,
+            ub_broadcast_latency=template.ub_broadcast_latency,
+            transfer_latency=template.transfer_latency,
+            expansion_unit_cost=template.expansion_unit_cost,
+            prebranch_factor=template.prebranch_factor,
+            donate_when_global_empty=template.donate_when_global_empty,
+            steal_from_loaded=template.steal_from_loaded,
+        )
+        results.append(
+            ParallelBranchAndBound(cfg, **solver_options).solve(matrix)
+        )
+
+    baseline = results[0].makespan
+    points: List[ScalingPoint] = []
+    for p, result in zip(worker_counts, results):
+        speedup = baseline / result.makespan if result.makespan > 0 else 1.0
+        points.append(
+            ScalingPoint(
+                workers=p,
+                makespan=result.makespan,
+                speedup=speedup,
+                efficiency=speedup / p,
+                nodes_expanded=result.total_nodes_expanded,
+                serial_fraction=karp_flatt(speedup, p) if p >= 2 else None,
+            )
+        )
+    return points

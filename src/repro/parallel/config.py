@@ -1,0 +1,144 @@
+"""Configuration of the simulated PC cluster.
+
+Defaults model the papers' testbed: 16 computing nodes joined by switched
+100 Mbps Ethernet (1 Gbps uplink to the master).  Times are expressed in
+*work units*: one unit is the cost of inserting one species into a
+one-leaf topology, so expanding a BBT node with ``k`` leaves costs about
+``(2k - 1) * k`` units (``2k - 1`` graft positions, each an ``O(k)``
+insertion).  Latencies are calibrated so that a message costs roughly as
+much as expanding a mid-size node -- the regime in which the papers'
+load-balancing design decisions (global pool, cyclic dispatch, donation)
+actually matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ClusterConfig", "grid_config"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of the simulated master/slave cluster.
+
+    Attributes
+    ----------
+    n_workers:
+        Number of computing processors (the papers use 16; the master
+        also computes, matching "MP is also used to do the same work").
+    ub_broadcast_latency:
+        Work units before a new global upper bound reaches the other
+        workers.
+    transfer_latency:
+        Work units to move one BBT node between a local pool and the
+        global pool (request + payload on the 100 Mbps link).
+    expansion_unit_cost:
+        Scale factor on the ``(2k - 1) * k`` cost of one node expansion.
+    prebranch_factor:
+        The master pre-branches until the frontier reaches
+        ``prebranch_factor * n_workers`` nodes (the papers use 2).
+    donate_when_global_empty:
+        Enable the papers' donation rule: after branching, a worker that
+        sees an empty global pool sends its worst local node there.
+    steal_from_loaded:
+        Enable the papers' second balancing rule ("even through the
+        global pools empty, it will poll branching data from the heavily
+        loaded computing nodes"): an idle worker steals the least
+        promising node of the most loaded worker, paying two transfer
+        latencies (request + payload).
+    """
+
+    n_workers: int = 16
+    ub_broadcast_latency: float = 50.0
+    transfer_latency: float = 25.0
+    expansion_unit_cost: float = 1.0
+    prebranch_factor: int = 2
+    donate_when_global_empty: bool = True
+    steal_from_loaded: bool = True
+    #: Record per-worker busy intervals (see :mod:`repro.parallel.trace`).
+    record_trace: bool = False
+    #: Per-worker relative speeds (1.0 = reference CPU).  ``None`` means a
+    #: homogeneous cluster; a grid of donated machines is heterogeneous.
+    worker_speeds: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("need at least one worker")
+        if self.ub_broadcast_latency < 0 or self.transfer_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.expansion_unit_cost <= 0:
+            raise ValueError("expansion cost must be positive")
+        if self.prebranch_factor < 1:
+            raise ValueError("prebranch factor must be at least 1")
+        if self.worker_speeds is not None:
+            if len(self.worker_speeds) != self.n_workers:
+                raise ValueError(
+                    f"{len(self.worker_speeds)} speeds for "
+                    f"{self.n_workers} workers"
+                )
+            if any(s <= 0 for s in self.worker_speeds):
+                raise ValueError("worker speeds must be positive")
+
+    def expansion_cost(self, num_leaves: int, worker: Optional[int] = None) -> float:
+        """Simulated cost of one node expansion.
+
+        ``(2k - 1)`` graft positions, each an O(k) insertion, divided by
+        the worker's relative speed; ``worker=None`` means the reference
+        (master) machine.
+        """
+        base = self.expansion_unit_cost * (2 * num_leaves - 1) * num_leaves
+        if worker is None or self.worker_speeds is None:
+            return base
+        return base / self.worker_speeds[worker]
+
+    def speed_of(self, worker: int) -> float:
+        """Relative speed of one worker (1.0 when homogeneous)."""
+        if self.worker_speeds is None:
+            return 1.0
+        return self.worker_speeds[worker]
+
+
+def grid_config(
+    n_workers: int,
+    *,
+    cpu_speed: float = 0.9,
+    speed_spread: float = 0.2,
+    latency_factor: float = 8.0,
+    seed: int = 0,
+    **overrides,
+) -> ClusterConfig:
+    """A :class:`ClusterConfig` modelling the project's UniGrid testbed.
+
+    The NSC report's grid experiments ran on donated machines joined over
+    the Internet: CPUs slower than the dedicated cluster's and unequal to
+    each other, with far higher message latencies.  ``cpu_speed`` is the
+    mean relative speed, ``speed_spread`` its +/- range (deterministic
+    per ``seed``), and ``latency_factor`` multiplies both latencies of
+    the default cluster.  The report's finding — a grid matches the
+    cluster only by bringing *more* nodes — falls out of these numbers
+    (see ``benchmarks/bench_grid_vs_cluster.py``).
+    """
+    import numpy as np
+
+    if not 0 < cpu_speed:
+        raise ValueError("cpu_speed must be positive")
+    if not 0 <= speed_spread < cpu_speed:
+        raise ValueError("speed_spread must be smaller than cpu_speed")
+    rng = np.random.default_rng(seed)
+    speeds = tuple(
+        float(s)
+        for s in rng.uniform(
+            cpu_speed - speed_spread, cpu_speed + speed_spread, size=n_workers
+        )
+    )
+    defaults = ClusterConfig()
+    settings = dict(
+        n_workers=n_workers,
+        ub_broadcast_latency=defaults.ub_broadcast_latency * latency_factor,
+        transfer_latency=defaults.transfer_latency * latency_factor,
+        worker_speeds=speeds,
+    )
+    settings.update(overrides)
+    return ClusterConfig(**settings)

@@ -1,0 +1,251 @@
+"""Real multi-core execution of the parallel branch-and-bound.
+
+The simulator in :mod:`repro.parallel.simulator` models the papers'
+cluster; this module actually runs the same master/slave decomposition on
+local cores with :mod:`multiprocessing`, serving as an end-to-end sanity
+check that the decomposition logic is sound:
+
+* the master (parent process) relabels the matrix, seeds the UPGMM upper
+  bound and pre-branches the BBT to ``prebranch_factor * p`` nodes;
+* the frontier is dispatched cyclically to ``p`` worker processes;
+* workers run the sequential DFS on their share, publishing improved
+  upper bounds through a shared ``multiprocessing.Value`` (the "global
+  upper bound broadcast") that every worker polls between expansions;
+* the master gathers per-worker optima and returns the global best.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bnb.bounds import LOWER_BOUNDS, half_matrix
+from repro.bnb.relationship import insertion_is_consistent
+from repro.bnb.topology import PartialTopology
+from repro.bnb.sequential import BranchAndBoundSolver
+from repro.heuristics.upgma import upgmm
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.maxmin import apply_maxmin
+from repro.tree.newick import parse_newick
+from repro.tree.ultrametric import UltrametricTree
+
+__all__ = ["MultiprocessResult", "multiprocess_mut"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class MultiprocessResult:
+    """Outcome of a real multi-process run."""
+
+    tree: UltrametricTree
+    cost: float
+    nodes_expanded: int
+    nodes_pruned: int
+    n_workers: int
+    initial_upper_bound: float
+
+
+def _worker_main(
+    topologies: List[PartialTopology],
+    tails: List[float],
+    values: List[List[float]],
+    labels: List[str],
+    check_33: bool,
+    enforce_all_33: bool,
+    shared_ub,
+    result_queue,
+    poll_interval: int,
+) -> None:
+    """DFS-complete a share of the frontier (runs in a child process)."""
+    local_ub = shared_ub.value
+    best: Optional[PartialTopology] = None
+    expanded = 0
+    pruned = 0
+    n = len(values)
+    stack = sorted(topologies, key=lambda t: -t.lower_bound)
+    while stack:
+        node = stack.pop()
+        if expanded % poll_interval == 0:
+            published = shared_ub.value
+            if published < local_ub:
+                local_ub = published
+        if node.lower_bound > local_ub - _EPS:
+            pruned += 1
+            continue
+        expanded += 1
+        s = node.next_species
+        tail = tails[s + 1]
+        children = []
+        for position in range(len(node.parent)):
+            child = node.child(position, tail)
+            if child.lower_bound > local_ub - _EPS:
+                pruned += 1
+                continue
+            if check_33 and not insertion_is_consistent(
+                child, values, s, check_all_pairs=enforce_all_33
+            ):
+                continue
+            children.append(child)
+        if node.num_leaves + 1 == n:
+            for child in children:
+                if child.cost < local_ub - _EPS:
+                    local_ub = child.cost
+                    best = child
+                    with shared_ub.get_lock():
+                        if local_ub < shared_ub.value:
+                            shared_ub.value = local_ub
+        else:
+            children.sort(key=lambda c: -c.lower_bound)
+            stack.extend(children)
+    from repro.tree.newick import to_newick
+
+    payload: Tuple[Optional[float], Optional[str], Dict[str, int]]
+    if best is None:
+        payload = (None, None, {"expanded": expanded, "pruned": pruned})
+    else:
+        payload = (
+            best.cost,
+            to_newick(best.to_tree(labels), precision=12),
+            {"expanded": expanded, "pruned": pruned},
+        )
+    result_queue.put(payload)
+
+
+def multiprocess_mut(
+    matrix: DistanceMatrix,
+    n_workers: int = 4,
+    *,
+    lower_bound: str = "minfront",
+    relationship_33: bool = False,
+    enforce_all_33: bool = False,
+    prebranch_factor: int = 2,
+    poll_interval: int = 64,
+) -> MultiprocessResult:
+    """Exact minimum ultrametric tree using real worker processes.
+
+    Falls back to the sequential solver for tiny inputs or ``n_workers=1``.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    if matrix.n < 4 or n_workers == 1:
+        seq = BranchAndBoundSolver(
+            lower_bound=lower_bound,
+            relationship_33=relationship_33,
+            enforce_all_33=enforce_all_33,
+        ).solve(matrix)
+        return MultiprocessResult(
+            tree=seq.tree,
+            cost=seq.cost,
+            nodes_expanded=seq.stats.nodes_expanded,
+            nodes_pruned=seq.stats.nodes_pruned,
+            n_workers=1,
+            initial_upper_bound=seq.stats.initial_upper_bound,
+        )
+
+    ordered, _ = apply_maxmin(matrix)
+    labels = ordered.labels
+    values = [list(map(float, row)) for row in ordered.values]
+    half = half_matrix(ordered)
+    tails = LOWER_BOUNDS[lower_bound](ordered)
+    check_33 = relationship_33 or enforce_all_33
+
+    seed = upgmm(ordered)
+    upper_bound = seed.cost()
+    best_tree: UltrametricTree = seed
+    best_cost = upper_bound
+
+    # Master pre-branching (same as the simulator's master phase).
+    root = PartialTopology.initial(half)
+    root.lower_bound = root.cost + tails[2]
+    queue: List[PartialTopology] = [root]
+    target = prebranch_factor * n_workers
+    expanded = 0
+    pruned = 0
+    n = matrix.n
+    while queue and len(queue) < target:
+        queue.sort(key=lambda t: -t.lower_bound)
+        node = queue.pop()
+        if node.lower_bound > upper_bound - _EPS:
+            pruned += 1
+            continue
+        expanded += 1
+        s = node.next_species
+        tail = tails[s + 1]
+        for position in range(len(node.parent)):
+            child = node.child(position, tail)
+            if child.lower_bound > upper_bound - _EPS:
+                pruned += 1
+                continue
+            if check_33 and not insertion_is_consistent(
+                child, values, s, check_all_pairs=enforce_all_33
+            ):
+                continue
+            if child.is_complete:
+                if child.cost < upper_bound - _EPS:
+                    upper_bound = child.cost
+                    best_cost = child.cost
+                    best_tree = child.to_tree(labels)
+            else:
+                queue.append(child)
+
+    if not queue:
+        return MultiprocessResult(
+            tree=best_tree,
+            cost=best_cost,
+            nodes_expanded=expanded,
+            nodes_pruned=pruned,
+            n_workers=n_workers,
+            initial_upper_bound=seed.cost(),
+        )
+
+    queue.sort(key=lambda t: t.lower_bound)
+    shares: List[List[PartialTopology]] = [[] for _ in range(n_workers)]
+    for index, node in enumerate(queue):
+        shares[index % n_workers].append(node)
+
+    ctx = multiprocessing.get_context("fork")
+    shared_ub = ctx.Value("d", upper_bound)
+    result_queue = ctx.Queue()
+    processes = []
+    live_workers = 0
+    for share in shares:
+        if not share:
+            continue
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(
+                share,
+                tails,
+                values,
+                labels,
+                check_33,
+                enforce_all_33,
+                shared_ub,
+                result_queue,
+                poll_interval,
+            ),
+        )
+        proc.start()
+        processes.append(proc)
+        live_workers += 1
+
+    for _ in range(live_workers):
+        cost, newick, counters = result_queue.get()
+        expanded += counters["expanded"]
+        pruned += counters["pruned"]
+        if cost is not None and cost < best_cost - _EPS:
+            best_cost = cost
+            best_tree = parse_newick(newick)
+    for proc in processes:
+        proc.join()
+
+    return MultiprocessResult(
+        tree=best_tree,
+        cost=best_cost,
+        nodes_expanded=expanded,
+        nodes_pruned=pruned,
+        n_workers=n_workers,
+        initial_upper_bound=seed.cost(),
+    )

@@ -1,0 +1,83 @@
+"""Local and global work pools.
+
+The papers keep BBT nodes in *sorted* pools: workers take the most
+promising node (smallest lower bound) for depth-first expansion and, when
+the global pool runs dry, donate "the last UT in sorted LP" -- their
+least promising node.  :class:`SortedPool` supports both ends in
+``O(log n)`` with a lazy-deletion double heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+__all__ = ["SortedPool"]
+
+T = TypeVar("T")
+
+
+class SortedPool(Generic[T]):
+    """A pool of items ordered by priority (lower = more promising).
+
+    ``pop_best`` returns the smallest-priority item (what a worker
+    expands next); ``pop_worst`` returns the largest-priority item (what
+    a worker donates to the global pool).  Implemented as two heaps over
+    shared entries with tombstones, so both operations stay logarithmic.
+    """
+
+    def __init__(self) -> None:
+        self._best: List[Tuple[float, int, List]] = []
+        self._worst: List[Tuple[float, int, List]] = []
+        self._size = 0
+        self._counter = count()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, priority: float, item: T) -> None:
+        """Insert ``item`` with the given ``priority``."""
+        seq = next(self._counter)
+        entry = [priority, seq, item, True]  # True = alive
+        heapq.heappush(self._best, (priority, seq, entry))
+        heapq.heappush(self._worst, (-priority, -seq, entry))
+        self._size += 1
+
+    def pop_best(self) -> Optional[T]:
+        """Remove and return the most promising item (or ``None``)."""
+        while self._best:
+            _, _, entry = heapq.heappop(self._best)
+            if entry[3]:
+                entry[3] = False
+                self._size -= 1
+                return entry[2]
+        return None
+
+    def pop_worst(self) -> Optional[T]:
+        """Remove and return the least promising item (or ``None``)."""
+        while self._worst:
+            _, _, entry = heapq.heappop(self._worst)
+            if entry[3]:
+                entry[3] = False
+                self._size -= 1
+                return entry[2]
+        return None
+
+    def peek_best_priority(self) -> Optional[float]:
+        """Priority of the most promising live item, if any."""
+        while self._best and not self._best[0][2][3]:
+            heapq.heappop(self._best)
+        return self._best[0][0] if self._best else None
+
+    def drain(self) -> List[T]:
+        """Remove and return all live items, best first."""
+        items: List[T] = []
+        while True:
+            item = self.pop_best()
+            if item is None:
+                return items
+            items.append(item)

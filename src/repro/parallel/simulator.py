@@ -1,0 +1,400 @@
+"""Discrete-event simulation of the master/slave parallel branch-and-bound.
+
+The simulator executes the *identical* search logic as the sequential
+Algorithm BBU -- the same :class:`~repro.bnb.topology.PartialTopology`
+branching, the same lower bounds, the same 3-3 filter -- but interleaves
+``p`` workers on a simulated clock:
+
+* the master relabels the matrix, seeds the UPGMM upper bound, and
+  pre-branches the BBT until the frontier reaches
+  ``prebranch_factor * p`` nodes (Steps 1-5 of the papers' listing);
+* the frontier is sorted by lower bound; roughly ``1/p`` of it stays in
+  the **global pool** and the rest is dispatched cyclically to the
+  workers' **local pools** (Step 6);
+* each worker repeatedly takes its most promising node, prunes or
+  branches it, *broadcasts* improved upper bounds (arriving at the other
+  workers after ``ub_broadcast_latency``), refills from the global pool
+  when its local pool empties, and donates its least promising node to
+  the global pool when the global pool is empty (Step 7);
+* when every pool is dry the master gathers the solutions (Step 8).
+
+Because upper bounds discovered by one worker prune the others' subtrees,
+the *total* number of expanded nodes differs from the sequential run --
+the mechanism behind the super-linear speedups the papers report -- and
+the simulation reproduces it deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bnb.bounds import LOWER_BOUNDS, half_matrix
+from repro.bnb.relationship import insertion_is_consistent
+from repro.bnb.topology import PartialTopology
+from repro.heuristics.upgma import upgmm
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.maxmin import apply_maxmin
+from repro.parallel.config import ClusterConfig
+from repro.parallel.pools import SortedPool
+from repro.parallel.trace import TraceInterval
+from repro.tree.ultrametric import UltrametricTree
+
+__all__ = ["WorkerStats", "ParallelResult", "ParallelBranchAndBound"]
+
+_EPS = 1e-9
+#: Simulated cost of discarding a pruned node (bound comparison only).
+_PRUNE_COST = 1.0
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker counters from one simulated run."""
+
+    worker_id: int
+    nodes_expanded: int = 0
+    nodes_pruned: int = 0
+    busy_time: float = 0.0
+    donations: int = 0
+    refills: int = 0
+    steals: int = 0
+    ub_broadcasts: int = 0
+    finished_at: float = 0.0
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a simulated parallel run."""
+
+    tree: UltrametricTree
+    cost: float
+    makespan: float
+    setup_time: float
+    total_nodes_expanded: int
+    total_nodes_pruned: int
+    messages: int
+    workers: List[WorkerStats] = field(default_factory=list)
+    initial_upper_bound: float = 0.0
+    #: Busy intervals, populated when ``ClusterConfig.record_trace`` is set.
+    trace: List[TraceInterval] = field(default_factory=list)
+
+    @property
+    def total_busy_time(self) -> float:
+        """Aggregate work units actually spent expanding/pruning."""
+        return sum(w.busy_time for w in self.workers)
+
+    def efficiency(self) -> float:
+        """Busy fraction of the cluster: ``busy / (p * makespan)``."""
+        if self.makespan <= 0 or not self.workers:
+            return 1.0
+        return self.total_busy_time / (len(self.workers) * self.makespan)
+
+
+class _Worker:
+    """Mutable per-worker simulation state."""
+
+    __slots__ = ("pool", "ub", "broadcast_ptr", "stats")
+
+    def __init__(self, worker_id: int, ub: float) -> None:
+        self.pool: SortedPool[PartialTopology] = SortedPool()
+        self.ub = ub
+        self.broadcast_ptr = 0
+        self.stats = WorkerStats(worker_id)
+
+
+class ParallelBranchAndBound:
+    """The parallel Algorithm BBU on a simulated cluster.
+
+    Search options mirror :class:`repro.bnb.sequential.BranchAndBoundSolver`;
+    cluster behaviour comes from a :class:`ClusterConfig`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        *,
+        lower_bound: str = "minfront",
+        use_maxmin: bool = True,
+        relationship_33: bool = False,
+        enforce_all_33: bool = False,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        if lower_bound not in LOWER_BOUNDS:
+            raise ValueError(f"unknown lower bound {lower_bound!r}")
+        self.lower_bound = lower_bound
+        self.use_maxmin = use_maxmin
+        self.relationship_33 = relationship_33
+        self.enforce_all_33 = enforce_all_33
+
+    # ------------------------------------------------------------------
+    def solve(self, matrix: DistanceMatrix) -> ParallelResult:
+        """Run the simulated cluster on ``matrix``."""
+        cfg = self.config
+        n = matrix.n
+        if n < 3:
+            # Too small to parallelise; fall back to the trivial cases.
+            from repro.bnb.sequential import BranchAndBoundSolver
+
+            seq = BranchAndBoundSolver(
+                lower_bound=self.lower_bound, use_maxmin=self.use_maxmin
+            ).solve(matrix)
+            return ParallelResult(
+                tree=seq.tree,
+                cost=seq.cost,
+                makespan=0.0,
+                setup_time=0.0,
+                total_nodes_expanded=seq.stats.nodes_expanded,
+                total_nodes_pruned=seq.stats.nodes_pruned,
+                messages=0,
+                workers=[WorkerStats(0)],
+                initial_upper_bound=seq.stats.initial_upper_bound,
+            )
+
+        ordered, _ = apply_maxmin(matrix) if self.use_maxmin else (matrix, None)
+        labels = ordered.labels
+        values = [list(map(float, row)) for row in ordered.values]
+        half = half_matrix(ordered)
+        tails = LOWER_BOUNDS[self.lower_bound](ordered)
+        check_33 = self.relationship_33 or self.enforce_all_33
+
+        seed = upgmm(ordered)
+        global_ub = seed.cost()
+        best: Optional[PartialTopology] = None
+
+        # ------------------------------------------------------------------
+        # Master phase: UPGMM + pre-branching, charged sequentially.
+        # ------------------------------------------------------------------
+        clock = cfg.expansion_unit_cost * n * n  # UPGMM / setup charge
+        frontier: List[PartialTopology] = []
+        root = PartialTopology.initial(half)
+        root.lower_bound = root.cost + tails[2]
+        queue: List[PartialTopology] = [root]
+        target = cfg.prebranch_factor * cfg.n_workers
+        pruned_in_prebranch = 0
+        expanded_in_prebranch = 0
+        while queue and len(queue) + len(frontier) < target:
+            queue.sort(key=lambda t: -t.lower_bound)
+            node = queue.pop()
+            if node.lower_bound > global_ub - _EPS:
+                pruned_in_prebranch += 1
+                clock += _PRUNE_COST
+                continue
+            clock += cfg.expansion_cost(node.num_leaves)
+            expanded_in_prebranch += 1
+            s = node.next_species
+            tail = tails[s + 1]
+            for position in range(len(node.parent)):
+                child = node.child(position, tail)
+                if child.lower_bound > global_ub - _EPS:
+                    pruned_in_prebranch += 1
+                    continue
+                if check_33 and not insertion_is_consistent(
+                    child, values, s, check_all_pairs=self.enforce_all_33
+                ):
+                    continue
+                if child.is_complete:
+                    if child.cost < global_ub - _EPS:
+                        global_ub = child.cost
+                        best = child
+                else:
+                    queue.append(child)
+        frontier.extend(queue)
+        frontier.sort(key=lambda t: t.lower_bound)
+        setup_time = clock
+
+        # ------------------------------------------------------------------
+        # Dispatch: cyclic assignment, ~1/p of the nodes kept in the GP.
+        # ------------------------------------------------------------------
+        p = cfg.n_workers
+        workers = [_Worker(w, global_ub) for w in range(p)]
+        gp: SortedPool[PartialTopology] = SortedPool()
+        messages = p  # initial matrix + UB broadcast to every worker
+        slot = 0
+        for index, node in enumerate(frontier):
+            if p > 1 and index % (p + 1) == p:
+                gp.push(node.lower_bound, node)
+            else:
+                workers[slot % p].pool.push(node.lower_bound, node)
+                slot += 1
+        start_time = clock + cfg.transfer_latency
+
+        # ------------------------------------------------------------------
+        # Event loop.
+        # ------------------------------------------------------------------
+        #: broadcasts: (arrival_time, ub value), appended in arrival order.
+        broadcasts: List[Tuple[float, float]] = []
+        heap: List[Tuple[float, int, str, int, Optional[PartialTopology]]] = []
+        seq_counter = 0
+
+        def schedule(time: float, action: str, worker_id: int,
+                     payload: Optional[PartialTopology] = None) -> None:
+            nonlocal seq_counter
+            heapq.heappush(heap, (time, seq_counter, action, worker_id, payload))
+            seq_counter += 1
+
+        idle: set = set()
+        in_flight_to_gp = 0
+        trace: List[TraceInterval] = []
+
+        for w in range(p):
+            schedule(start_time, "work", w)
+
+        makespan = start_time
+
+        def absorb_broadcasts(worker: _Worker, now: float) -> None:
+            while (
+                worker.broadcast_ptr < len(broadcasts)
+                and broadcasts[worker.broadcast_ptr][0] <= now + _EPS
+            ):
+                value = broadcasts[worker.broadcast_ptr][1]
+                if value < worker.ub:
+                    worker.ub = value
+                worker.broadcast_ptr += 1
+
+        while heap:
+            now, _, action, wid, payload = heapq.heappop(heap)
+            makespan = max(makespan, now)
+            worker = workers[wid]
+
+            if action == "gp_arrival":
+                assert payload is not None
+                in_flight_to_gp -= 1
+                gp.push(payload.lower_bound, payload)
+                if idle:
+                    woken = min(idle)
+                    idle.discard(woken)
+                    schedule(now, "work", woken)
+                continue
+
+            if action == "carry":
+                # A node requested from the GP arrives at the worker.
+                assert payload is not None
+                worker.pool.push(payload.lower_bound, payload)
+                schedule(now, "work", wid)
+                continue
+
+            # action == "work"
+            absorb_broadcasts(worker, now)
+            node = None
+            elapsed = 0.0
+            while worker.pool:
+                candidate = worker.pool.pop_best()
+                if candidate is None:
+                    break
+                if candidate.lower_bound > worker.ub - _EPS:
+                    worker.stats.nodes_pruned += 1
+                    elapsed += _PRUNE_COST
+                    continue
+                node = candidate
+                break
+
+            if node is None:
+                worker.stats.busy_time += elapsed
+                if cfg.record_trace and elapsed > 0:
+                    trace.append(TraceInterval(wid, now, now + elapsed, "prune"))
+                refill = gp.pop_best()
+                if refill is not None:
+                    worker.stats.refills += 1
+                    messages += 1
+                    schedule(now + elapsed + cfg.transfer_latency, "carry", wid, refill)
+                    continue
+                if cfg.steal_from_loaded and p > 1:
+                    # Poll the most heavily loaded worker (HPCAsia Sec. 3).
+                    victim = max(workers, key=lambda w: len(w.pool))
+                    if len(victim.pool) > 1:
+                        stolen = victim.pool.pop_worst()
+                        if stolen is not None:
+                            worker.stats.steals += 1
+                            messages += 2  # request + payload
+                            schedule(
+                                now + elapsed + 2 * cfg.transfer_latency,
+                                "carry",
+                                wid,
+                                stolen,
+                            )
+                            continue
+                worker.stats.finished_at = now + elapsed
+                idle.add(wid)
+                continue
+
+            dt = cfg.expansion_cost(node.num_leaves, wid)
+            worker.stats.busy_time += elapsed + dt
+            worker.stats.nodes_expanded += 1
+            done = now + elapsed + dt
+            if cfg.record_trace:
+                if elapsed > 0:
+                    trace.append(
+                        TraceInterval(wid, now, now + elapsed, "prune")
+                    )
+                trace.append(TraceInterval(wid, now + elapsed, done, "expand"))
+
+            s = node.next_species
+            tail = tails[s + 1]
+            improved = False
+            for position in range(len(node.parent)):
+                child = node.child(position, tail)
+                if child.lower_bound > worker.ub - _EPS:
+                    worker.stats.nodes_pruned += 1
+                    continue
+                if check_33 and not insertion_is_consistent(
+                    child, values, s, check_all_pairs=self.enforce_all_33
+                ):
+                    continue
+                if child.is_complete:
+                    if child.cost < worker.ub - _EPS:
+                        worker.ub = child.cost
+                        improved = True
+                        if best is None or child.cost < best.cost - _EPS:
+                            best = child
+                        if child.cost < global_ub:
+                            global_ub = child.cost
+                else:
+                    worker.pool.push(child.lower_bound, child)
+
+            if improved and p > 1:
+                broadcasts.append((done + cfg.ub_broadcast_latency, worker.ub))
+                worker.stats.ub_broadcasts += 1
+                messages += p - 1
+
+            if (
+                cfg.donate_when_global_empty
+                and p > 1
+                and len(gp) == 0
+                and in_flight_to_gp == 0
+                and len(worker.pool) > 1
+            ):
+                donated = worker.pool.pop_worst()
+                if donated is not None:
+                    worker.stats.donations += 1
+                    messages += 1
+                    in_flight_to_gp += 1
+                    schedule(done + cfg.transfer_latency, "gp_arrival", 0, donated)
+
+            schedule(done, "work", wid)
+
+        # Final gather (Step 8): one message per worker.
+        messages += p
+        makespan += cfg.transfer_latency
+
+        if best is None:
+            tree = seed
+            cost = global_ub
+        else:
+            tree = best.to_tree(labels)
+            cost = best.cost
+
+        return ParallelResult(
+            tree=tree,
+            cost=cost,
+            makespan=makespan,
+            setup_time=setup_time,
+            total_nodes_expanded=expanded_in_prebranch
+            + sum(w.stats.nodes_expanded for w in workers),
+            total_nodes_pruned=pruned_in_prebranch
+            + sum(w.stats.nodes_pruned for w in workers),
+            messages=messages,
+            workers=[w.stats for w in workers],
+            initial_upper_bound=seed.cost(),
+            trace=trace,
+        )

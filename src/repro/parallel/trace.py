@@ -1,0 +1,81 @@
+"""Execution traces of the simulated cluster.
+
+With ``ClusterConfig(record_trace=True)`` the simulator records one
+:class:`TraceInterval` per unit of worker activity.  This module turns
+those intervals into the load-balance views the HPCAsia paper reasons
+about: per-worker utilization and an ASCII Gantt chart showing where the
+global-pool refills and steals keep the cluster busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["TraceInterval", "worker_utilization", "ascii_gantt"]
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One contiguous span of simulated worker activity."""
+
+    worker: int
+    start: float
+    end: float
+    kind: str  # "expand" or "prune"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def worker_utilization(
+    trace: Sequence[TraceInterval],
+    n_workers: int,
+    makespan: float,
+) -> Dict[int, float]:
+    """Busy fraction of each worker over the run's makespan."""
+    if makespan <= 0:
+        return {w: 0.0 for w in range(n_workers)}
+    busy: Dict[int, float] = {w: 0.0 for w in range(n_workers)}
+    for interval in trace:
+        busy[interval.worker] = busy.get(interval.worker, 0.0) + interval.duration
+    return {w: min(t / makespan, 1.0) for w, t in busy.items()}
+
+
+def ascii_gantt(
+    trace: Sequence[TraceInterval],
+    n_workers: int,
+    makespan: float,
+    *,
+    width: int = 72,
+) -> str:
+    """Render the trace as one ASCII row per worker.
+
+    ``#`` marks time buckets where the worker was mostly busy, ``-``
+    partially busy, space idle.  Makes load-balance pathologies (a
+    starved worker, a hot straggler) visible at a glance.
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    if makespan <= 0:
+        return "\n".join(f"w{w:02d} |" for w in range(n_workers))
+    bucket = makespan / width
+    load = [[0.0] * width for _ in range(n_workers)]
+    for interval in trace:
+        first = int(interval.start / bucket)
+        last = min(int(interval.end / bucket), width - 1)
+        for b in range(first, last + 1):
+            b_start = b * bucket
+            b_end = b_start + bucket
+            overlap = min(interval.end, b_end) - max(interval.start, b_start)
+            if overlap > 0:
+                load[interval.worker][b] += overlap
+    rows = []
+    for w in range(n_workers):
+        cells = []
+        for b in range(width):
+            fraction = load[w][b] / bucket
+            cells.append("#" if fraction > 0.66 else "-" if fraction > 0.1 else " ")
+        rows.append(f"w{w:02d} |{''.join(cells)}|")
+    return "\n".join(rows)

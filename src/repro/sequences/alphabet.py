@@ -1,0 +1,38 @@
+"""DNA alphabet helpers."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["DNA_ALPHABET", "random_sequence", "validate_sequence"]
+
+#: The nucleotide alphabet, in the conventional order.
+DNA_ALPHABET = "ACGT"
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_sequence(length: int, seed: RngLike = None) -> str:
+    """A uniformly random DNA sequence of the given length."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    rng = _rng(seed)
+    indices = rng.integers(0, len(DNA_ALPHABET), size=length)
+    return "".join(DNA_ALPHABET[i] for i in indices)
+
+
+def validate_sequence(sequence: str) -> str:
+    """Return ``sequence`` upper-cased after checking its alphabet."""
+    upper = sequence.upper()
+    bad = set(upper) - set(DNA_ALPHABET)
+    if bad:
+        raise ValueError(f"sequence contains non-DNA symbols: {sorted(bad)}")
+    return upper

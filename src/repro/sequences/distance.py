@@ -1,0 +1,153 @@
+"""Pairwise sequence distances.
+
+Both papers take "the edit distance for any two of species" as the matrix
+entry.  We implement that plus the two distances biologists actually
+favour for aligned mitochondrial data:
+
+* **p-distance** -- the fraction (or count) of differing sites;
+* **Jukes-Cantor distance** -- the p-distance corrected for multiple
+  hits, ``-3/4 ln(1 - 4p/3)``;
+* **edit distance** -- Levenshtein DP for unaligned sequences.
+
+p-distance and edit distance are metrics outright; the Jukes-Cantor
+correction can break the triangle inequality, so the matrix builder
+finishes with a shortest-path closure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.repair import metric_closure
+
+__all__ = [
+    "p_distance",
+    "jukes_cantor_distance",
+    "edit_distance",
+    "distance_matrix_from_sequences",
+]
+
+
+def p_distance(a: str, b: str, *, normalized: bool = True) -> float:
+    """Hamming distance between equal-length sequences.
+
+    With ``normalized`` (default) the result is the differing fraction of
+    sites; otherwise the raw count.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"p-distance needs aligned sequences (lengths {len(a)} vs {len(b)})"
+        )
+    if not a:
+        return 0.0
+    diff = sum(1 for x, y in zip(a, b) if x != y)
+    return diff / len(a) if normalized else float(diff)
+
+
+def jukes_cantor_distance(a: str, b: str) -> float:
+    """Jukes-Cantor corrected distance between aligned sequences.
+
+    ``d = -3/4 * ln(1 - 4p/3)`` where ``p`` is the p-distance.  For
+    ``p >= 3/4`` (saturation) the correction diverges; we clamp to the
+    value at ``p = 0.749`` so the matrix stays finite, which is the usual
+    software convention.
+    """
+    p = p_distance(a, b)
+    cap = 0.749
+    if p >= 0.75:
+        p = cap
+    return -0.75 * math.log(1.0 - 4.0 * p / 3.0)
+
+
+def edit_distance(a: str, b: str, *, band: Optional[int] = None) -> int:
+    """Levenshtein distance with an optional diagonal band.
+
+    The banded variant (``band`` = maximum explored diagonal offset)
+    matches how large mitochondrial sequences are compared in practice;
+    it returns the exact distance whenever that distance is at most
+    ``band``.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    n, m = len(a), len(b)
+    if band is None:
+        previous = list(range(m + 1))
+        for i in range(1, n + 1):
+            current = [i] + [0] * m
+            ai = a[i - 1]
+            for j in range(1, m + 1):
+                cost = 0 if ai == b[j - 1] else 1
+                current[j] = min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + cost,
+                )
+            previous = current
+        return previous[m]
+
+    if band < abs(n - m):
+        band = abs(n - m)
+    infinity = n + m
+    previous = {j: j for j in range(0, min(m, band) + 1)}
+    for i in range(1, n + 1):
+        current: Dict[int, int] = {}
+        lo = max(0, i - band)
+        hi = min(m, i + band)
+        for j in range(lo, hi + 1):
+            if j == 0:
+                current[j] = i
+                continue
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            best = previous.get(j - 1, infinity) + cost
+            up = previous.get(j, infinity) + 1
+            left = current.get(j - 1, infinity) + 1
+            current[j] = min(best, up, left)
+        previous = current
+    return previous.get(m, infinity)
+
+
+_METHODS = {
+    "p": lambda a, b: p_distance(a, b),
+    "p-count": lambda a, b: p_distance(a, b, normalized=False),
+    "jukes-cantor": jukes_cantor_distance,
+    "edit": lambda a, b: float(edit_distance(a, b)),
+}
+
+
+def distance_matrix_from_sequences(
+    sequences: Mapping[str, str],
+    *,
+    method: str = "p-count",
+    scale: float = 1.0,
+    order: Optional[Sequence[str]] = None,
+) -> DistanceMatrix:
+    """Build a :class:`DistanceMatrix` from labelled sequences.
+
+    ``method`` is one of ``"p"``, ``"p-count"``, ``"jukes-cantor"`` or
+    ``"edit"``; ``scale`` multiplies every entry (the papers work with
+    integer-ish distances, so scaling a p-distance by the sequence length
+    or by 100 keeps the numbers in their range).  The result is run
+    through a metric closure so downstream solvers always see a metric.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {sorted(_METHODS)}")
+    fn = _METHODS[method]
+    labels = list(order) if order is not None else sorted(sequences)
+    missing = [name for name in labels if name not in sequences]
+    if missing:
+        raise KeyError(f"sequences missing for {missing}")
+    n = len(labels)
+    values = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = fn(sequences[labels[i]], sequences[labels[j]]) * scale
+            values[i, j] = values[j, i] = d
+    return metric_closure(DistanceMatrix(values, labels, validate=False))

@@ -1,0 +1,129 @@
+"""Sequence evolution along a clock-like species tree.
+
+Human mitochondrial DNA evolves (to first order) under a molecular clock,
+which is exactly the assumption behind ultrametric trees.  We therefore
+generate a random *ultrametric* species tree and evolve a root sequence
+down its edges: along an edge of length ``t`` each site mutates with
+probability ``1 - exp(-t)`` (time measured in expected substitutions per
+site), drawing the replacement uniformly from the other three
+nucleotides -- the Jukes-Cantor model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.sequences.alphabet import DNA_ALPHABET, random_sequence
+from repro.tree.ultrametric import TreeNode, UltrametricTree
+
+__all__ = ["random_species_tree", "evolve_sequences"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_species_tree(
+    n: int,
+    seed: RngLike = None,
+    *,
+    depth: float = 0.35,
+    balance: float = 0.5,
+    labels: Union[List[str], None] = None,
+) -> UltrametricTree:
+    """A random ultrametric species tree over ``n`` species.
+
+    Built top-down: the root sits at height ``depth`` (expected
+    substitutions per site from root to any tip) and each split divides
+    the species and the remaining height.  ``balance`` controls how even
+    the splits are: 0.5 gives balanced, values near 0 or 1 give
+    caterpillar-like trees.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if depth <= 0:
+        raise ValueError("depth must be positive")
+    if not 0.0 < balance < 1.0:
+        raise ValueError("balance must be in (0, 1)")
+    rng = _rng(seed)
+    if labels is None:
+        labels = [f"seq{i:02d}" for i in range(n)]
+    if len(labels) != n:
+        raise ValueError("need exactly one label per species")
+
+    def build(names: List[str], height: float) -> TreeNode:
+        if len(names) == 1:
+            return TreeNode(0.0, label=names[0])
+        # Split sizes biased by `balance`; guarantee non-empty halves.
+        left_size = 1 + int(
+            rng.binomial(len(names) - 2, balance)
+        )
+        left_names = names[:left_size]
+        right_names = names[left_size:]
+        child_height = height * rng.uniform(0.3, 0.8)
+        left = build(left_names, child_height if len(left_names) > 1 else 0.0)
+        right = build(right_names, child_height if len(right_names) > 1 else 0.0)
+        return TreeNode(height, [left, right])
+
+    shuffled = list(labels)
+    rng.shuffle(shuffled)
+    root = build(shuffled, depth) if n > 1 else TreeNode(0.0, label=labels[0])
+    return UltrametricTree(root)
+
+
+def evolve_sequences(
+    tree: UltrametricTree,
+    length: int = 500,
+    seed: RngLike = None,
+) -> Dict[str, str]:
+    """Evolve a random root sequence down ``tree``.
+
+    Edge lengths are interpreted as expected substitutions per site under
+    Jukes-Cantor: along an edge of length ``t`` each site is hit by at
+    least one substitution event with probability ``1 - exp(-t)`` and
+    then resampled among the other three bases.  Returns a mapping from
+    leaf label to sequence.
+    """
+    if length < 1:
+        raise ValueError("length must be positive")
+    rng = _rng(seed)
+    root_seq = np.frombuffer(
+        random_sequence(length, rng).encode("ascii"), dtype="S1"
+    ).copy()
+    alphabet = np.frombuffer(DNA_ALPHABET.encode("ascii"), dtype="S1")
+
+    result: Dict[str, str] = {}
+
+    def descend(node: TreeNode, sequence: np.ndarray, parent_height: float) -> None:
+        t = parent_height - node.height
+        seq = sequence.copy()
+        if t > 0:
+            p_hit = 1.0 - math.exp(-t)
+            hits = rng.random(length) < p_hit
+            if hits.any():
+                count = int(hits.sum())
+                # Replacement uniform over the three *other* bases.
+                current = seq[hits]
+                offsets = rng.integers(1, 4, size=count)
+                current_idx = np.searchsorted(alphabet, current)
+                seq[hits] = alphabet[(current_idx + offsets) % 4]
+        if node.is_leaf:
+            result[node.label or ""] = seq.tobytes().decode("ascii")
+            return
+        for child in node.children:
+            descend(child, seq, node.height)
+
+    root = tree.root
+    if root.is_leaf:
+        result[root.label or ""] = root_seq.tobytes().decode("ascii")
+    else:
+        for child in root.children:
+            descend(child, root_seq, root.height)
+    return result

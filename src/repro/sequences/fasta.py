@@ -1,0 +1,98 @@
+"""FASTA I/O for the sequence substrate.
+
+Biologists bring sequences as FASTA; the tool system accepts them, and
+the synthetic datasets can be exported for inspection in standard
+viewers.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.sequences.alphabet import validate_sequence
+
+__all__ = ["read_fasta", "write_fasta", "FastaError"]
+
+PathLike = Union[str, Path]
+
+
+class FastaError(ValueError):
+    """Raised on malformed FASTA input."""
+
+
+def _read_text(source: Union[PathLike, _io.TextIOBase]) -> str:
+    if hasattr(source, "read"):
+        return source.read()  # type: ignore[union-attr]
+    return Path(source).read_text()
+
+
+def read_fasta(
+    source: Union[PathLike, _io.TextIOBase],
+    *,
+    validate: bool = True,
+) -> Dict[str, str]:
+    """Parse FASTA into an ordered ``{name: sequence}`` mapping.
+
+    The record name is the first whitespace-delimited token after ``>``.
+    With ``validate`` (default) sequences must be DNA over ``ACGT``
+    (case-insensitive; stored upper-case).
+    """
+    text = _read_text(source)
+    records: Dict[str, str] = {}
+    name = None
+    chunks = []
+
+    def flush():
+        if name is None:
+            return
+        sequence = "".join(chunks)
+        if not sequence:
+            raise FastaError(f"record {name!r} has no sequence data")
+        records[name] = validate_sequence(sequence) if validate else sequence
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            header = line[1:].strip()
+            if not header:
+                raise FastaError(f"empty FASTA header at line {lineno}")
+            name = header.split()[0]
+            if name in records:
+                raise FastaError(f"duplicate FASTA record {name!r}")
+            chunks = []
+        else:
+            if name is None:
+                raise FastaError(
+                    f"sequence data before any header at line {lineno}"
+                )
+            chunks.append(line)
+    flush()
+    if not records:
+        raise FastaError("no FASTA records found")
+    return records
+
+
+def write_fasta(
+    sequences: Dict[str, str],
+    destination: Union[PathLike, _io.TextIOBase],
+    *,
+    line_width: int = 70,
+) -> None:
+    """Write sequences as FASTA, wrapping at ``line_width`` columns."""
+    if line_width < 1:
+        raise ValueError("line_width must be positive")
+    parts = []
+    for name, sequence in sequences.items():
+        parts.append(f">{name}")
+        for start in range(0, len(sequence), line_width):
+            parts.append(sequence[start : start + line_width])
+    text = "\n".join(parts) + "\n"
+    if hasattr(destination, "write"):
+        destination.write(text)  # type: ignore[union-attr]
+    else:
+        Path(destination).write_text(text)

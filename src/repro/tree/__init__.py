@@ -1,0 +1,46 @@
+"""Ultrametric-tree substrate.
+
+Implements the tree model of the paper's Definitions 5-8: rooted,
+leaf-labelled, edge-weighted binary trees in which every internal node is
+equidistant from the leaves below it.  Includes the minimal-height
+realization used to cost a topology, feasibility checks against a distance
+matrix, the 3-3 relation consistency measure, and Newick serialization.
+"""
+
+from repro.tree.ultrametric import TreeNode, UltrametricTree
+from repro.tree.checks import (
+    is_valid_ultrametric_tree,
+    dominates_matrix,
+    count_33_contradictions,
+    triple_relations,
+)
+from repro.tree.newick import to_newick, parse_newick
+from repro.tree.render import render_ascii, render_heights
+from repro.tree.consensus import majority_consensus, clade_support
+from repro.tree.compare import (
+    clades,
+    robinson_foulds,
+    normalized_robinson_foulds,
+    shared_clades,
+    cophenetic_correlation,
+)
+
+__all__ = [
+    "TreeNode",
+    "UltrametricTree",
+    "is_valid_ultrametric_tree",
+    "dominates_matrix",
+    "count_33_contradictions",
+    "triple_relations",
+    "to_newick",
+    "parse_newick",
+    "render_ascii",
+    "render_heights",
+    "clades",
+    "robinson_foulds",
+    "normalized_robinson_foulds",
+    "shared_clades",
+    "cophenetic_correlation",
+    "majority_consensus",
+    "clade_support",
+]

@@ -1,0 +1,117 @@
+"""Validity and quality checks for ultrametric trees.
+
+Three families of checks:
+
+* structural -- the tree really is an ultrametric tree (binary, heights
+  non-decreasing toward the root, leaves at height 0);
+* feasibility -- ``d_T(i, j) >= M[i, j]`` for every pair, the constraint
+  the Minimum Ultrametric Tree problem imposes (Definition 8);
+* 3-3 relation consistency -- Fan's evaluation measure quoted by the
+  HPCAsia paper (Definition 11): a triple ``(i, j, k)`` is *consistent*
+  when ``M[i, j] < min(M[i, k], M[j, k])`` holds exactly when
+  ``LCA(i, j)`` lies strictly below ``LCA(i, k) = LCA(j, k)``; otherwise
+  it is *contradictory*.  Fewer contradictions means the tree reflects the
+  matrix more faithfully -- this is the sense in which compact sets "keep
+  the precise relations among species".
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.tree.ultrametric import UltrametricTree
+
+__all__ = [
+    "is_valid_ultrametric_tree",
+    "dominates_matrix",
+    "count_33_contradictions",
+    "triple_relations",
+]
+
+_TOL = 1e-9
+
+
+def is_valid_ultrametric_tree(tree: UltrametricTree, *, binary: bool = True) -> bool:
+    """Structural validity.
+
+    Checks that leaves sit at height 0, every internal node is strictly
+    above its children (non-negative edge weights; equality tolerated
+    within a small numerical slack), and -- when ``binary`` -- that every
+    internal node has exactly two children, per the paper's tree model.
+    """
+    for node in tree.root.walk():
+        if node.is_leaf:
+            if abs(node.height) > _TOL:
+                return False
+            continue
+        if binary and len(node.children) != 2:
+            return False
+        for child in node.children:
+            if child.height > node.height + _TOL:
+                return False
+    return True
+
+
+def dominates_matrix(tree: UltrametricTree, matrix: DistanceMatrix) -> bool:
+    """Feasibility: ``d_T(i, j) >= M[i, j]`` for every leaf pair."""
+    labels = matrix.labels
+    if set(labels) != set(tree.leaf_labels):
+        raise ValueError("tree leaves and matrix labels differ")
+    induced = tree.distance_matrix(labels)
+    return bool((induced.values - matrix.values >= -_TOL).all())
+
+
+def triple_relations(
+    tree: UltrametricTree, matrix: DistanceMatrix
+) -> Tuple[int, int, List[Tuple[str, str, str]]]:
+    """Classify every leaf triple as consistent or contradictory.
+
+    Returns ``(consistent, contradictory, contradictions)`` where
+    ``contradictions`` lists the offending triples.  A triple with no
+    strict closest pair in the matrix (ties) imposes no constraint and is
+    counted as consistent.
+    """
+    labels = matrix.labels
+    if set(labels) != set(tree.leaf_labels):
+        raise ValueError("tree leaves and matrix labels differ")
+    heights = {}
+    induced = tree.distance_matrix(labels)
+    for i, label_i in enumerate(labels):
+        for j in range(i + 1, len(labels)):
+            heights[(i, j)] = induced.values[i, j] / 2.0
+
+    def lca_height(a: int, b: int) -> float:
+        return heights[(a, b) if a < b else (b, a)]
+
+    consistent = 0
+    contradictions: List[Tuple[str, str, str]] = []
+    values = matrix.values
+    for i, j, k in combinations(range(len(labels)), 3):
+        # Find the strictly closest pair of the triple in the matrix.
+        pairs = [
+            (values[i, j], (i, j, k)),
+            (values[i, k], (i, k, j)),
+            (values[j, k], (j, k, i)),
+        ]
+        pairs.sort(key=lambda item: item[0])
+        if pairs[0][0] >= pairs[1][0] - _TOL:
+            consistent += 1  # tie: no constraint
+            continue
+        a, b, c = pairs[0][1]
+        # Consistency: LCA(a, b) strictly below LCA(a, c) == LCA(b, c).
+        h_ab = lca_height(a, b)
+        h_ac = lca_height(a, c)
+        h_bc = lca_height(b, c)
+        if h_ab < h_ac - _TOL and abs(h_ac - h_bc) <= _TOL:
+            consistent += 1
+        else:
+            contradictions.append((labels[a], labels[b], labels[c]))
+    return consistent, len(contradictions), contradictions
+
+
+def count_33_contradictions(tree: UltrametricTree, matrix: DistanceMatrix) -> int:
+    """Number of contradictory triples (lower is better)."""
+    _, contradictory, _ = triple_relations(tree, matrix)
+    return contradictory

@@ -1,0 +1,157 @@
+"""Newick serialization for ultrametric trees.
+
+Trees are written with branch lengths equal to edge weights
+(``height(parent) - height(child)``), the format every phylogenetics
+viewer understands.  The parser reconstructs node heights bottom-up, so a
+round trip preserves the tree exactly (up to floating point formatting).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tree.ultrametric import TreeNode, UltrametricTree
+
+__all__ = ["to_newick", "parse_newick", "NewickError"]
+
+
+class NewickError(ValueError):
+    """Raised on malformed Newick input."""
+
+
+def _escape(label: str) -> str:
+    if any(ch in label for ch in "(),:;' \t\n"):
+        return "'" + label.replace("'", "''") + "'"
+    return label
+
+
+def to_newick(tree: UltrametricTree, *, precision: int = 6) -> str:
+    """Serialize ``tree`` to a Newick string with branch lengths."""
+
+    def render(node: TreeNode, parent_height: float) -> str:
+        length = parent_height - node.height
+        suffix = f":{length:.{precision}f}"
+        if node.is_leaf:
+            return f"{_escape(node.label or '')}{suffix}"
+        inner = ",".join(render(child, node.height) for child in node.children)
+        return f"({inner}){suffix}"
+
+    root = tree.root
+    if root.is_leaf:
+        return f"{_escape(root.label or '')};"
+    inner = ",".join(render(child, root.height) for child in root.children)
+    return f"({inner});"
+
+
+class _Parser:
+    """Recursive-descent Newick parser producing ``(label, length, children)``."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Tuple:
+        node = self._node()
+        self._skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] == ";":
+            self.pos += 1
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise NewickError(
+                f"trailing characters at position {self.pos}: "
+                f"{self.text[self.pos:self.pos + 10]!r}"
+            )
+        return node
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _node(self) -> Tuple:
+        self._skip_ws()
+        children: List[Tuple] = []
+        if self.pos < len(self.text) and self.text[self.pos] == "(":
+            self.pos += 1
+            while True:
+                children.append(self._node())
+                self._skip_ws()
+                if self.pos >= len(self.text):
+                    raise NewickError("unbalanced parentheses")
+                if self.text[self.pos] == ",":
+                    self.pos += 1
+                    continue
+                if self.text[self.pos] == ")":
+                    self.pos += 1
+                    break
+                raise NewickError(
+                    f"expected ',' or ')' at position {self.pos}"
+                )
+        label = self._label()
+        length = self._length()
+        return (label, length, children)
+
+    def _label(self) -> str:
+        self._skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] == "'":
+            self.pos += 1
+            chars: List[str] = []
+            while self.pos < len(self.text):
+                ch = self.text[self.pos]
+                if ch == "'":
+                    if self.pos + 1 < len(self.text) and self.text[self.pos + 1] == "'":
+                        chars.append("'")
+                        self.pos += 2
+                        continue
+                    self.pos += 1
+                    return "".join(chars)
+                chars.append(ch)
+                self.pos += 1
+            raise NewickError("unterminated quoted label")
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in "(),:;":
+            self.pos += 1
+        return self.text[start : self.pos].strip()
+
+    def _length(self) -> float:
+        self._skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] == ":":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isdigit() or self.text[self.pos] in ".eE+-"
+            ):
+                self.pos += 1
+            try:
+                return float(self.text[start : self.pos])
+            except ValueError:
+                raise NewickError(
+                    f"bad branch length at position {start}"
+                ) from None
+        return 0.0
+
+
+def parse_newick(text: str) -> UltrametricTree:
+    """Parse a Newick string into an :class:`UltrametricTree`.
+
+    Heights are reconstructed bottom-up: a node sits at the maximum of
+    ``child height + child branch length`` over its children (for genuinely
+    ultrametric input all children agree).  Raises :class:`NewickError`
+    on malformed input.
+    """
+    label, _, children = _Parser(text).parse()
+
+    def build(spec: Tuple) -> TreeNode:
+        spec_label, _, spec_children = spec
+        if not spec_children:
+            if not spec_label:
+                raise NewickError("leaf without a label")
+            return TreeNode(0.0, label=spec_label)
+        built = [build(child) for child in spec_children]
+        height = max(
+            child.height + child_spec[1]
+            for child, child_spec in zip(built, spec_children)
+        )
+        return TreeNode(height, built, label=spec_label or None)
+
+    root = build((label, 0.0, children))
+    return UltrametricTree(root)

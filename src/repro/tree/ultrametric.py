@@ -1,0 +1,264 @@
+"""The :class:`UltrametricTree` data structure.
+
+An ultrametric tree (UT) is a rooted, leaf-labelled, edge-weighted binary
+tree in which every internal node has the same path length to all leaves
+of its subtree (Definition 6).  We store the *height* of every node (its
+distance to any leaf below it, Definition 7); edge weights are height
+differences, and the weight of the tree is
+
+    omega(T) = sum over edges of (height(parent) - height(child))
+             = height(root) + sum over internal nodes of height(node)
+
+which is the quantity the Minimum Ultrametric Tree problem minimises
+(Definition 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.matrix.distance_matrix import DistanceMatrix
+
+__all__ = ["TreeNode", "UltrametricTree"]
+
+
+class TreeNode:
+    """A node of an ultrametric tree.
+
+    Leaves carry a ``label`` and height ``0``; internal nodes carry a
+    positive ``height`` and exactly two children (binary trees, per the
+    paper's model), except transiently during construction.
+    """
+
+    __slots__ = ("height", "children", "label", "parent")
+
+    def __init__(
+        self,
+        height: float = 0.0,
+        children: Optional[List["TreeNode"]] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self.height = float(height)
+        self.children: List[TreeNode] = list(children) if children else []
+        self.label = label
+        self.parent: Optional[TreeNode] = None
+        for child in self.children:
+            child.parent = self
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_child(self, child: "TreeNode") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    def walk(self) -> Iterator["TreeNode"]:
+        """Pre-order traversal."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> List["TreeNode"]:
+        """All leaf nodes below (or equal to) this node, left to right."""
+        return [node for node in self.walk() if node.is_leaf]
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"TreeNode(leaf {self.label!r})"
+        return f"TreeNode(h={self.height:.4g}, {len(self.children)} children)"
+
+
+class UltrametricTree:
+    """A rooted ultrametric tree over named species.
+
+    The class is a thin, well-checked wrapper around a :class:`TreeNode`
+    root.  It provides the paper's cost function ``omega``, LCA queries,
+    the induced tree metric, leaf substitution (the merge primitive of the
+    compact-set pipeline) and Newick export via :mod:`repro.tree.newick`.
+    """
+
+    def __init__(self, root: TreeNode) -> None:
+        self.root = root
+        self._leaf_index: Dict[str, TreeNode] = {}
+        for leaf in root.leaves():
+            if leaf.label is None:
+                raise ValueError("every leaf must carry a label")
+            if leaf.label in self._leaf_index:
+                raise ValueError(f"duplicate leaf label {leaf.label!r}")
+            self._leaf_index[leaf.label] = leaf
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def leaf(cls, label: str) -> "UltrametricTree":
+        """A single-leaf tree (height 0)."""
+        return cls(TreeNode(0.0, label=label))
+
+    @classmethod
+    def join(
+        cls, left: "UltrametricTree", right: "UltrametricTree", height: float
+    ) -> "UltrametricTree":
+        """Join two trees under a new root at ``height``.
+
+        ``height`` must be at least the heights of both subtree roots,
+        otherwise an edge would have negative weight.
+        """
+        if height < left.root.height or height < right.root.height:
+            raise ValueError(
+                f"join height {height} is below a subtree root "
+                f"({left.root.height}, {right.root.height})"
+            )
+        return cls(TreeNode(height, [left.root, right.root]))
+
+    def copy(self) -> "UltrametricTree":
+        """Deep structural copy."""
+
+        def clone(node: TreeNode) -> TreeNode:
+            return TreeNode(
+                node.height, [clone(c) for c in node.children], node.label
+            )
+
+        return UltrametricTree(clone(self.root))
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def leaf_labels(self) -> List[str]:
+        """Labels in left-to-right leaf order."""
+        return [leaf.label for leaf in self.root.leaves()]  # type: ignore[misc]
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self._leaf_index)
+
+    def has_leaf(self, label: str) -> bool:
+        return label in self._leaf_index
+
+    def height(self) -> float:
+        """Height of the root (distance from root to every leaf)."""
+        return self.root.height
+
+    def cost(self) -> float:
+        """Total edge weight ``omega(T)`` (Definition 4)."""
+        total = 0.0
+        for node in self.root.walk():
+            for child in node.children:
+                total += node.height - child.height
+        return total
+
+    def lca(self, a: str, b: str) -> TreeNode:
+        """Lowest common ancestor of two leaves."""
+        path_a = self._path_to_root(a)
+        ancestors = set(map(id, path_a))
+        node: Optional[TreeNode] = self._leaf(b)
+        while node is not None:
+            if id(node) in ancestors:
+                return node
+            node = node.parent
+        raise RuntimeError("leaves are not in the same tree")  # pragma: no cover
+
+    def distance(self, a: str, b: str) -> float:
+        """Induced tree metric: ``d_T(a, b) = 2 * height(LCA(a, b))``."""
+        if a == b:
+            return 0.0
+        return 2.0 * self.lca(a, b).height
+
+    def distance_matrix(self, labels: Optional[Sequence[str]] = None) -> DistanceMatrix:
+        """The full matrix of induced distances (useful in tests)."""
+        labels = list(labels) if labels is not None else self.leaf_labels
+        n = len(labels)
+        values = np.zeros((n, n))
+        heights = self._lca_heights(labels)
+        for i in range(n):
+            for j in range(i + 1, n):
+                values[i, j] = values[j, i] = 2.0 * heights[i, j]
+        return DistanceMatrix(values, labels, validate=False)
+
+    def _lca_heights(self, labels: Sequence[str]) -> np.ndarray:
+        """Matrix of LCA heights for the given leaf labels.
+
+        Computed in one post-order pass instead of quadratic LCA queries.
+        """
+        index = {label: i for i, label in enumerate(labels)}
+        n = len(labels)
+        heights = np.zeros((n, n))
+
+        def collect(node: TreeNode) -> List[int]:
+            if node.is_leaf:
+                i = index.get(node.label)  # type: ignore[arg-type]
+                return [i] if i is not None else []
+            groups = [collect(child) for child in node.children]
+            for gi in range(len(groups)):
+                for gj in range(gi + 1, len(groups)):
+                    for a in groups[gi]:
+                        for b in groups[gj]:
+                            heights[a, b] = heights[b, a] = node.height
+            merged: List[int] = []
+            for g in groups:
+                merged.extend(g)
+            return merged
+
+        collect(self.root)
+        return heights
+
+    # ------------------------------------------------------------------
+    # mutation used by the compact-set merge
+    # ------------------------------------------------------------------
+    def replace_leaf(self, label: str, subtree: "UltrametricTree") -> "UltrametricTree":
+        """Return a new tree with leaf ``label`` replaced by ``subtree``.
+
+        This is the merge primitive of Section 3 of the paper: the leaf
+        that stood for a compact set in the reduced-matrix tree is grafted
+        with the compact set's own solved subtree.  The graft is legal only
+        when the leaf's parent height is at least the subtree root height
+        (guaranteed by compactness when the *maximum* reduction is used);
+        violations raise ``ValueError``.
+        """
+        target = self._leaf(label)
+        parent = target.parent
+        grafted = subtree.copy()
+        if parent is not None and parent.height < grafted.root.height - 1e-9:
+            raise ValueError(
+                f"cannot graft subtree of height {grafted.root.height} under "
+                f"a parent of height {parent.height}"
+            )
+        result = self.copy()
+        new_target = result._leaf(label)
+        new_parent = new_target.parent
+        if new_parent is None:
+            # Replacing the whole (single-leaf) tree.
+            return grafted
+        position = new_parent.children.index(new_target)
+        new_parent.children[position] = grafted.root
+        grafted.root.parent = new_parent
+        return UltrametricTree(result.root)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _leaf(self, label: str) -> TreeNode:
+        try:
+            return self._leaf_index[label]
+        except KeyError:
+            raise KeyError(f"tree has no leaf {label!r}") from None
+
+    def _path_to_root(self, label: str) -> List[TreeNode]:
+        path = []
+        node: Optional[TreeNode] = self._leaf(label)
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"UltrametricTree(n_leaves={self.n_leaves}, "
+            f"height={self.height():.4g}, cost={self.cost():.4g})"
+        )

@@ -1,0 +1,79 @@
+"""Tests for exhaustive topology enumeration."""
+
+import pytest
+
+from repro.bnb.enumeration import (
+    brute_force_mut,
+    count_topologies,
+    enumerate_topologies,
+)
+from repro.bnb.sequential import exact_mut
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import random_metric_matrix
+from repro.tree.checks import dominates_matrix
+
+
+class TestCountTopologies:
+    def test_small_values(self):
+        # A(1)=A(2)=1, A(3)=3, A(4)=15, A(5)=105, A(6)=945
+        assert [count_topologies(n) for n in range(1, 7)] == [1, 1, 3, 15, 105, 945]
+
+    def test_paper_magnitudes(self):
+        """The papers quote A(20) > 10^21, A(25) > 10^29, A(30) > 10^37."""
+        assert count_topologies(20) > 10**21
+        assert count_topologies(25) > 10**29
+        assert count_topologies(30) > 10**37
+
+    def test_recurrence(self):
+        for n in range(3, 12):
+            assert count_topologies(n) == count_topologies(n - 1) * (2 * n - 3)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            count_topologies(0)
+
+
+class TestEnumerateTopologies:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_counts_match_formula(self, n):
+        m = random_metric_matrix(n, seed=n)
+        assert sum(1 for _ in enumerate_topologies(m)) == count_topologies(n)
+
+    def test_all_shapes_distinct(self):
+        m = random_metric_matrix(5, seed=1)
+        signatures = {t.signature() for t in enumerate_topologies(m)}
+        assert len(signatures) == 105
+
+    def test_every_topology_feasible(self):
+        m = random_metric_matrix(5, seed=2)
+        for topology in enumerate_topologies(m):
+            assert dominates_matrix(topology.to_tree(m.labels), m)
+
+    def test_limit_enforced(self):
+        m = random_metric_matrix(12, seed=3)
+        with pytest.raises(ValueError, match="refusing"):
+            list(enumerate_topologies(m))
+
+    def test_limit_overridable(self):
+        m = random_metric_matrix(7, seed=4)
+        with pytest.raises(ValueError):
+            list(enumerate_topologies(m, limit=6))
+
+    def test_too_few_species(self):
+        with pytest.raises(ValueError):
+            list(enumerate_topologies(DistanceMatrix([[0.0]])))
+
+
+class TestBruteForceMut:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_certifies_branch_and_bound(self, seed):
+        m = random_metric_matrix(7, seed=seed)
+        tree, cost = brute_force_mut(m)
+        assert cost == pytest.approx(exact_mut(m).cost)
+        assert dominates_matrix(tree, m)
+        assert tree.cost() == pytest.approx(cost)
+
+    def test_single_species(self):
+        tree, cost = brute_force_mut(DistanceMatrix([[0.0]], labels=["x"]))
+        assert cost == 0.0
+        assert tree.leaf_labels == ["x"]

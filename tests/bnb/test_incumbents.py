@@ -1,0 +1,51 @@
+"""Tests for anytime incumbent reporting."""
+
+import pytest
+
+from repro.bnb.sequential import BranchAndBoundSolver
+from repro.matrix.generators import random_metric_matrix
+from repro.tree.checks import dominates_matrix
+
+
+class TestOnIncumbent:
+    def _solve_with_log(self, matrix):
+        log = []
+        solver = BranchAndBoundSolver(
+            on_incumbent=lambda cost, tree: log.append((cost, tree))
+        )
+        return solver.solve(matrix), log
+
+    def test_seed_reported_first(self):
+        m = random_metric_matrix(8, seed=1)
+        result, log = self._solve_with_log(m)
+        assert log
+        assert log[0][0] == pytest.approx(result.stats.initial_upper_bound)
+
+    def test_costs_strictly_decrease(self):
+        m = random_metric_matrix(10, seed=13)
+        _, log = self._solve_with_log(m)
+        costs = [cost for cost, _ in log]
+        assert costs == sorted(costs, reverse=True)
+        assert len(set(costs)) == len(costs)
+
+    def test_last_incumbent_is_the_result(self):
+        m = random_metric_matrix(9, seed=31)
+        result, log = self._solve_with_log(m)
+        assert log[-1][0] == pytest.approx(result.cost)
+
+    def test_every_incumbent_feasible(self):
+        m = random_metric_matrix(9, seed=5)
+        _, log = self._solve_with_log(m)
+        for cost, tree in log:
+            assert dominates_matrix(tree, m)
+            assert tree.cost() == pytest.approx(cost)
+
+    def test_incumbent_count_matches_ub_updates(self):
+        m = random_metric_matrix(10, seed=13)
+        result, log = self._solve_with_log(m)
+        # seed + one per strict improvement
+        assert len(log) == 1 + result.stats.ub_updates
+
+    def test_no_callback_is_default(self):
+        m = random_metric_matrix(7, seed=2)
+        assert BranchAndBoundSolver().solve(m).cost > 0

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrix.distance_matrix import DistanceMatrix
+
+#: Reconstruction of the paper's Figure 3 worked example.  The exact edge
+#: weights are not recoverable from the scan, so these were chosen to
+#: reproduce every structural fact the paper states: the Kruskal MST edge
+#: order is (1,3), (4,6), (1,2), (3,5), (5,6) and the compact sets are
+#: exactly {1,3}, {4,6}, {1,2,3}, {1,2,3,5} (species named "1".."6").
+PAPER_EXAMPLE_VALUES = [
+    [0.0, 3.0, 1.0, 6.2, 4.5, 6.4],
+    [3.0, 0.0, 3.5, 6.1, 4.6, 6.3],
+    [1.0, 3.5, 0.0, 5.8, 4.0, 5.9],
+    [6.2, 6.1, 5.8, 0.0, 5.5, 2.0],
+    [4.5, 4.6, 4.0, 5.5, 0.0, 5.0],
+    [6.4, 6.3, 5.9, 2.0, 5.0, 0.0],
+]
+
+PAPER_EXAMPLE_LABELS = ["1", "2", "3", "4", "5", "6"]
+
+
+@pytest.fixture
+def paper_example() -> DistanceMatrix:
+    """The Figure 3 six-species example matrix."""
+    return DistanceMatrix(PAPER_EXAMPLE_VALUES, PAPER_EXAMPLE_LABELS)
+
+
+@pytest.fixture
+def tiny_matrix() -> DistanceMatrix:
+    """A hand-checkable three-species matrix.
+
+    The unique optimal ultrametric tree joins a and b at height 1 and
+    c at height 4: omega = 1 + 1 + 4 + (4 - 1) = 9... computed as
+    h(root) + sum internal heights = 4 + (4 + 1) = 9.
+    """
+    return DistanceMatrix(
+        [[0, 2, 8], [2, 0, 8], [8, 8, 0]], labels=["a", "b", "c"]
+    )
+
+
+@pytest.fixture
+def square5() -> DistanceMatrix:
+    """A five-species metric with two obvious clusters {a, b} / {c, d, e}."""
+    return DistanceMatrix(
+        [
+            [0, 2, 10, 11, 12],
+            [2, 0, 11, 10, 12],
+            [10, 11, 0, 3, 4],
+            [11, 10, 3, 0, 4],
+            [12, 12, 4, 4, 0],
+        ],
+        labels=list("abcde"),
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,73 @@
+"""Tests for the batch experiment runner."""
+
+import itertools
+
+import pytest
+
+from repro.core.batch import BatchRunner
+from repro.matrix.generators import clustered_matrix, random_metric_matrix
+
+
+@pytest.fixture
+def small_batch():
+    return [clustered_matrix([3, 3], seed=s) for s in range(3)]
+
+
+class TestBatchRunner:
+    def test_runs_every_method_on_every_matrix(self, small_batch):
+        report = BatchRunner(["upgmm", "compact"]).run(small_batch)
+        assert len(report.costs["upgmm"]) == 3
+        assert len(report.costs["compact"]) == 3
+        assert len(report.seconds["compact"]) == 3
+
+    def test_costs_ordered(self, small_batch):
+        report = BatchRunner(["bnb", "compact", "upgmm"]).run(small_batch)
+        for i in range(3):
+            assert report.costs["bnb"][i] <= report.costs["compact"][i] + 1e-9
+            assert report.costs["compact"][i] <= report.costs["upgmm"][i] + 1e-9
+
+    def test_aggregate_statistics(self, small_batch):
+        fake_times = itertools.count()
+        runner = BatchRunner(["upgmm"], clock=lambda: next(fake_times))
+        report = runner.run(small_batch)
+        agg = report.aggregate("upgmm")
+        assert agg.runs == 3
+        # Injected clock ticks once per call: every run lasts 1 "second".
+        assert agg.median_seconds == 1.0
+        assert agg.worst_seconds == 1.0
+        assert agg.median_cost == sorted(report.costs["upgmm"])[1]
+
+    def test_table_contains_all_methods(self, small_batch):
+        report = BatchRunner(["upgma", "upgmm"]).run(small_batch)
+        table = report.table()
+        assert "upgma" in table and "upgmm" in table
+        assert "median" in table
+
+    def test_cost_ratio(self, small_batch):
+        report = BatchRunner(["bnb", "upgmm"]).run(small_batch)
+        ratios = report.cost_ratio("upgmm", "bnb")
+        assert len(ratios) == 3
+        assert all(r >= 1.0 - 1e-9 for r in ratios)
+
+    def test_method_options_forwarded(self, small_batch):
+        runner = BatchRunner(
+            ["compact"], method_options={"compact": {"reduction": "minimum"}}
+        )
+        low = runner.run(small_batch)
+        high = BatchRunner(["compact"]).run(small_batch)
+        for a, b in zip(low.costs["compact"], high.costs["compact"]):
+            assert a <= b + 1e-9
+
+    def test_empty_inputs_rejected(self, small_batch):
+        with pytest.raises(ValueError):
+            BatchRunner([])
+        with pytest.raises(ValueError):
+            BatchRunner(["upgmm"]).run([])
+
+    def test_nsc_table_style(self):
+        """Median/average/worst over a batch, the NSC report's table shape."""
+        matrices = [random_metric_matrix(8, seed=s) for s in range(5)]
+        report = BatchRunner(["bnb"]).run(matrices)
+        agg = report.aggregate("bnb")
+        assert agg.median_seconds <= agg.worst_seconds
+        assert agg.mean_seconds <= agg.worst_seconds

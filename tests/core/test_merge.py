@@ -1,0 +1,105 @@
+"""Tests for subtree merging."""
+
+import pytest
+
+from repro.bnb.sequential import exact_mut
+from repro.core.merge import merge_group_tree
+from repro.core.reduction import reduce_matrix
+from repro.matrix.generators import clustered_matrix
+from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
+from repro.tree.ultrametric import UltrametricTree
+
+
+class TestMergeGroupTree:
+    def test_merge_single_placeholder(self):
+        group_tree = UltrametricTree.join(
+            UltrametricTree.leaf("__g__"), UltrametricTree.leaf("c"), 10.0
+        )
+        sub = UltrametricTree.join(
+            UltrametricTree.leaf("a"), UltrametricTree.leaf("b"), 1.0
+        )
+        merged = merge_group_tree(group_tree, {"__g__": sub})
+        assert set(merged.leaf_labels) == {"a", "b", "c"}
+        assert merged.distance("a", "b") == 2.0
+        assert merged.distance("a", "c") == 20.0
+
+    def test_merge_multiple_placeholders(self):
+        group_tree = UltrametricTree.join(
+            UltrametricTree.leaf("__g1__"), UltrametricTree.leaf("__g2__"), 8.0
+        )
+        g1 = UltrametricTree.join(
+            UltrametricTree.leaf("a"), UltrametricTree.leaf("b"), 1.0
+        )
+        g2 = UltrametricTree.join(
+            UltrametricTree.leaf("c"), UltrametricTree.leaf("d"), 2.0
+        )
+        merged = merge_group_tree(group_tree, {"__g1__": g1, "__g2__": g2})
+        assert merged.n_leaves == 4
+        assert merged.distance("a", "d") == 16.0
+        assert is_valid_ultrametric_tree(merged)
+
+    def test_missing_placeholder_raises(self):
+        group_tree = UltrametricTree.leaf("x")
+        with pytest.raises(KeyError, match="placeholder"):
+            merge_group_tree(group_tree, {"y": UltrametricTree.leaf("z")})
+
+    def test_no_placeholders_is_identity(self):
+        tree = UltrametricTree.join(
+            UltrametricTree.leaf("a"), UltrametricTree.leaf("b"), 1.0
+        )
+        assert merge_group_tree(tree, {}) is tree
+
+
+class TestMergeSafetyTheorem:
+    """The paper's central claim: merging solved compact-set subtrees into
+    the maximum-reduction group tree yields a feasible ultrametric tree."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merged_tree_dominates_original(self, seed):
+        m = clustered_matrix([3, 3, 2], seed=seed)
+        blocks = [[0, 1, 2], [3, 4, 5], [6, 7]]
+        names = ["__a__", "__b__", "__c__"]
+        reduced = reduce_matrix(m, blocks, names, mode="maximum")
+        group_tree = exact_mut(reduced).tree
+        subtrees = {
+            name: exact_mut(m.submatrix(block)).tree
+            for name, block in zip(names, blocks)
+        }
+        merged = merge_group_tree(group_tree, subtrees)
+        assert is_valid_ultrametric_tree(merged)
+        assert dominates_matrix(merged, m)
+
+    @pytest.mark.parametrize("mode", ["maximum", "minimum", "average"])
+    def test_graft_height_always_legal_for_compact_groups(self, mode):
+        """Compactness keeps subtree roots below group-tree parents for
+        all three reductions (feasibility differs, graftability doesn't)."""
+        m = clustered_matrix([3, 3], seed=7)
+        blocks = [[0, 1, 2], [3, 4, 5]]
+        names = ["__a__", "__b__"]
+        reduced = reduce_matrix(m, blocks, names, mode=mode)
+        group_tree = exact_mut(reduced).tree
+        subtrees = {
+            name: exact_mut(m.submatrix(block)).tree
+            for name, block in zip(names, blocks)
+        }
+        merged = merge_group_tree(group_tree, subtrees)  # must not raise
+        assert is_valid_ultrametric_tree(merged)
+
+    def test_minimum_reduction_can_lose_feasibility(self):
+        """The documented trade-off of the minimum reduction."""
+        found = False
+        for seed in range(10):
+            m = clustered_matrix([3, 3, 2], seed=seed)
+            blocks = [[0, 1, 2], [3, 4, 5], [6, 7]]
+            names = ["__a__", "__b__", "__c__"]
+            reduced = reduce_matrix(m, blocks, names, mode="minimum")
+            group_tree = exact_mut(reduced).tree
+            subtrees = {
+                name: exact_mut(m.submatrix(block)).tree
+                for name, block in zip(names, blocks)
+            }
+            merged = merge_group_tree(group_tree, subtrees)
+            if not dominates_matrix(merged, m):
+                found = True
+                break
+        assert found

@@ -1,0 +1,173 @@
+"""Tests for the end-to-end compact-set pipeline."""
+
+import pytest
+
+from repro.bnb.sequential import exact_mut
+from repro.core.pipeline import CompactSetTreeBuilder
+from repro.heuristics.upgma import upgmm
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import (
+    clustered_matrix,
+    hierarchical_matrix,
+    random_metric_matrix,
+    random_ultrametric_matrix,
+)
+from repro.parallel.config import ClusterConfig
+from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
+
+
+class TestBuild:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasible_tree_on_clustered_data(self, seed):
+        m = hierarchical_matrix([[3, 2], [3]], seed=seed)
+        result = CompactSetTreeBuilder().build(m)
+        assert is_valid_ultrametric_tree(result.tree)
+        assert dominates_matrix(result.tree, m)
+        assert result.cost == pytest.approx(result.tree.cost())
+
+    def test_cost_between_optimum_and_upgmm(self):
+        for seed in range(4):
+            m = clustered_matrix([3, 3, 2], seed=seed)
+            result = CompactSetTreeBuilder().build(m)
+            assert result.cost >= exact_mut(m).cost - 1e-9
+            assert result.cost <= upgmm(m).cost() + 1e-9
+
+    def test_near_optimal_on_clustered_data(self):
+        """The Figure 9/10 claim: cost within a few percent of optimal."""
+        for seed in range(5):
+            m = hierarchical_matrix([[3, 2], [4]], seed=seed)
+            compact_cost = CompactSetTreeBuilder().build(m).cost
+            optimal = exact_mut(m).cost
+            assert compact_cost <= optimal * 1.05 + 1e-9
+
+    def test_subproblems_small_on_clustered_data(self):
+        m = hierarchical_matrix([[3, 3], [3, 3]], seed=1)
+        result = CompactSetTreeBuilder().build(m)
+        assert result.max_subproblem_size <= 4
+        assert result.max_subproblem_size < m.n
+
+    def test_no_compact_sets_degenerates_to_plain_bnb(self):
+        # All-equal distances: the root reduced matrix is the full matrix.
+        m = DistanceMatrix(
+            [[0, 5, 5, 5], [5, 0, 5, 5], [5, 5, 0, 5], [5, 5, 5, 0]]
+        )
+        result = CompactSetTreeBuilder().build(m)
+        assert result.max_subproblem_size == 4
+        assert result.cost == pytest.approx(exact_mut(m).cost)
+
+    def test_ultrametric_input_exactly_recovered(self):
+        m = random_ultrametric_matrix(10, seed=6)
+        result = CompactSetTreeBuilder().build(m)
+        assert result.cost == pytest.approx(exact_mut(m).cost)
+
+    def test_single_species(self):
+        m = DistanceMatrix([[0.0]], labels=["only"])
+        result = CompactSetTreeBuilder().build(m)
+        assert result.tree.leaf_labels == ["only"]
+        assert result.cost == 0.0
+
+    def test_two_species(self):
+        m = DistanceMatrix([[0, 6], [6, 0]], labels=["x", "y"])
+        result = CompactSetTreeBuilder().build(m)
+        assert result.cost == pytest.approx(6.0)
+
+    def test_zero_species_rejected(self):
+        import numpy as np
+
+        m = DistanceMatrix(np.zeros((0, 0)), labels=[])
+        with pytest.raises(ValueError):
+            CompactSetTreeBuilder().build(m)
+
+    def test_labels_preserved(self):
+        m = clustered_matrix([2, 3], seed=3, labels=list("vwxyz"))
+        result = CompactSetTreeBuilder().build(m)
+        assert set(result.tree.leaf_labels) == set("vwxyz")
+
+    def test_paper_example(self, paper_example):
+        result = CompactSetTreeBuilder().build(paper_example)
+        assert is_valid_ultrametric_tree(result.tree)
+        assert dominates_matrix(result.tree, paper_example)
+        assert result.max_subproblem_size <= 3
+
+
+class TestReports:
+    def test_one_report_per_internal_node(self):
+        m = hierarchical_matrix([[3, 2], [3]], seed=2)
+        result = CompactSetTreeBuilder().build(m)
+        assert len(result.reports) == len(result.hierarchy.internal_nodes())
+
+    def test_report_fields(self):
+        m = clustered_matrix([3, 3], seed=4)
+        result = CompactSetTreeBuilder().build(m)
+        for report in result.reports:
+            assert report.size >= 2
+            assert report.elapsed_seconds >= 0.0
+            assert report.solver in ("bnb", "parallel", "upgmm")
+            assert report.cost > 0
+
+    def test_elapsed_recorded(self):
+        m = clustered_matrix([3, 3], seed=4)
+        result = CompactSetTreeBuilder().build(m)
+        assert result.elapsed_seconds > 0
+
+
+class TestOptions:
+    def test_parallel_solver(self):
+        m = hierarchical_matrix([[3, 2], [3]], seed=5)
+        result = CompactSetTreeBuilder(
+            solver="parallel", cluster=ClusterConfig(n_workers=4)
+        ).build(m)
+        sequential = CompactSetTreeBuilder().build(m)
+        assert result.cost == pytest.approx(sequential.cost)
+
+    def test_parallel_solver_records_makespan_on_big_subproblems(self):
+        # A near-uniform matrix keeps a large root subproblem, so the
+        # simulated cluster actually runs (size-2 subproblems fall back).
+        m = random_metric_matrix(7, seed=11)
+        result = CompactSetTreeBuilder(
+            solver="parallel", cluster=ClusterConfig(n_workers=4)
+        ).build(m)
+        if result.max_subproblem_size >= 3:
+            assert result.total_simulated_makespan > 0
+
+    def test_upgmm_solver_is_upper_bound(self):
+        m = clustered_matrix([3, 3], seed=6)
+        heuristic = CompactSetTreeBuilder(solver="upgmm").build(m)
+        exact = CompactSetTreeBuilder().build(m)
+        assert heuristic.cost >= exact.cost - 1e-9
+
+    def test_max_exact_size_triggers_fallback(self):
+        m = random_metric_matrix(9, seed=7)  # few compact sets -> big root
+        result = CompactSetTreeBuilder(max_exact_size=4).build(m)
+        fallbacks = [r for r in result.reports if r.solver == "upgmm"]
+        if result.max_subproblem_size > 4:
+            assert fallbacks
+
+    @pytest.mark.parametrize("mode", ["maximum", "minimum", "average"])
+    def test_reduction_modes_run(self, mode):
+        m = clustered_matrix([3, 3], seed=8)
+        result = CompactSetTreeBuilder(reduction=mode).build(m)
+        assert is_valid_ultrametric_tree(result.tree)
+
+    def test_reduction_cost_ordering(self):
+        """minimum <= average <= maximum reduction cost."""
+        m = clustered_matrix([3, 3, 2], seed=9)
+        costs = {
+            mode: CompactSetTreeBuilder(reduction=mode).build(m).cost
+            for mode in ("minimum", "average", "maximum")
+        }
+        assert costs["minimum"] <= costs["average"] + 1e-9
+        assert costs["average"] <= costs["maximum"] + 1e-9
+
+    def test_invalid_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            CompactSetTreeBuilder(reduction="median")
+
+    def test_invalid_solver_rejected(self):
+        with pytest.raises(ValueError):
+            CompactSetTreeBuilder(solver="quantum")
+
+    def test_solver_options_forwarded(self):
+        m = clustered_matrix([3, 3], seed=10)
+        result = CompactSetTreeBuilder(lower_bound="trivial").build(m)
+        assert is_valid_ultrametric_tree(result.tree)

@@ -1,0 +1,93 @@
+"""Tests for the end-to-end tree validator."""
+
+import pytest
+
+from repro.bnb.sequential import exact_mut
+from repro.core.pipeline import CompactSetTreeBuilder
+from repro.core.validation import validate_tree
+from repro.heuristics.upgma import upgma, upgmm
+from repro.matrix.generators import (
+    clustered_matrix,
+    random_metric_matrix,
+    random_ultrametric_matrix,
+)
+from repro.tree.ultrametric import TreeNode, UltrametricTree
+
+
+class TestValidateTree:
+    def test_exact_tree_passes(self):
+        m = random_metric_matrix(8, seed=1)
+        report = validate_tree(exact_mut(m).tree, m)
+        assert report.ok
+        assert report.structurally_valid
+        assert report.feasible
+        assert report.cost <= report.upgmm_cost + 1e-9
+
+    def test_compact_tree_passes(self):
+        m = clustered_matrix([3, 3], seed=2)
+        tree = CompactSetTreeBuilder().build(m).tree
+        report = validate_tree(tree, m)
+        assert report.ok
+
+    def test_upgma_flagged_infeasible(self):
+        # Find a UPGMA tree that underestimates some distance.
+        for seed in range(12):
+            m = random_metric_matrix(8, seed=seed)
+            tree = upgma(m)
+            report = validate_tree(tree, m)
+            if not report.feasible:
+                assert not report.ok
+                assert any("d_T" in p for p in report.problems)
+                return
+        pytest.fail("no infeasible UPGMA instance found")
+
+    def test_compare_optimal(self):
+        m = random_metric_matrix(7, seed=3)
+        report = validate_tree(
+            upgmm(m), m, compare_optimal=True
+        )
+        assert report.optimal_cost is not None
+        assert report.gap_vs_optimal is not None
+        assert report.gap_vs_optimal >= -1e-12
+
+    def test_compare_optimal_respects_limit(self):
+        m = random_metric_matrix(9, seed=4)
+        report = validate_tree(
+            upgmm(m), m, compare_optimal=True, optimal_limit=8
+        )
+        assert report.optimal_cost is None
+
+    def test_structural_problem_reported(self):
+        m = random_metric_matrix(3, seed=5)
+        # Hand-build an invalid tree (child above parent).
+        inner = TreeNode(99.0, [TreeNode(label=m.labels[0]), TreeNode(label=m.labels[1])])
+        bad = UltrametricTree(TreeNode(1.0, [inner, TreeNode(label=m.labels[2])]))
+        report = validate_tree(bad, m)
+        assert not report.structurally_valid
+        assert not report.ok
+
+    def test_label_mismatch_rejected(self):
+        m = random_metric_matrix(4, seed=6)
+        wrong = upgmm(random_metric_matrix(4, seed=6).with_labels(list("wxyz")))
+        with pytest.raises(ValueError):
+            validate_tree(wrong, m)
+
+    def test_cophenetic_perfect_on_ultrametric(self):
+        m = random_ultrametric_matrix(8, seed=7)
+        report = validate_tree(upgmm(m), m)
+        assert report.cophenetic == pytest.approx(1.0)
+        assert report.contradictions_33 == 0
+
+    def test_summary_text(self):
+        m = random_metric_matrix(6, seed=8)
+        report = validate_tree(exact_mut(m).tree, m, compare_optimal=True)
+        text = report.summary()
+        assert "tree cost" in text
+        assert "verdict" in text
+        assert "OK" in text
+        assert "exact optimum" in text
+
+    def test_gap_vs_upgmm_nonpositive_for_exact(self):
+        m = random_metric_matrix(8, seed=9)
+        report = validate_tree(exact_mut(m).tree, m)
+        assert report.gap_vs_upgmm <= 1e-12

@@ -1,0 +1,106 @@
+"""Tests for the O(n^2) compact-set algorithm."""
+
+import pytest
+
+from repro.graph.compact_linear import find_compact_sets_fast
+from repro.graph.compact_sets import compact_sets_brute_force, find_compact_sets
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import (
+    clustered_matrix,
+    hierarchical_matrix,
+    random_metric_matrix,
+    random_ultrametric_matrix,
+)
+
+
+class TestEquivalenceWithScan:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_matrices(self, seed):
+        m = random_metric_matrix(10, seed=seed)
+        assert find_compact_sets_fast(m) == find_compact_sets(m)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_clustered_matrices(self, seed):
+        m = clustered_matrix([3, 4, 3], seed=seed)
+        assert find_compact_sets_fast(m) == find_compact_sets(m)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_hierarchical_matrices(self, seed):
+        m = hierarchical_matrix([[3, 2], [4]], seed=seed)
+        assert find_compact_sets_fast(m) == find_compact_sets(m)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ultrametric_matrices(self, seed):
+        m = random_ultrametric_matrix(9, seed=seed)
+        assert find_compact_sets_fast(m) == find_compact_sets(m)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_vs_brute_force(self, seed):
+        m = random_metric_matrix(8, seed=100 + seed)
+        assert set(find_compact_sets_fast(m)) == set(
+            compact_sets_brute_force(m)
+        )
+
+    def test_tied_weights(self):
+        """The cut-property argument must survive equal edge weights."""
+        m = DistanceMatrix(
+            [
+                [0, 1, 1, 5, 5],
+                [1, 0, 1, 5, 5],
+                [1, 1, 0, 5, 5],
+                [5, 5, 5, 0, 1],
+                [5, 5, 5, 1, 0],
+            ]
+        )
+        assert set(find_compact_sets_fast(m)) == set(find_compact_sets(m))
+
+    def test_discovery_order_matches(self, paper_example):
+        assert find_compact_sets_fast(paper_example) == find_compact_sets(
+            paper_example
+        )
+
+
+class TestFlags:
+    def test_include_singletons(self, square5):
+        fast = find_compact_sets_fast(square5, include_singletons=True)
+        scan = find_compact_sets(square5, include_singletons=True)
+        assert fast == scan
+
+    def test_include_universe(self, square5):
+        fast = find_compact_sets_fast(square5, include_universe=True)
+        assert frozenset(range(5)) in fast
+
+    def test_two_species(self):
+        m = DistanceMatrix([[0, 3], [3, 0]])
+        assert find_compact_sets_fast(m) == []
+        assert find_compact_sets_fast(m, include_universe=True) == [
+            frozenset({0, 1})
+        ]
+
+    def test_single_species(self):
+        m = DistanceMatrix([[0.0]])
+        assert find_compact_sets_fast(m) == []
+        assert find_compact_sets_fast(m, include_singletons=True) == [
+            frozenset({0})
+        ]
+
+
+class TestScaling:
+    def test_larger_instance_agrees(self):
+        m = hierarchical_matrix([[6, 6], [6, 6]], seed=3, jitter=0.25)
+        assert find_compact_sets_fast(m) == find_compact_sets(m)
+
+    def test_faster_on_big_inputs(self):
+        """The point of the O(n^2) version: beat the O(n^3) rescans."""
+        import time
+
+        m = random_metric_matrix(60, seed=1)
+        t0 = time.perf_counter()
+        fast = find_compact_sets_fast(m)
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        slow = find_compact_sets(m)
+        t_slow = time.perf_counter() - t0
+        assert fast == slow
+        # Generous factor: timing noise should never flake this.
+        assert t_fast < t_slow * 2.0

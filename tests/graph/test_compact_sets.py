@@ -1,0 +1,138 @@
+"""Tests for compact-set discovery (Lemmas 1-4 of the paper)."""
+
+import pytest
+
+from repro.graph.compact_sets import (
+    compact_sets_brute_force,
+    find_compact_sets,
+    is_compact,
+    laminar_violations,
+    max_internal_distance,
+    min_outgoing_distance,
+)
+from repro.graph.mst import kruskal_mst
+from repro.graph.union_find import UnionFind
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import (
+    clustered_matrix,
+    hierarchical_matrix,
+    random_metric_matrix,
+)
+
+
+class TestLemma2Primitives:
+    def test_max_internal(self, square5):
+        assert max_internal_distance(square5, [0, 1]) == 2.0
+        assert max_internal_distance(square5, [2, 3, 4]) == 4.0
+
+    def test_max_internal_singleton(self, square5):
+        assert max_internal_distance(square5, [3]) == 0.0
+
+    def test_min_outgoing(self, square5):
+        assert min_outgoing_distance(square5, [0, 1]) == 10.0
+
+    def test_min_outgoing_universe_is_inf(self, square5):
+        assert min_outgoing_distance(square5, list(range(5))) == float("inf")
+
+    def test_is_compact_true(self, square5):
+        assert is_compact(square5, [0, 1])
+        assert is_compact(square5, [2, 3, 4])
+
+    def test_is_compact_false(self, square5):
+        assert not is_compact(square5, [0, 2])
+        assert not is_compact(square5, [1, 2, 3])
+
+    def test_singleton_is_compact(self, square5):
+        assert is_compact(square5, [3])
+
+    def test_universe_is_compact(self, square5):
+        assert is_compact(square5, range(5))
+
+    def test_empty_subset_not_compact(self, square5):
+        assert not is_compact(square5, [])
+
+    def test_out_of_range_rejected(self, square5):
+        with pytest.raises(ValueError):
+            is_compact(square5, [0, 99])
+
+
+class TestScanVsBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_matrices(self, seed):
+        m = random_metric_matrix(8, seed=seed)
+        assert set(find_compact_sets(m)) == set(compact_sets_brute_force(m))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clustered_matrices(self, seed):
+        m = clustered_matrix([3, 2, 3], seed=seed)
+        assert set(find_compact_sets(m)) == set(compact_sets_brute_force(m))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_hierarchical_matrices(self, seed):
+        m = hierarchical_matrix([[2, 2], [3]], seed=seed)
+        assert set(find_compact_sets(m)) == set(compact_sets_brute_force(m))
+
+    def test_include_flags(self, square5):
+        plain = find_compact_sets(square5)
+        with_singletons = find_compact_sets(square5, include_singletons=True)
+        with_universe = find_compact_sets(square5, include_universe=True)
+        assert len(with_singletons) == len(plain) + 5
+        assert frozenset(range(5)) in with_universe
+        assert frozenset(range(5)) not in plain
+
+
+class TestLemma3Laminarity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_compact_sets_never_cross(self, seed):
+        m = random_metric_matrix(10, seed=seed)
+        sets = find_compact_sets(
+            m, include_singletons=True, include_universe=True
+        )
+        assert laminar_violations(sets) == []
+
+    def test_violation_detector_works(self):
+        a = frozenset({0, 1})
+        b = frozenset({1, 2})
+        assert laminar_violations([a, b]) == [(a, b)]
+
+
+class TestLemma4MstSubtree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_compact_set_induces_mst_subtree(self, seed):
+        """Every compact set is connected within the MST (Lemma 4)."""
+        m = random_metric_matrix(10, seed=seed, integer=False)
+        tree = kruskal_mst(m)
+        for cs in find_compact_sets(m):
+            uf = UnionFind(m.n)
+            for i, j, _ in tree:
+                if i in cs and j in cs:
+                    uf.union(i, j)
+            roots = {uf.find(v) for v in cs}
+            assert len(roots) == 1, f"compact set {sorted(cs)} disconnected"
+
+
+class TestStructuredInputs:
+    def test_two_cluster_matrix(self, square5):
+        sets = {frozenset(s) for s in find_compact_sets(square5)}
+        assert frozenset({0, 1}) in sets
+        assert frozenset({2, 3, 4}) in sets
+
+    def test_ultrametric_matrix_has_rich_structure(self):
+        from repro.matrix.generators import random_ultrametric_matrix
+
+        m = random_ultrametric_matrix(10, seed=3)
+        # Every merge of the generating process with distinct heights is
+        # compact, so there should be plenty of compact sets.
+        assert len(find_compact_sets(m)) >= 3
+
+    def test_uniform_matrix_has_none(self):
+        # All distances equal: no strict inequality can hold.
+        m = DistanceMatrix(
+            [[0, 5, 5, 5], [5, 0, 5, 5], [5, 5, 0, 5], [5, 5, 5, 0]]
+        )
+        assert find_compact_sets(m) == []
+
+    def test_discovery_order_nondecreasing_diameter(self, paper_example):
+        sets = find_compact_sets(paper_example)
+        diameters = [max_internal_distance(paper_example, sorted(s)) for s in sets]
+        assert diameters == sorted(diameters)

@@ -1,0 +1,128 @@
+"""Tests for the compact-set hierarchy (laminar tree)."""
+
+import pytest
+
+from repro.graph.hierarchy import CompactSetHierarchy, HierarchyNode
+from repro.matrix.generators import (
+    hierarchical_matrix,
+    random_metric_matrix,
+)
+
+
+class TestFromSets:
+    def test_empty_family(self):
+        h = CompactSetHierarchy.from_sets([], 4)
+        assert h.root.members == frozenset(range(4))
+        assert all(c.is_leaf for c in h.root.children)
+        assert h.root.arity == 4
+
+    def test_single_set(self):
+        h = CompactSetHierarchy.from_sets([frozenset({0, 1})], 4)
+        sizes = sorted(c.size for c in h.root.children)
+        assert sizes == [1, 1, 2]
+
+    def test_nested_sets(self):
+        sets = [frozenset({0, 1}), frozenset({0, 1, 2})]
+        h = CompactSetHierarchy.from_sets(sets, 5)
+        outer = next(c for c in h.root.children if c.size == 3)
+        inner = next(c for c in outer.children if c.size == 2)
+        assert inner.members == frozenset({0, 1})
+
+    def test_crossing_sets_rejected(self):
+        sets = [frozenset({0, 1}), frozenset({1, 2})]
+        with pytest.raises(ValueError, match="cross"):
+            CompactSetHierarchy.from_sets(sets, 4)
+
+    def test_duplicates_collapsed(self):
+        sets = [frozenset({0, 1}), frozenset({0, 1})]
+        h = CompactSetHierarchy.from_sets(sets, 3)
+        assert len(h.compact_sets()) == 1
+
+    def test_universe_and_singletons_ignored(self):
+        sets = [frozenset({0}), frozenset(range(4))]
+        h = CompactSetHierarchy.from_sets(sets, 4)
+        assert h.compact_sets() == []
+
+    def test_insertion_order_independent(self):
+        sets_a = [frozenset({0, 1}), frozenset({0, 1, 2}), frozenset({4, 5})]
+        sets_b = list(reversed(sets_a))
+        ha = CompactSetHierarchy.from_sets(sets_a, 6)
+        hb = CompactSetHierarchy.from_sets(sets_b, 6)
+        assert set(ha.compact_sets()) == set(hb.compact_sets())
+        assert ha.max_subproblem_size() == hb.max_subproblem_size()
+
+
+class TestNodeApi:
+    def test_walk_preorder(self):
+        h = CompactSetHierarchy.from_sets([frozenset({0, 1})], 3)
+        nodes = list(h.root.walk())
+        assert nodes[0] is h.root
+        assert len(nodes) == 5  # root + {0,1} + three singletons
+
+    def test_leaves_are_singletons(self):
+        h = CompactSetHierarchy.from_sets([frozenset({0, 1})], 3)
+        for node in h.nodes():
+            assert node.is_leaf == (node.size == 1)
+
+    def test_children_partition_members(self):
+        m = hierarchical_matrix([[3, 2], [4]], seed=1)
+        h = CompactSetHierarchy.from_matrix(m)
+        for node in h.internal_nodes():
+            union = frozenset().union(*[c.members for c in node.children])
+            assert union == node.members
+            total = sum(c.size for c in node.children)
+            assert total == node.size  # disjoint
+
+    def test_repr_smoke(self):
+        node = HierarchyNode(frozenset({0}))
+        assert "leaf" in repr(node)
+
+
+class TestFromMatrix:
+    def test_hierarchical_matrix_recovers_spec(self):
+        m = hierarchical_matrix([[3, 2], [4]], seed=0)
+        h = CompactSetHierarchy.from_matrix(m)
+        sets = set(h.compact_sets())
+        assert frozenset({0, 1, 2}) in sets
+        assert frozenset({3, 4}) in sets
+        assert frozenset({5, 6, 7, 8}) in sets
+        assert frozenset({0, 1, 2, 3, 4}) in sets
+
+    def test_max_subproblem_small_for_clustered(self):
+        m = hierarchical_matrix([[3, 3], [3, 3]], seed=2)
+        h = CompactSetHierarchy.from_matrix(m)
+        assert h.max_subproblem_size() <= 4
+        assert h.max_subproblem_size() < m.n
+
+    def test_unstructured_matrix_degenerates(self):
+        # With few/no compact sets the root keeps most species: the
+        # decomposition honestly reports a big subproblem.
+        for seed in range(5):
+            m = random_metric_matrix(8, seed=seed)
+            h = CompactSetHierarchy.from_matrix(m)
+            assert 1 <= h.max_subproblem_size() <= 8
+
+    def test_depth_positive(self):
+        m = hierarchical_matrix([[3, 2], [4]], seed=0)
+        h = CompactSetHierarchy.from_matrix(m)
+        assert h.depth() >= 2
+
+    def test_repr_smoke(self):
+        m = hierarchical_matrix([2, 3], seed=0)
+        assert "CompactSetHierarchy" in repr(CompactSetHierarchy.from_matrix(m))
+
+
+class TestAlgorithmSelection:
+    def test_fast_and_scan_agree(self):
+        m = hierarchical_matrix([[3, 2], [4]], seed=4)
+        fast = CompactSetHierarchy.from_matrix(m, algorithm="fast")
+        scan = CompactSetHierarchy.from_matrix(m, algorithm="scan")
+        assert set(fast.compact_sets()) == set(scan.compact_sets())
+        assert fast.max_subproblem_size() == scan.max_subproblem_size()
+
+    def test_unknown_algorithm_rejected(self):
+        import pytest as _pytest
+
+        m = hierarchical_matrix([2, 2], seed=5)
+        with _pytest.raises(ValueError, match="algorithm"):
+            CompactSetHierarchy.from_matrix(m, algorithm="magic")

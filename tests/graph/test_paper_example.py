@@ -1,0 +1,90 @@
+"""The paper's Figures 1-7 worked example, end to end.
+
+The matrix in ``conftest.PAPER_EXAMPLE_VALUES`` reconstructs the
+six-vertex graph of Figure 3 (exact weights are not recoverable from the
+scan; these reproduce every structural fact the paper states).
+"""
+
+import pytest
+
+from repro.core.reduction import reduce_matrix
+from repro.graph.compact_sets import find_compact_sets
+from repro.graph.hierarchy import CompactSetHierarchy
+from repro.graph.mst import kruskal_mst, mst_is_unique
+
+
+def _named(matrix, sets):
+    return [tuple(sorted(matrix.labels[i] for i in s)) for s in sets]
+
+
+class TestFigure4Mst:
+    def test_mst_edge_order(self, paper_example):
+        """Kruskal accepts (1,3), (4,6), (1,2), (3,5), (5,6) in order."""
+        edges = [
+            (paper_example.labels[i], paper_example.labels[j])
+            for i, j, _ in kruskal_mst(paper_example)
+        ]
+        assert edges == [
+            ("1", "3"), ("4", "6"), ("1", "2"), ("3", "5"), ("5", "6")
+        ]
+
+    def test_mst_unique(self, paper_example):
+        """With distinct weights the Figure 7 ambiguity cannot arise."""
+        assert mst_is_unique(paper_example)
+
+
+class TestFigure5CompactSets:
+    def test_all_compact_sets(self, paper_example):
+        """The paper lists (1,3), (4,6), (1,2,3) and (1,2,3,5)."""
+        named = set(_named(paper_example, find_compact_sets(paper_example)))
+        assert named == {
+            ("1", "3"),
+            ("4", "6"),
+            ("1", "2", "3"),
+            ("1", "2", "3", "5"),
+        }
+
+    def test_merge_order_matches_narrative(self, paper_example):
+        """(1,3) and (4,6) found first, then (1,2,3), then (1,2,3,5)."""
+        named = _named(paper_example, find_compact_sets(paper_example))
+        assert named[0] == ("1", "3")
+        assert named[1] == ("4", "6")
+        assert named[2] == ("1", "2", "3")
+        assert named[3] == ("1", "2", "3", "5")
+
+
+class TestHierarchy:
+    def test_hierarchy_structure(self, paper_example):
+        h = CompactSetHierarchy.from_matrix(paper_example)
+        # Root = all six species; children: {1,2,3,5} and {4,6}.
+        top = sorted(
+            tuple(sorted(c.members)) for c in h.root.children
+        )
+        assert top == [(0, 1, 2, 4), (3, 5)]
+
+    def test_max_subproblem_size(self, paper_example):
+        h = CompactSetHierarchy.from_matrix(paper_example)
+        # No reduced matrix exceeds 3 elements for this example.
+        assert h.max_subproblem_size() <= 3
+
+
+class TestFigure6MaximumMatrix:
+    def test_maximum_matrix_of_c4(self, paper_example):
+        """The maximum matrix of C4 = {C3, 5} with C3 = {1, 2, 3}.
+
+        Its single entry is the largest distance between species 5 and
+        any member of C3 (the paper's Figure 6 reads 6 for its weights;
+        for the reconstructed weights it is max(4.5, 4.6, 4.0) = 4.6).
+        """
+        c3 = [0, 1, 2]  # species 1, 2, 3
+        reduced = reduce_matrix(
+            paper_example, [c3, [4]], ["C3", "5"], mode="maximum"
+        )
+        assert reduced["C3", "5"] == pytest.approx(4.6)
+
+    def test_minimum_and_average_variants(self, paper_example):
+        c3 = [0, 1, 2]
+        low = reduce_matrix(paper_example, [c3, [4]], ["C3", "5"], mode="minimum")
+        avg = reduce_matrix(paper_example, [c3, [4]], ["C3", "5"], mode="average")
+        assert low["C3", "5"] == pytest.approx(4.0)
+        assert avg["C3", "5"] == pytest.approx((4.5 + 4.6 + 4.0) / 3)

@@ -1,0 +1,75 @@
+"""Tests for the disjoint-set forest."""
+
+import pytest
+
+from repro.graph.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(4)
+        assert uf.count == 4
+        assert all(uf.find(i) == i for i in range(4))
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.count == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.count == 3
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_group_members(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 4)
+        assert sorted(uf.group(4)) == [0, 1, 4]
+        assert uf.group(2) == [2]
+
+    def test_group_returns_copy(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        members = uf.group(0)
+        members.append(99)
+        assert sorted(uf.group(0)) == [0, 1]
+
+    def test_group_size(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(0, 2)
+        assert uf.group_size(3) == 4
+        assert uf.group_size(4) == 1
+
+    def test_groups_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = sorted(tuple(sorted(g)) for g in uf.groups())
+        assert groups == [(0, 1), (2, 3), (4,), (5,)]
+
+    def test_everything_merges_to_one(self):
+        uf = UnionFind(10)
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.count == 1
+        assert sorted(uf.group(0)) == list(range(10))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_zero_size(self):
+        uf = UnionFind(0)
+        assert uf.count == 0

@@ -1,0 +1,80 @@
+"""Tests for the greedy sequential-addition heuristic."""
+
+import pytest
+
+from repro.bnb.sequential import exact_mut
+from repro.heuristics.greedy import greedy_insertion
+from repro.heuristics.upgma import upgmm
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import (
+    random_metric_matrix,
+    random_ultrametric_matrix,
+)
+from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
+
+
+class TestGreedyInsertion:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_and_feasible(self, seed):
+        m = random_metric_matrix(10, seed=seed)
+        tree = greedy_insertion(m)
+        assert is_valid_ultrametric_tree(tree)
+        assert dominates_matrix(tree, m)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_below_optimum(self, seed):
+        m = random_metric_matrix(8, seed=seed)
+        assert greedy_insertion(m).cost() >= exact_mut(m).cost - 1e-9
+
+    def test_often_beats_upgmm(self):
+        """Greedy usually improves on the UPGMM bound on random data."""
+        wins = 0
+        for seed in range(10):
+            m = random_metric_matrix(10, seed=seed)
+            if greedy_insertion(m).cost() <= upgmm(m).cost() + 1e-9:
+                wins += 1
+        assert wins >= 7
+
+    def test_exact_on_ultrametric_input(self):
+        m = random_ultrametric_matrix(9, seed=3)
+        assert greedy_insertion(m).cost() == pytest.approx(exact_mut(m).cost)
+
+    def test_can_be_suboptimal(self):
+        """Greedy is a heuristic: some instance must beat it strictly."""
+        beaten = False
+        for seed in range(15):
+            m = random_metric_matrix(9, seed=seed)
+            if greedy_insertion(m).cost() > exact_mut(m).cost + 1e-9:
+                beaten = True
+                break
+        assert beaten
+
+    def test_small_inputs(self):
+        one = DistanceMatrix([[0.0]], labels=["x"])
+        assert greedy_insertion(one).leaf_labels == ["x"]
+        two = DistanceMatrix([[0, 6], [6, 0]], labels=["x", "y"])
+        assert greedy_insertion(two).cost() == pytest.approx(6.0)
+
+    def test_zero_species_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            greedy_insertion(DistanceMatrix(np.zeros((0, 0)), labels=[]))
+
+    def test_labels_preserved(self, square5):
+        tree = greedy_insertion(square5)
+        assert set(tree.leaf_labels) == set(square5.labels)
+
+    def test_maxmin_flag(self):
+        m = random_metric_matrix(8, seed=7)
+        with_mm = greedy_insertion(m, use_maxmin=True)
+        without = greedy_insertion(m, use_maxmin=False)
+        for tree in (with_mm, without):
+            assert dominates_matrix(tree, m)
+
+    def test_api_method(self):
+        from repro.core.api import construct_tree
+
+        m = random_metric_matrix(8, seed=8)
+        result = construct_tree(m, "greedy")
+        assert result.cost == pytest.approx(greedy_insertion(m).cost())

@@ -1,0 +1,84 @@
+"""Tests for the Neighbor-Joining baseline."""
+
+import pytest
+
+from repro.heuristics.nj import neighbor_joining
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import random_metric_matrix
+from repro.tree.ultrametric import UltrametricTree
+
+
+def additive_matrix():
+    """The distance matrix of a known additive tree.
+
+    Tree: a and b hang off node u (lengths 2, 3); c and d hang off node
+    v (lengths 4, 5); u-v edge length 6.
+    """
+    return DistanceMatrix(
+        [
+            [0, 5, 12, 13],
+            [5, 0, 13, 14],
+            [12, 13, 0, 9],
+            [13, 14, 9, 0],
+        ],
+        labels=["a", "b", "c", "d"],
+    )
+
+
+class TestNeighborJoining:
+    def test_recovers_additive_distances(self):
+        m = additive_matrix()
+        tree = neighbor_joining(m)
+        for a in m.labels:
+            for b in m.labels:
+                if a != b:
+                    assert tree.distance(a, b) == pytest.approx(m[a, b])
+
+    def test_total_cost_of_known_tree(self):
+        tree = neighbor_joining(additive_matrix())
+        assert tree.cost() == pytest.approx(2 + 3 + 4 + 5 + 6)
+
+    def test_leaves(self):
+        tree = neighbor_joining(additive_matrix())
+        assert tree.leaves == ["a", "b", "c", "d"]
+
+    def test_three_species(self):
+        m = DistanceMatrix(
+            [[0, 4, 6], [4, 0, 8], [6, 8, 0]], labels=["a", "b", "c"]
+        )
+        tree = neighbor_joining(m)
+        assert tree.distance("a", "b") == pytest.approx(4.0)
+        assert tree.distance("a", "c") == pytest.approx(6.0)
+        assert tree.distance("b", "c") == pytest.approx(8.0)
+
+    def test_two_species(self):
+        m = DistanceMatrix([[0, 7], [7, 0]], labels=["a", "b"])
+        tree = neighbor_joining(m)
+        assert tree.distance("a", "b") == pytest.approx(7.0)
+
+    def test_single_species(self):
+        m = DistanceMatrix([[0.0]], labels=["a"])
+        tree = neighbor_joining(m)
+        assert tree.nodes == ["a"]
+
+    def test_newick_parses(self):
+        tree = neighbor_joining(additive_matrix())
+        s = tree.newick()
+        assert s.endswith(";")
+        for name in ("a", "b", "c", "d"):
+            assert name in s
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_matrix_smoke(self, seed):
+        m = random_metric_matrix(10, seed=seed)
+        tree = neighbor_joining(m)
+        assert len(tree.leaves) == 10
+        assert tree.cost() > 0
+
+    def test_nj_cost_below_upgmm_cost(self):
+        """NJ's additive tree is cheaper than the ultrametric UPGMM tree
+        on additive data (it does not pay the clock constraint)."""
+        from repro.heuristics.upgma import upgmm
+
+        m = additive_matrix()
+        assert neighbor_joining(m).cost() <= upgmm(m).cost()

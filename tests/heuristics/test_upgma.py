@@ -1,0 +1,102 @@
+"""Tests for UPGMA / UPGMM agglomerative construction."""
+
+import pytest
+
+from repro.heuristics.upgma import agglomerative_tree, single_linkage, upgma, upgmm
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import (
+    random_metric_matrix,
+    random_ultrametric_matrix,
+)
+from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
+
+
+class TestUpgmm:
+    def test_valid_tree(self, square5):
+        assert is_valid_ultrametric_tree(upgmm(square5))
+
+    def test_dominates_matrix(self, square5):
+        """The core UPGMM guarantee: a feasible MUT upper bound."""
+        assert dominates_matrix(upgmm(square5), square5)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dominates_random_matrices(self, seed):
+        m = random_metric_matrix(10, seed=seed)
+        assert dominates_matrix(upgmm(m), m)
+
+    def test_exact_on_ultrametric_input(self):
+        """On an ultrametric matrix UPGMM recovers the matrix exactly."""
+        m = random_ultrametric_matrix(9, seed=4)
+        tree = upgmm(m)
+        induced = tree.distance_matrix(m.labels)
+        for i, j, d in m.pairs():
+            assert induced.values[i, j] == pytest.approx(d)
+
+    def test_merges_closest_clusters_first(self, square5):
+        tree = upgmm(square5)
+        assert tree.distance("a", "b") == pytest.approx(2.0)
+
+    def test_two_species(self):
+        m = DistanceMatrix([[0, 6], [6, 0]], labels=["x", "y"])
+        tree = upgmm(m)
+        assert tree.height() == 3.0
+        assert tree.cost() == 6.0
+
+    def test_single_species(self):
+        m = DistanceMatrix([[0.0]], labels=["x"])
+        assert upgmm(m).n_leaves == 1
+
+    def test_zero_species_rejected(self):
+        import numpy as np
+
+        m = DistanceMatrix(np.zeros((0, 0)), labels=[])
+        with pytest.raises(ValueError):
+            upgmm(m)
+
+
+class TestUpgma:
+    def test_valid_tree(self, square5):
+        assert is_valid_ultrametric_tree(upgma(square5))
+
+    def test_average_below_maximum(self, square5):
+        """UPGMA heights never exceed UPGMM heights."""
+        assert upgma(square5).cost() <= upgmm(square5).cost() + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cost_ordering_random(self, seed):
+        m = random_metric_matrix(9, seed=seed)
+        assert single_linkage(m).cost() <= upgma(m).cost() + 1e-9
+        assert upgma(m).cost() <= upgmm(m).cost() + 1e-9
+
+    def test_upgma_can_underestimate(self):
+        """UPGMA trees are not feasible MUT candidates in general."""
+        found_violation = False
+        for seed in range(12):
+            m = random_metric_matrix(8, seed=seed)
+            if not dominates_matrix(upgma(m), m):
+                found_violation = True
+                break
+        assert found_violation
+
+
+class TestSingleLinkage:
+    def test_valid_tree(self, square5):
+        assert is_valid_ultrametric_tree(single_linkage(square5))
+
+    def test_subdominant_property(self, square5):
+        """Single-linkage distances never exceed the matrix distances."""
+        tree = single_linkage(square5)
+        induced = tree.distance_matrix(square5.labels)
+        assert (induced.values <= square5.values + 1e-9).all()
+
+
+class TestAgglomerative:
+    def test_custom_linkage(self, square5):
+        tree = agglomerative_tree(square5, lambda a, b, sa, sb: max(a, b))
+        assert tree.cost() == pytest.approx(upgmm(square5).cost())
+
+    def test_leaf_count(self, square5):
+        assert upgmm(square5).n_leaves == 5
+
+    def test_all_labels_present(self, square5):
+        assert set(upgmm(square5).leaf_labels) == set(square5.labels)

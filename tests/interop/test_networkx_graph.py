@@ -1,0 +1,83 @@
+"""Tests for networkx interop -- including networkx as an MST oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.mst import kruskal_mst, mst_weight
+from repro.heuristics.upgma import upgmm
+from repro.interop.networkx_graph import (
+    matrix_to_graph,
+    mst_graph,
+    tree_to_digraph,
+)
+from repro.matrix.generators import random_metric_matrix
+
+
+class TestMatrixToGraph:
+    def test_complete_graph(self, square5):
+        graph = matrix_to_graph(square5)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 10
+        assert graph["a"]["b"]["weight"] == 2.0
+
+    def test_labels_are_nodes(self, square5):
+        assert set(matrix_to_graph(square5).nodes) == set(square5.labels)
+
+
+class TestMstOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_kruskal_matches_networkx_weight(self, seed):
+        """Independent oracle: our MST weight equals networkx's."""
+        m = random_metric_matrix(12, seed=seed, integer=False)
+        ours = mst_weight(kruskal_mst(m))
+        theirs = nx.minimum_spanning_tree(matrix_to_graph(m)).size(
+            weight="weight"
+        )
+        assert ours == pytest.approx(theirs)
+
+    def test_mst_graph_is_spanning_tree(self, square5):
+        tree = mst_graph(square5)
+        assert nx.is_tree(tree)
+        assert tree.number_of_nodes() == 5
+
+    def test_mst_graph_weight(self, square5):
+        assert mst_graph(square5).size(weight="weight") == pytest.approx(
+            mst_weight(kruskal_mst(square5))
+        )
+
+
+class TestTreeToDigraph:
+    def test_structure(self, square5):
+        tree = upgmm(square5)
+        digraph, root = tree_to_digraph(tree)
+        assert nx.is_arborescence(digraph)
+        assert digraph.out_degree(root) == 2
+        # 5 leaves + 4 internal nodes for a binary tree.
+        assert digraph.number_of_nodes() == 9
+
+    def test_leaves_carry_labels(self, square5):
+        tree = upgmm(square5)
+        digraph, _ = tree_to_digraph(tree)
+        leaf_labels = {
+            data["label"]
+            for node, data in digraph.nodes(data=True)
+            if digraph.out_degree(node) == 0
+        }
+        assert leaf_labels == set(square5.labels)
+
+    def test_edge_weights_are_branch_lengths(self, square5):
+        tree = upgmm(square5)
+        digraph, root = tree_to_digraph(tree)
+        # Path length from root to any leaf equals the root height.
+        for node in digraph.nodes:
+            if digraph.out_degree(node) == 0:
+                length = nx.shortest_path_length(
+                    digraph, root, node, weight="weight"
+                )
+                assert length == pytest.approx(tree.height())
+
+    def test_total_weight_is_tree_cost(self, square5):
+        tree = upgmm(square5)
+        digraph, _ = tree_to_digraph(tree)
+        total = sum(w for _, _, w in digraph.edges(data="weight"))
+        assert total == pytest.approx(tree.cost())

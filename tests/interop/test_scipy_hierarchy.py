@@ -1,0 +1,120 @@
+"""Tests for scipy linkage interop -- including using scipy as an
+independent oracle for UPGMA/UPGMM."""
+
+import numpy as np
+import pytest
+from scipy.cluster.hierarchy import cophenet, is_valid_linkage, linkage
+from scipy.spatial.distance import squareform
+
+from repro.heuristics.upgma import upgma, upgmm
+from repro.interop.scipy_hierarchy import linkage_to_tree, tree_to_linkage
+from repro.matrix.generators import random_metric_matrix
+from repro.tree.checks import is_valid_ultrametric_tree
+from repro.tree.ultrametric import TreeNode, UltrametricTree
+
+
+def small_tree():
+    inner = TreeNode(1.0, [TreeNode(label="a"), TreeNode(label="b")])
+    return UltrametricTree(TreeNode(4.0, [inner, TreeNode(label="c")]))
+
+
+class TestTreeToLinkage:
+    def test_shape_and_validity(self):
+        z, labels = tree_to_linkage(small_tree())
+        assert z.shape == (2, 4)
+        assert labels == ["a", "b", "c"]
+        assert is_valid_linkage(z)
+
+    def test_distances_are_cophenetic(self):
+        tree = small_tree()
+        z, labels = tree_to_linkage(tree)
+        coph = squareform(cophenet(z))
+        for i, a in enumerate(labels):
+            for j, b in enumerate(labels):
+                if i < j:
+                    assert coph[i, j] == pytest.approx(tree.distance(a, b))
+
+    def test_random_trees_valid(self):
+        for seed in range(4):
+            tree = upgmm(random_metric_matrix(9, seed=seed))
+            z, _ = tree_to_linkage(tree)
+            assert is_valid_linkage(z)
+
+    def test_single_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            tree_to_linkage(UltrametricTree.leaf("x"))
+
+    def test_nonbinary_rejected(self):
+        root = TreeNode(
+            2.0,
+            [TreeNode(label="a"), TreeNode(label="b"), TreeNode(label="c")],
+        )
+        with pytest.raises(ValueError, match="binary"):
+            tree_to_linkage(UltrametricTree(root))
+
+
+class TestLinkageToTree:
+    def test_round_trip(self):
+        tree = upgmm(random_metric_matrix(8, seed=1))
+        z, labels = tree_to_linkage(tree)
+        back = linkage_to_tree(z, labels)
+        assert is_valid_ultrametric_tree(back)
+        for a in labels[:4]:
+            for b in labels[4:]:
+                assert back.distance(a, b) == pytest.approx(tree.distance(a, b))
+
+    def test_default_labels(self):
+        z, _ = tree_to_linkage(small_tree())
+        back = linkage_to_tree(z)
+        assert set(back.leaf_labels) == {"s0", "s1", "s2"}
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="linkage must be"):
+            linkage_to_tree(np.zeros((3, 3)))
+
+    def test_label_count_checked(self):
+        z, _ = tree_to_linkage(small_tree())
+        with pytest.raises(ValueError, match="labels"):
+            linkage_to_tree(z, ["only", "two"])
+
+    def test_bad_cluster_reference_rejected(self):
+        z = np.array([[0.0, 9.0, 2.0, 2.0]])
+        with pytest.raises(ValueError, match="bad clusters"):
+            linkage_to_tree(z)
+
+    def test_wrong_size_field_rejected(self):
+        z = np.array([[0.0, 1.0, 2.0, 5.0]])
+        with pytest.raises(ValueError, match="size"):
+            linkage_to_tree(z)
+
+
+class TestScipyAsOracle:
+    """Our agglomerative builders must match scipy's linkage exactly."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_upgma_matches_scipy_average(self, seed):
+        m = random_metric_matrix(10, seed=seed, integer=False)
+        condensed = squareform(m.values)
+        z = linkage(condensed, method="average")
+        scipy_coph = squareform(cophenet(z))
+        ours = upgma(m).distance_matrix(m.labels).values
+        assert np.allclose(ours, scipy_coph, atol=1e-8)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_upgmm_matches_scipy_complete(self, seed):
+        m = random_metric_matrix(10, seed=seed, integer=False)
+        condensed = squareform(m.values)
+        z = linkage(condensed, method="complete")
+        scipy_coph = squareform(cophenet(z))
+        ours = upgmm(m).distance_matrix(m.labels).values
+        assert np.allclose(ours, scipy_coph, atol=1e-8)
+
+    def test_scipy_linkage_converts_to_feasible_tree(self):
+        """A scipy complete-linkage clustering, imported, passes this
+        repository's feasibility check -- the UPGMM guarantee."""
+        from repro.tree.checks import dominates_matrix
+
+        m = random_metric_matrix(9, seed=7, integer=False)
+        z = linkage(squareform(m.values), method="complete")
+        tree = linkage_to_tree(z, m.labels)
+        assert dominates_matrix(tree, m)

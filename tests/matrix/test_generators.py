@@ -1,0 +1,139 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.compact_sets import is_compact
+from repro.matrix.generators import (
+    clustered_matrix,
+    hierarchical_matrix,
+    perturbed_ultrametric_matrix,
+    random_metric_matrix,
+    random_ultrametric_matrix,
+)
+
+
+class TestRandomMetricMatrix:
+    def test_is_metric(self):
+        for seed in range(4):
+            assert random_metric_matrix(10, seed=seed).is_metric()
+
+    def test_deterministic_given_seed(self):
+        a = random_metric_matrix(8, seed=3)
+        b = random_metric_matrix(8, seed=3)
+        assert np.allclose(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = random_metric_matrix(8, seed=3)
+        b = random_metric_matrix(8, seed=4)
+        assert not np.allclose(a.values, b.values)
+
+    def test_range_respected(self):
+        m = random_metric_matrix(10, seed=1, low=5, high=50)
+        off_diag = m.values[~np.eye(10, dtype=bool)]
+        assert off_diag.max() <= 50.0
+        assert off_diag.min() >= 1.0  # closure can only lower, floor > 0
+
+    def test_positive_off_diagonal(self):
+        m = random_metric_matrix(10, seed=2)
+        off_diag = m.values[~np.eye(10, dtype=bool)]
+        assert (off_diag > 0).all()
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            random_metric_matrix(0)
+
+    def test_float_mode(self):
+        m = random_metric_matrix(6, seed=1, integer=False)
+        assert m.is_metric()
+
+
+class TestClusteredMatrix:
+    def test_blocks_are_compact(self):
+        m = clustered_matrix([3, 4, 3], seed=0)
+        assert is_compact(m, [0, 1, 2])
+        assert is_compact(m, [3, 4, 5, 6])
+        assert is_compact(m, [7, 8, 9])
+
+    def test_is_metric(self):
+        assert clustered_matrix([3, 3, 2], seed=1).is_metric()
+
+    def test_rejects_overlapping_bands(self):
+        with pytest.raises(ValueError, match="compactness"):
+            clustered_matrix([2, 2], within=(10, 50), between=(40, 60))
+
+    def test_rejects_non_metric_between(self):
+        with pytest.raises(ValueError, match="metricity"):
+            clustered_matrix([2, 2], within=(1, 2), between=(10, 30))
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError, match="positive"):
+            clustered_matrix([3, 0], seed=1)
+
+    def test_total_size(self):
+        assert clustered_matrix([2, 3, 4], seed=0).n == 9
+
+
+class TestHierarchicalMatrix:
+    def test_groups_are_compact(self):
+        m = hierarchical_matrix([[3, 2], [4]], seed=0)
+        # Innermost groups.
+        assert is_compact(m, [0, 1, 2])
+        assert is_compact(m, [3, 4])
+        assert is_compact(m, [5, 6, 7, 8])
+        # The super-group from the nesting.
+        assert is_compact(m, [0, 1, 2, 3, 4])
+
+    def test_is_metric(self):
+        assert hierarchical_matrix([[2, 2], [3]], seed=5).is_metric()
+
+    def test_size_matches_spec(self):
+        assert hierarchical_matrix([[3, 2], [4], [2, 2]], seed=0).n == 13
+
+    def test_rejects_small_gap(self):
+        with pytest.raises(ValueError, match="gap"):
+            hierarchical_matrix([2, 2], gap=1.0)
+
+    def test_rejects_large_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            hierarchical_matrix([2, 2], gap=2.0, jitter=0.5)
+
+    def test_rejects_empty_spec(self):
+        with pytest.raises(ValueError):
+            hierarchical_matrix([], seed=0)
+
+    def test_deterministic(self):
+        a = hierarchical_matrix([[3, 2], [4]], seed=9)
+        b = hierarchical_matrix([[3, 2], [4]], seed=9)
+        assert np.allclose(a.values, b.values)
+
+
+class TestUltrametricGenerators:
+    def test_random_ultrametric_is_ultrametric(self):
+        for seed in range(4):
+            m = random_ultrametric_matrix(9, seed=seed)
+            assert m.is_ultrametric()
+
+    def test_random_ultrametric_is_metric(self):
+        assert random_ultrametric_matrix(9, seed=1).is_metric()
+
+    def test_perturbed_is_metric_but_not_ultrametric(self):
+        m = perturbed_ultrametric_matrix(10, seed=2, noise=0.3)
+        assert m.is_metric()
+        # With this much noise ultrametricity should break.
+        assert not m.is_ultrametric()
+
+    def test_perturbation_shrinks_only(self):
+        rng = np.random.default_rng(7)
+        clean = random_ultrametric_matrix(8, seed=7)
+        noisy = perturbed_ultrametric_matrix(8, seed=7, noise=0.2)
+        # Same seed stream differs, so only check the global scale.
+        assert noisy.values.max() <= clean.values.max() * 1.2
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            perturbed_ultrametric_matrix(5, noise=1.5)
+
+    def test_zero_noise_stays_ultrametric(self):
+        m = perturbed_ultrametric_matrix(8, seed=3, noise=0.0)
+        assert m.is_ultrametric()

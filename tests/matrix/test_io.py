@@ -1,0 +1,85 @@
+"""Tests for PHYLIP and CSV matrix I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.matrix.distance_matrix import DistanceMatrix, MatrixValidationError
+from repro.matrix.io import (
+    read_csv_matrix,
+    read_phylip,
+    write_csv_matrix,
+    write_phylip,
+)
+
+
+class TestPhylip:
+    def test_round_trip_via_buffer(self, square5):
+        buffer = io.StringIO()
+        write_phylip(square5, buffer)
+        parsed = read_phylip(io.StringIO(buffer.getvalue()))
+        assert parsed.labels == square5.labels
+        assert np.allclose(parsed.values, square5.values)
+
+    def test_round_trip_via_file(self, square5, tmp_path):
+        path = tmp_path / "m.phy"
+        write_phylip(square5, path)
+        parsed = read_phylip(path)
+        assert np.allclose(parsed.values, square5.values)
+
+    def test_parse_handcrafted(self):
+        text = "2\nfoo 0.0 1.5\nbar 1.5 0.0\n"
+        m = read_phylip(io.StringIO(text))
+        assert m.labels == ["foo", "bar"]
+        assert m["foo", "bar"] == 1.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(MatrixValidationError, match="empty"):
+            read_phylip(io.StringIO(""))
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(MatrixValidationError, match="species count"):
+            read_phylip(io.StringIO("species\nfoo 0"))
+
+    def test_rejects_truncated_rows(self):
+        with pytest.raises(MatrixValidationError, match="promises"):
+            read_phylip(io.StringIO("3\nfoo 0 1 2\n"))
+
+    def test_rejects_short_row(self):
+        with pytest.raises(MatrixValidationError, match="distances"):
+            read_phylip(io.StringIO("2\nfoo 0.0\nbar 0.0 1.0"))
+
+
+class TestCsv:
+    def test_round_trip(self, square5):
+        buffer = io.StringIO()
+        write_csv_matrix(square5, buffer)
+        parsed = read_csv_matrix(io.StringIO(buffer.getvalue()))
+        assert parsed.labels == square5.labels
+        assert np.allclose(parsed.values, square5.values)
+
+    def test_round_trip_via_file(self, tiny_matrix, tmp_path):
+        path = tmp_path / "m.csv"
+        write_csv_matrix(tiny_matrix, path)
+        parsed = read_csv_matrix(path)
+        assert np.allclose(parsed.values, tiny_matrix.values)
+
+    def test_rejects_empty(self):
+        with pytest.raises(MatrixValidationError):
+            read_csv_matrix(io.StringIO(""))
+
+    def test_rejects_mismatched_labels(self):
+        text = ",a,b\na,0,1\nc,1,0\n"
+        with pytest.raises(MatrixValidationError, match="match the header"):
+            read_csv_matrix(io.StringIO(text))
+
+    def test_rejects_wrong_row_count(self):
+        text = ",a,b\na,0,1\n"
+        with pytest.raises(MatrixValidationError, match="rows"):
+            read_csv_matrix(io.StringIO(text))
+
+    def test_rejects_short_row(self):
+        text = ",a,b\na,0\nb,1,0\n"
+        with pytest.raises(MatrixValidationError, match="values"):
+            read_csv_matrix(io.StringIO(text))

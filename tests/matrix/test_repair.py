@@ -1,0 +1,54 @@
+"""Tests for metric repair (shortest-path closure)."""
+
+import numpy as np
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.repair import is_triangle_violating, metric_closure
+
+
+class TestMetricClosure:
+    def test_closure_is_metric(self):
+        m = DistanceMatrix([[0, 1, 10], [1, 0, 1], [10, 1, 0]])
+        closed = metric_closure(m)
+        assert closed.is_metric()
+
+    def test_closure_uses_shortest_path(self):
+        m = DistanceMatrix([[0, 1, 10], [1, 0, 1], [10, 1, 0]])
+        closed = metric_closure(m)
+        assert closed[0, 2] == 2.0  # via species 1
+
+    def test_closure_dominated_by_input(self):
+        rng = np.random.default_rng(0)
+        raw = rng.integers(1, 100, size=(8, 8)).astype(float)
+        raw = np.triu(raw, 1)
+        raw = raw + raw.T
+        m = DistanceMatrix(raw, validate=False)
+        closed = metric_closure(m)
+        assert (closed.values <= m.values + 1e-9).all()
+
+    def test_metric_input_unchanged(self, tiny_matrix):
+        closed = metric_closure(tiny_matrix)
+        assert np.allclose(closed.values, tiny_matrix.values)
+
+    def test_preserves_labels(self, tiny_matrix):
+        assert metric_closure(tiny_matrix).labels == tiny_matrix.labels
+
+    def test_diagonal_stays_zero(self):
+        m = DistanceMatrix([[0, 1, 10], [1, 0, 1], [10, 1, 0]])
+        assert np.all(np.diagonal(metric_closure(m).values) == 0.0)
+
+    def test_closure_is_largest_dominated_metric_on_small_case(self):
+        # For a 3-point set the closure must clamp the long side to the
+        # sum of the other two -- not lower.
+        m = DistanceMatrix([[0, 3, 100], [3, 0, 4], [100, 4, 0]])
+        closed = metric_closure(m)
+        assert closed[0, 2] == 7.0
+
+
+class TestTriangleViolating:
+    def test_detects_violation(self):
+        m = DistanceMatrix([[0, 1, 10], [1, 0, 1], [10, 1, 0]])
+        assert is_triangle_violating(m)
+
+    def test_metric_passes(self, tiny_matrix):
+        assert not is_triangle_violating(tiny_matrix)

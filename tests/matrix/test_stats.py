@@ -1,0 +1,99 @@
+"""Tests for matrix statistics and structure probes."""
+
+import pytest
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import (
+    hierarchical_matrix,
+    random_metric_matrix,
+    random_ultrametric_matrix,
+)
+from repro.matrix.stats import (
+    matrix_summary,
+    structure_score,
+    ultrametricity_defect,
+)
+
+
+class TestUltrametricityDefect:
+    def test_zero_for_ultrametric(self):
+        m = random_ultrametric_matrix(8, seed=1)
+        assert ultrametricity_defect(m) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_random(self):
+        m = random_metric_matrix(8, seed=2)
+        assert ultrametricity_defect(m) > 0.05
+
+    def test_small_matrices(self):
+        assert ultrametricity_defect(DistanceMatrix([[0, 3], [3, 0]])) == 0.0
+
+    def test_in_unit_interval(self):
+        for seed in range(4):
+            m = random_metric_matrix(7, seed=seed)
+            assert 0.0 <= ultrametricity_defect(m) <= 1.0
+
+
+class TestStructureScore:
+    def test_high_for_clustered(self):
+        m = hierarchical_matrix([[3, 2], [4]], seed=3)
+        assert structure_score(m) >= 0.5
+
+    def test_low_for_uniform(self):
+        m = DistanceMatrix(
+            [[0, 5, 5, 5], [5, 0, 5, 5], [5, 5, 0, 5], [5, 5, 5, 0]]
+        )
+        assert structure_score(m) == pytest.approx(0.0)
+
+    def test_trivial_sizes(self):
+        assert structure_score(DistanceMatrix([[0.0]])) == 1.0
+        assert structure_score(DistanceMatrix([[0, 2], [2, 0]])) == 1.0
+
+    def test_bounded(self):
+        for seed in range(4):
+            m = random_metric_matrix(9, seed=seed)
+            assert 0.0 <= structure_score(m) <= 1.0
+
+
+class TestMatrixSummary:
+    def test_fields(self, square5):
+        summary = matrix_summary(square5)
+        assert summary.n == 5
+        assert summary.min_distance == 2.0
+        assert summary.max_distance == 12.0
+        assert summary.is_metric
+        assert summary.compact_sets == len(
+            __import__("repro.graph", fromlist=["find_compact_sets"])
+            .find_compact_sets(square5)
+        )
+
+    def test_structure_consistency(self):
+        m = hierarchical_matrix([[3, 2], [4]], seed=4)
+        summary = matrix_summary(m)
+        assert summary.structure_score == pytest.approx(structure_score(m))
+
+    def test_describe_recommends_decomposition(self):
+        m = hierarchical_matrix([[3, 3], [3, 3]], seed=5)
+        assert "pay off" in matrix_summary(m).describe()
+
+    def test_describe_warns_on_unstructured(self):
+        m = DistanceMatrix(
+            [[0, 5, 5, 5], [5, 0, 5, 5], [5, 5, 0, 5], [5, 5, 5, 0]]
+        )
+        assert "little compact structure" in matrix_summary(m).describe()
+
+    def test_single_species(self):
+        summary = matrix_summary(DistanceMatrix([[0.0]]))
+        assert summary.n == 1
+        assert summary.structure_score == 1.0
+
+    def test_empty_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            matrix_summary(DistanceMatrix(np.zeros((0, 0)), labels=[]))
+
+    def test_ultrametric_flagged(self):
+        m = random_ultrametric_matrix(7, seed=6)
+        summary = matrix_summary(m)
+        assert summary.is_ultrametric
+        assert summary.ultrametricity_defect == pytest.approx(0.0, abs=1e-9)

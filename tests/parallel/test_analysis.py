@@ -1,0 +1,102 @@
+"""Tests for the scaling-analysis helpers."""
+
+import pytest
+
+from repro.matrix.generators import random_metric_matrix
+from repro.parallel.analysis import (
+    ScalingPoint,
+    amdahl_bound,
+    karp_flatt,
+    speedup_curve,
+)
+from repro.parallel.config import ClusterConfig, grid_config
+
+
+class TestKarpFlatt:
+    def test_perfect_scaling(self):
+        assert karp_flatt(8.0, 8) == pytest.approx(0.0)
+
+    def test_serial_program(self):
+        assert karp_flatt(1.0, 8) == pytest.approx(1.0)
+
+    def test_superlinear_is_negative(self):
+        assert karp_flatt(2.5, 2) < 0.0
+
+    def test_known_value(self):
+        # S=4 on p=8: e = (1/4 - 1/8) / (1 - 1/8) = 1/7.
+        assert karp_flatt(4.0, 8) == pytest.approx(1 / 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            karp_flatt(2.0, 1)
+        with pytest.raises(ValueError):
+            karp_flatt(0.0, 4)
+
+
+class TestAmdahl:
+    def test_no_serial_part(self):
+        assert amdahl_bound(0.0, 16) == 16.0
+
+    def test_all_serial(self):
+        assert amdahl_bound(1.0, 16) == 1.0
+
+    def test_classic_value(self):
+        # 10% serial, p -> inf caps at 10; at p=16 it is 1/(0.1+0.9/16).
+        assert amdahl_bound(0.1, 16) == pytest.approx(1 / (0.1 + 0.9 / 16))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_bound(-0.1, 4)
+        with pytest.raises(ValueError):
+            amdahl_bound(0.5, 0)
+
+    def test_karp_flatt_inverts_amdahl(self):
+        for fraction in (0.05, 0.2, 0.5):
+            for p in (2, 4, 16):
+                speedup = amdahl_bound(fraction, p)
+                assert karp_flatt(speedup, p) == pytest.approx(fraction)
+
+
+class TestSpeedupCurve:
+    def test_curve_shape(self):
+        m = random_metric_matrix(12, seed=42)
+        points = speedup_curve(m, (1, 2, 4))
+        assert [p.workers for p in points] == [1, 2, 4]
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[0].serial_fraction is None
+        assert all(isinstance(p, ScalingPoint) for p in points)
+
+    def test_monotone_speedup_on_heavy_instance(self):
+        m = random_metric_matrix(13, seed=5)
+        points = speedup_curve(m, (1, 4, 16))
+        assert points[1].speedup >= 1.0
+        assert points[2].makespan <= points[1].makespan * 1.05
+
+    def test_efficiency_definition(self):
+        m = random_metric_matrix(11, seed=3)
+        for point in speedup_curve(m, (1, 2, 8)):
+            assert point.efficiency == pytest.approx(point.speedup / point.workers)
+
+    def test_superlinear_flag(self):
+        # The known super-linear instance from the benchmarks.
+        m = random_metric_matrix(16, seed=42)
+        points = speedup_curve(m, (1, 2))
+        assert points[1].superlinear
+        assert points[1].serial_fraction < 0
+
+    def test_base_config_respected(self):
+        m = random_metric_matrix(11, seed=7)
+        slow = ClusterConfig(transfer_latency=400.0, ub_broadcast_latency=400.0)
+        fast_points = speedup_curve(m, (1, 4))
+        slow_points = speedup_curve(m, (1, 4), base_config=slow)
+        assert slow_points[1].makespan >= fast_points[1].makespan
+
+    def test_heterogeneous_base_rejected(self):
+        m = random_metric_matrix(8, seed=8)
+        with pytest.raises(ValueError, match="homogeneous"):
+            speedup_curve(m, (1, 2), base_config=grid_config(2))
+
+    def test_empty_counts_rejected(self):
+        m = random_metric_matrix(8, seed=9)
+        with pytest.raises(ValueError):
+            speedup_curve(m, ())

@@ -1,0 +1,40 @@
+"""Tests for the cluster configuration."""
+
+import pytest
+
+from repro.parallel.config import ClusterConfig
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper(self):
+        cfg = ClusterConfig()
+        assert cfg.n_workers == 16
+        assert cfg.prebranch_factor == 2
+
+    def test_expansion_cost_formula(self):
+        cfg = ClusterConfig(expansion_unit_cost=2.0)
+        # k leaves: (2k - 1) positions, O(k) each.
+        assert cfg.expansion_cost(3) == 2.0 * 5 * 3
+
+    def test_frozen(self):
+        cfg = ClusterConfig()
+        with pytest.raises(AttributeError):
+            cfg.n_workers = 4  # type: ignore[misc]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_workers=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(ub_broadcast_latency=-1)
+        with pytest.raises(ValueError):
+            ClusterConfig(transfer_latency=-1)
+
+    def test_rejects_bad_expansion_cost(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(expansion_unit_cost=0)
+
+    def test_rejects_bad_prebranch(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(prebranch_factor=0)

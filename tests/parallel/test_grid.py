@@ -1,0 +1,94 @@
+"""Tests for heterogeneous (grid) cluster configurations."""
+
+import pytest
+
+from repro.bnb.sequential import exact_mut
+from repro.matrix.generators import random_metric_matrix
+from repro.parallel.config import ClusterConfig, grid_config
+from repro.parallel.simulator import ParallelBranchAndBound
+
+
+class TestWorkerSpeeds:
+    def test_homogeneous_default(self):
+        cfg = ClusterConfig(n_workers=4)
+        assert cfg.worker_speeds is None
+        assert cfg.speed_of(2) == 1.0
+        assert cfg.expansion_cost(5) == cfg.expansion_cost(5, worker=1)
+
+    def test_heterogeneous_costs(self):
+        cfg = ClusterConfig(n_workers=2, worker_speeds=(1.0, 0.5))
+        assert cfg.expansion_cost(5, worker=1) == 2 * cfg.expansion_cost(5, worker=0)
+        assert cfg.expansion_cost(5, worker=None) == cfg.expansion_cost(5, worker=0)
+
+    def test_speed_count_validated(self):
+        with pytest.raises(ValueError, match="speeds"):
+            ClusterConfig(n_workers=3, worker_speeds=(1.0, 1.0))
+
+    def test_positive_speeds_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            ClusterConfig(n_workers=2, worker_speeds=(1.0, 0.0))
+
+
+class TestGridConfig:
+    def test_shape(self):
+        cfg = grid_config(8)
+        assert cfg.n_workers == 8
+        assert cfg.worker_speeds is not None
+        assert len(cfg.worker_speeds) == 8
+        # Slower network than the dedicated cluster.
+        assert cfg.ub_broadcast_latency > ClusterConfig().ub_broadcast_latency
+        assert cfg.transfer_latency > ClusterConfig().transfer_latency
+
+    def test_speeds_within_band(self):
+        cfg = grid_config(16, cpu_speed=0.8, speed_spread=0.1)
+        assert all(0.7 <= s <= 0.9 for s in cfg.worker_speeds)
+
+    def test_deterministic_per_seed(self):
+        assert grid_config(6, seed=3).worker_speeds == grid_config(6, seed=3).worker_speeds
+        assert grid_config(6, seed=3).worker_speeds != grid_config(6, seed=4).worker_speeds
+
+    def test_overrides_forwarded(self):
+        cfg = grid_config(4, prebranch_factor=3)
+        assert cfg.prebranch_factor == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_config(4, cpu_speed=0.0)
+        with pytest.raises(ValueError):
+            grid_config(4, cpu_speed=0.5, speed_spread=0.6)
+
+
+class TestGridRuns:
+    def test_same_optimum_as_cluster(self):
+        m = random_metric_matrix(10, seed=5)
+        grid = ParallelBranchAndBound(grid_config(8)).solve(m)
+        assert grid.cost == pytest.approx(exact_mut(m).cost)
+
+    def test_slower_cpus_slow_the_run(self):
+        m = random_metric_matrix(12, seed=42)
+        fast = ClusterConfig(n_workers=8)
+        slow = ClusterConfig(
+            n_workers=8, worker_speeds=tuple([0.5] * 8)
+        )
+        t_fast = ParallelBranchAndBound(fast).solve(m).makespan
+        t_slow = ParallelBranchAndBound(slow).solve(m).makespan
+        assert t_slow > t_fast
+
+    def test_report_shape_grid_vs_cluster(self):
+        """NCS2005: grid-16 slower than cluster-16; grid-24 overtakes."""
+        m = random_metric_matrix(14, seed=42)
+        cluster16 = ParallelBranchAndBound(ClusterConfig(n_workers=16)).solve(m)
+        grid16 = ParallelBranchAndBound(grid_config(16)).solve(m)
+        assert cluster16.makespan < grid16.makespan
+
+    def test_heterogeneous_balance(self):
+        """Stealing keeps slow workers from stalling the run: the fastest
+        worker should expand more nodes than the slowest."""
+        speeds = tuple([1.5] * 2 + [0.5] * 6)
+        cfg = ClusterConfig(n_workers=8, worker_speeds=speeds)
+        m = random_metric_matrix(13, seed=5)
+        result = ParallelBranchAndBound(cfg).solve(m)
+        fast_nodes = sum(w.nodes_expanded for w in result.workers[:2]) / 2
+        slow_nodes = sum(w.nodes_expanded for w in result.workers[2:]) / 6
+        if slow_nodes > 0:
+            assert fast_nodes >= slow_nodes

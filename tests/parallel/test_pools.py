@@ -1,0 +1,76 @@
+"""Tests for the sorted work pools."""
+
+from repro.parallel.pools import SortedPool
+
+
+class TestSortedPool:
+    def test_empty(self):
+        pool = SortedPool()
+        assert len(pool) == 0
+        assert not pool
+        assert pool.pop_best() is None
+        assert pool.pop_worst() is None
+        assert pool.peek_best_priority() is None
+
+    def test_pop_best_order(self):
+        pool = SortedPool()
+        for priority, item in [(3, "c"), (1, "a"), (2, "b")]:
+            pool.push(priority, item)
+        assert [pool.pop_best() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_pop_worst_order(self):
+        pool = SortedPool()
+        for priority, item in [(3, "c"), (1, "a"), (2, "b")]:
+            pool.push(priority, item)
+        assert [pool.pop_worst() for _ in range(3)] == ["c", "b", "a"]
+
+    def test_mixed_pops(self):
+        pool = SortedPool()
+        for priority in range(10):
+            pool.push(priority, priority)
+        assert pool.pop_best() == 0
+        assert pool.pop_worst() == 9
+        assert pool.pop_best() == 1
+        assert pool.pop_worst() == 8
+        assert len(pool) == 6
+
+    def test_no_double_delivery(self):
+        pool = SortedPool()
+        for priority in range(50):
+            pool.push(priority, priority)
+        seen = set()
+        for turn in range(50):
+            item = pool.pop_best() if turn % 2 else pool.pop_worst()
+            assert item not in seen
+            seen.add(item)
+        assert len(seen) == 50
+        assert not pool
+
+    def test_equal_priorities_fifo_best(self):
+        pool = SortedPool()
+        pool.push(1.0, "first")
+        pool.push(1.0, "second")
+        assert pool.pop_best() == "first"
+
+    def test_peek_best_priority(self):
+        pool = SortedPool()
+        pool.push(5.0, "x")
+        pool.push(2.0, "y")
+        assert pool.peek_best_priority() == 2.0
+        pool.pop_best()
+        assert pool.peek_best_priority() == 5.0
+
+    def test_drain(self):
+        pool = SortedPool()
+        for priority in (3, 1, 2):
+            pool.push(priority, priority)
+        assert pool.drain() == [1, 2, 3]
+        assert not pool
+
+    def test_len_tracks_tombstones(self):
+        pool = SortedPool()
+        pool.push(1, "a")
+        pool.push(2, "b")
+        pool.pop_worst()
+        assert len(pool) == 1
+        assert pool.pop_best() == "a"

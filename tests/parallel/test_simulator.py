@@ -1,0 +1,155 @@
+"""Tests for the discrete-event cluster simulator."""
+
+import pytest
+
+from repro.bnb.sequential import exact_mut
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import (
+    hierarchical_matrix,
+    random_metric_matrix,
+)
+from repro.parallel.config import ClusterConfig
+from repro.parallel.simulator import ParallelBranchAndBound
+from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
+
+
+def run(matrix, workers, **kwargs):
+    cfg_kwargs = {
+        key: kwargs.pop(key)
+        for key in list(kwargs)
+        if key in (
+            "ub_broadcast_latency",
+            "transfer_latency",
+            "prebranch_factor",
+            "donate_when_global_empty",
+            "steal_from_loaded",
+        )
+    }
+    cfg = ClusterConfig(n_workers=workers, **cfg_kwargs)
+    return ParallelBranchAndBound(cfg, **kwargs).solve(matrix)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 16])
+    def test_matches_sequential_optimum(self, workers):
+        m = random_metric_matrix(9, seed=8)
+        expected = exact_mut(m).cost
+        result = run(m, workers)
+        assert result.cost == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_many_seeds_16_workers(self, seed):
+        m = random_metric_matrix(8, seed=seed)
+        assert run(m, 16).cost == pytest.approx(exact_mut(m).cost)
+
+    def test_result_feasible(self):
+        m = random_metric_matrix(9, seed=10)
+        result = run(m, 8)
+        assert is_valid_ultrametric_tree(result.tree)
+        assert dominates_matrix(result.tree, m)
+
+    def test_clustered_input(self):
+        m = hierarchical_matrix([[3, 2], [3]], seed=4)
+        assert run(m, 4).cost == pytest.approx(exact_mut(m).cost)
+
+    def test_tiny_inputs_fall_back(self):
+        m = DistanceMatrix([[0, 4], [4, 0]], labels=["x", "y"])
+        result = run(m, 16)
+        assert result.cost == pytest.approx(4.0)
+
+    def test_33_relationship_option(self):
+        m = random_metric_matrix(8, seed=12)
+        assert run(m, 4, relationship_33=True).cost == pytest.approx(
+            exact_mut(m).cost
+        )
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        m = random_metric_matrix(10, seed=21)
+        a = run(m, 8)
+        b = run(m, 8)
+        assert a.cost == b.cost
+        assert a.makespan == b.makespan
+        assert a.total_nodes_expanded == b.total_nodes_expanded
+        assert a.messages == b.messages
+
+
+class TestSchedulingBehaviour:
+    def test_speedup_grows_with_workers(self):
+        m = random_metric_matrix(13, seed=5)
+        makespans = {
+            p: run(m, p).makespan for p in (1, 4, 16)
+        }
+        assert makespans[4] < makespans[1]
+        assert makespans[16] <= makespans[4]
+
+    def test_workers_all_report(self):
+        # seed 42 yields a search far larger than the pre-branch target,
+        # so the slaves genuinely work.
+        m = random_metric_matrix(12, seed=42)
+        result = run(m, 8)
+        assert len(result.workers) == 8
+        assert sum(w.nodes_expanded for w in result.workers) > 0
+
+    def test_efficiency_in_unit_range(self):
+        m = random_metric_matrix(12, seed=42)
+        result = run(m, 4)
+        assert 0.0 < result.efficiency() <= 1.0 + 1e-9
+
+    def test_trivial_search_has_zero_worker_activity(self):
+        # When the master solves everything during pre-branching the
+        # slaves report no expansions -- the simulator must not hang.
+        m = random_metric_matrix(10, seed=3)
+        result = run(m, 8)
+        assert result.cost == pytest.approx(exact_mut(m).cost)
+
+    def test_messages_counted(self):
+        m = random_metric_matrix(10, seed=4)
+        result = run(m, 4)
+        # At minimum: initial dispatch + final gather.
+        assert result.messages >= 8
+
+    def test_single_worker_zero_broadcast_overhead(self):
+        m = random_metric_matrix(9, seed=9)
+        result = run(m, 1)
+        assert all(w.ub_broadcasts == 0 for w in result.workers)
+        assert all(w.donations == 0 for w in result.workers)
+
+    def test_setup_time_recorded(self):
+        m = random_metric_matrix(9, seed=2)
+        result = run(m, 4)
+        assert result.setup_time > 0
+        assert result.makespan >= result.setup_time
+
+    def test_stealing_can_be_disabled(self):
+        m = random_metric_matrix(11, seed=14)
+        with_steal = run(m, 8)
+        without = run(m, 8, steal_from_loaded=False)
+        assert sum(w.steals for w in without.workers) == 0
+        assert with_steal.cost == pytest.approx(without.cost)
+
+    def test_donation_can_be_disabled(self):
+        m = random_metric_matrix(11, seed=15)
+        result = run(m, 8, donate_when_global_empty=False)
+        assert sum(w.donations for w in result.workers) == 0
+        assert result.cost == pytest.approx(exact_mut(m).cost)
+
+    def test_latency_slows_makespan(self):
+        m = random_metric_matrix(11, seed=16)
+        fast = run(m, 8, ub_broadcast_latency=1.0, transfer_latency=1.0)
+        slow = run(m, 8, ub_broadcast_latency=500.0, transfer_latency=500.0)
+        assert slow.makespan > fast.makespan
+
+    def test_node_counts_differ_from_sequential_sometimes(self):
+        """The search anomaly behind super-linear speedup: parallel
+        exploration order changes the total node count."""
+        differs = False
+        for seed in (5, 7, 42, 13):
+            m = random_metric_matrix(12, seed=seed)
+            seq_nodes = run(m, 1).total_nodes_expanded
+            par_nodes = run(m, 8).total_nodes_expanded
+            if seq_nodes != par_nodes:
+                differs = True
+                break
+        assert differs

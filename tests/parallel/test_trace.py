@@ -1,0 +1,105 @@
+"""Tests for execution tracing of the simulated cluster."""
+
+import pytest
+
+from repro.matrix.generators import random_metric_matrix
+from repro.parallel.config import ClusterConfig
+from repro.parallel.simulator import ParallelBranchAndBound
+from repro.parallel.trace import TraceInterval, ascii_gantt, worker_utilization
+
+
+def traced_run(workers=4, n=12, seed=42):
+    cfg = ClusterConfig(n_workers=workers, record_trace=True)
+    matrix = random_metric_matrix(n, seed=seed)
+    return ParallelBranchAndBound(cfg).solve(matrix)
+
+
+class TestTraceRecording:
+    def test_disabled_by_default(self):
+        cfg = ClusterConfig(n_workers=2)
+        result = ParallelBranchAndBound(cfg).solve(
+            random_metric_matrix(10, seed=1)
+        )
+        assert result.trace == []
+
+    def test_intervals_recorded(self):
+        result = traced_run()
+        assert result.trace
+        assert all(isinstance(t, TraceInterval) for t in result.trace)
+
+    def test_intervals_well_formed(self):
+        result = traced_run()
+        for interval in result.trace:
+            assert interval.end >= interval.start
+            assert interval.kind in ("expand", "prune")
+            assert 0 <= interval.worker < 4
+
+    def test_intervals_within_makespan(self):
+        result = traced_run()
+        assert max(t.end for t in result.trace) <= result.makespan + 1e-9
+
+    def test_no_overlap_per_worker(self):
+        result = traced_run()
+        by_worker = {}
+        for t in result.trace:
+            by_worker.setdefault(t.worker, []).append(t)
+        for intervals in by_worker.values():
+            intervals.sort(key=lambda t: t.start)
+            for a, b in zip(intervals, intervals[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_busy_time_matches_stats(self):
+        result = traced_run()
+        for stats in result.workers:
+            traced = sum(
+                t.duration for t in result.trace if t.worker == stats.worker_id
+            )
+            assert traced == pytest.approx(stats.busy_time, abs=1e-6)
+
+    def test_trace_does_not_change_outcome(self):
+        cfg_plain = ClusterConfig(n_workers=4)
+        cfg_trace = ClusterConfig(n_workers=4, record_trace=True)
+        m = random_metric_matrix(11, seed=3)
+        plain = ParallelBranchAndBound(cfg_plain).solve(m)
+        traced = ParallelBranchAndBound(cfg_trace).solve(m)
+        assert plain.cost == traced.cost
+        assert plain.makespan == traced.makespan
+
+
+class TestUtilization:
+    def test_fractions_in_range(self):
+        result = traced_run()
+        util = worker_utilization(result.trace, 4, result.makespan)
+        assert set(util) == {0, 1, 2, 3}
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+
+    def test_zero_makespan(self):
+        assert worker_utilization([], 2, 0.0) == {0: 0.0, 1: 0.0}
+
+
+class TestGantt:
+    def test_one_row_per_worker(self):
+        result = traced_run()
+        chart = ascii_gantt(result.trace, 4, result.makespan, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("w0") or line.startswith("w") for line in lines)
+
+    def test_row_width(self):
+        result = traced_run()
+        chart = ascii_gantt(result.trace, 4, result.makespan, width=40)
+        for line in chart.splitlines():
+            assert len(line) == len("w00 |") + 40 + 1
+
+    def test_busy_worker_shows_marks(self):
+        result = traced_run()
+        chart = ascii_gantt(result.trace, 4, result.makespan, width=40)
+        assert "#" in chart or "-" in chart
+
+    def test_empty_trace(self):
+        chart = ascii_gantt([], 2, 0.0)
+        assert len(chart.splitlines()) == 2
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ascii_gantt([], 1, 1.0, width=4)

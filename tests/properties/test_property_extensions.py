@@ -1,0 +1,163 @@
+"""Property-based tests for the extension modules.
+
+Covers the invariants introduced after the core reproduction: the O(n^2)
+compact-set algorithm, greedy insertion, tree comparison metrics,
+consensus, serialization surfaces (FASTA, scipy linkage), and the
+matrix statistics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bnb.sequential import exact_mut
+from repro.graph.compact_linear import find_compact_sets_fast
+from repro.graph.compact_sets import find_compact_sets
+from repro.heuristics.greedy import greedy_insertion
+from repro.heuristics.upgma import upgma, upgmm
+from repro.interop.scipy_hierarchy import linkage_to_tree, tree_to_linkage
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.repair import metric_closure
+from repro.matrix.stats import structure_score, ultrametricity_defect
+from repro.sequences.fasta import read_fasta, write_fasta
+from repro.tree.compare import (
+    cophenetic_correlation,
+    normalized_robinson_foulds,
+    robinson_foulds,
+)
+from repro.tree.consensus import majority_consensus
+from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def metric_matrices(draw, min_n=3, max_n=7):
+    n = draw(st.integers(min_n, max_n))
+    entries = draw(
+        st.lists(
+            st.floats(1.0, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        )
+    )
+    values = np.zeros((n, n))
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            values[i, j] = values[j, i] = entries[k]
+            k += 1
+    return metric_closure(DistanceMatrix(values, validate=False))
+
+
+class TestFastCompactSets:
+    @RELAXED
+    @given(metric_matrices())
+    def test_fast_equals_scan(self, matrix):
+        assert find_compact_sets_fast(matrix) == find_compact_sets(matrix)
+
+
+class TestGreedyProperties:
+    @RELAXED
+    @given(metric_matrices(max_n=6))
+    def test_greedy_sandwich(self, matrix):
+        """optimal <= greedy, and the greedy tree is always feasible."""
+        tree = greedy_insertion(matrix)
+        assert is_valid_ultrametric_tree(tree)
+        assert dominates_matrix(tree, matrix)
+        assert tree.cost() >= exact_mut(matrix).cost - 1e-9
+
+
+class TestComparisonProperties:
+    @RELAXED
+    @given(metric_matrices())
+    def test_rf_is_a_pseudometric(self, matrix):
+        a = upgma(matrix)
+        b = upgmm(matrix)
+        assert robinson_foulds(a, a.copy()) == 0
+        assert robinson_foulds(a, b) == robinson_foulds(b, a)
+        assert 0.0 <= normalized_robinson_foulds(a, b) <= 1.0
+
+    @RELAXED
+    @given(metric_matrices())
+    def test_cophenetic_bounded(self, matrix):
+        value = cophenetic_correlation(upgmm(matrix), matrix)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestConsensusProperties:
+    @RELAXED
+    @given(metric_matrices(max_n=6))
+    def test_consensus_of_heuristics_is_valid(self, matrix):
+        trees = [upgma(matrix), upgmm(matrix), greedy_insertion(matrix)]
+        consensus = majority_consensus(trees)
+        assert set(consensus.leaf_labels) == set(matrix.labels)
+        assert is_valid_ultrametric_tree(consensus, binary=False)
+
+    @RELAXED
+    @given(metric_matrices(max_n=6))
+    def test_self_consensus_reproduces_clades(self, matrix):
+        from repro.tree.compare import clades
+
+        tree = upgmm(matrix)
+        consensus = majority_consensus([tree, tree.copy()])
+        assert clades(consensus) == clades(tree)
+
+
+class TestLinkageRoundTrip:
+    @RELAXED
+    @given(metric_matrices())
+    def test_round_trip_preserves_distances(self, matrix):
+        tree = upgmm(matrix)
+        z, labels = tree_to_linkage(tree)
+        back = linkage_to_tree(z, labels)
+        for i, a in enumerate(labels):
+            for b in labels[i + 1:]:
+                assert back.distance(a, b) == pytest.approx(tree.distance(a, b))
+
+
+class TestFastaRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Lu", "Ll", "Nd"),
+                    max_codepoint=127,
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+            st.text(alphabet="ACGT", min_size=1, max_size=60),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_round_trip(self, sequences):
+        import io
+
+        buffer = io.StringIO()
+        write_fasta(sequences, buffer, line_width=17)
+        assert read_fasta(io.StringIO(buffer.getvalue())) == sequences
+
+
+class TestStatsProperties:
+    @RELAXED
+    @given(metric_matrices())
+    def test_scores_bounded(self, matrix):
+        assert 0.0 <= structure_score(matrix) <= 1.0
+        assert 0.0 <= ultrametricity_defect(matrix) <= 1.0
+
+    @RELAXED
+    @given(metric_matrices())
+    def test_defect_zero_iff_ultrametric(self, matrix):
+        defect = ultrametricity_defect(matrix)
+        if matrix.is_ultrametric():
+            assert defect == pytest.approx(0.0, abs=1e-9)
+        else:
+            assert defect > 0.0

@@ -1,0 +1,98 @@
+"""Property-based tests of the cluster simulator.
+
+The strongest guarantee the simulator can offer: for *any* cluster
+configuration -- worker count, latencies, balancing flags, heterogeneous
+speeds -- the run terminates and returns the exact optimum.  Hypothesis
+explores that configuration space; a scheduling deadlock or a bound
+leak would surface here as a hang or a wrong cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bnb.sequential import exact_mut
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.repair import metric_closure
+from repro.parallel.config import ClusterConfig
+from repro.parallel.simulator import ParallelBranchAndBound
+
+SIM = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(4, 7))
+    entries = draw(
+        st.lists(
+            st.floats(1.0, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        )
+    )
+    values = np.zeros((n, n))
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            values[i, j] = values[j, i] = entries[k]
+            k += 1
+    return metric_closure(DistanceMatrix(values, validate=False))
+
+
+@st.composite
+def configs(draw):
+    workers = draw(st.integers(1, 12))
+    speeds = None
+    if draw(st.booleans()) and workers > 1:
+        speeds = tuple(
+            draw(
+                st.lists(
+                    st.floats(0.25, 2.0, allow_nan=False),
+                    min_size=workers,
+                    max_size=workers,
+                )
+            )
+        )
+    return ClusterConfig(
+        n_workers=workers,
+        ub_broadcast_latency=draw(st.floats(0.0, 300.0)),
+        transfer_latency=draw(st.floats(0.0, 300.0)),
+        prebranch_factor=draw(st.integers(1, 4)),
+        donate_when_global_empty=draw(st.booleans()),
+        steal_from_loaded=draw(st.booleans()),
+        worker_speeds=speeds,
+    )
+
+
+class TestSimulatorProperties:
+    @SIM
+    @given(instances(), configs())
+    def test_terminates_with_exact_optimum(self, matrix, config):
+        result = ParallelBranchAndBound(config).solve(matrix)
+        assert result.cost == pytest.approx(exact_mut(matrix).cost)
+
+    @SIM
+    @given(instances(), configs())
+    def test_accounting_is_consistent(self, matrix, config):
+        result = ParallelBranchAndBound(config).solve(matrix)
+        assert result.makespan >= result.setup_time
+        assert result.total_nodes_expanded >= 0
+        assert result.messages >= 0
+        assert len(result.workers) == config.n_workers
+        for stats in result.workers:
+            assert stats.busy_time >= 0
+            assert stats.busy_time <= result.makespan + 1e-6
+
+    @SIM
+    @given(instances(), configs())
+    def test_deterministic(self, matrix, config):
+        a = ParallelBranchAndBound(config).solve(matrix)
+        b = ParallelBranchAndBound(config).solve(matrix)
+        assert a.makespan == b.makespan
+        assert a.total_nodes_expanded == b.total_nodes_expanded
+        assert a.messages == b.messages

@@ -1,0 +1,39 @@
+"""Tests for the DNA alphabet helpers."""
+
+import pytest
+
+from repro.sequences.alphabet import DNA_ALPHABET, random_sequence, validate_sequence
+
+
+class TestAlphabet:
+    def test_alphabet(self):
+        assert DNA_ALPHABET == "ACGT"
+
+    def test_random_sequence_length(self):
+        assert len(random_sequence(100, seed=0)) == 100
+
+    def test_random_sequence_alphabet(self):
+        assert set(random_sequence(500, seed=1)) <= set("ACGT")
+
+    def test_random_sequence_deterministic(self):
+        assert random_sequence(50, seed=2) == random_sequence(50, seed=2)
+
+    def test_random_sequence_varies_with_seed(self):
+        assert random_sequence(50, seed=2) != random_sequence(50, seed=3)
+
+    def test_empty_sequence(self):
+        assert random_sequence(0) == ""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            random_sequence(-1)
+
+    def test_validate_uppercases(self):
+        assert validate_sequence("acgt") == "ACGT"
+
+    def test_validate_rejects_bad_symbols(self):
+        with pytest.raises(ValueError, match="non-DNA"):
+            validate_sequence("ACGX")
+
+    def test_all_bases_appear_in_long_sequence(self):
+        assert set(random_sequence(1000, seed=4)) == set("ACGT")

@@ -1,0 +1,111 @@
+"""Tests for bootstrap resampling and clade support."""
+
+import pytest
+
+from repro.core.pipeline import CompactSetTreeBuilder
+from repro.sequences.bootstrap import (
+    bootstrap_matrices,
+    bootstrap_sequences,
+    bootstrap_support,
+)
+from repro.sequences.distance import distance_matrix_from_sequences
+from repro.sequences.hmdna import generate_hmdna_dataset
+from repro.tree.compare import clades
+
+
+@pytest.fixture
+def dataset():
+    return generate_hmdna_dataset(8, seed=11, sequence_length=300)
+
+
+class TestBootstrapSequences:
+    def test_preserves_names_and_length(self, dataset):
+        replicate = bootstrap_sequences(dataset.sequences, seed=1)
+        assert set(replicate) == set(dataset.sequences)
+        for name in replicate:
+            assert len(replicate[name]) == len(dataset.sequences[name])
+
+    def test_columns_resampled_consistently(self):
+        seqs = {"a": "AC", "b": "GT"}
+        replicate = bootstrap_sequences(seqs, seed=2)
+        # Column pairs must come from the original columns (A,G) or (C,T).
+        for pos in range(2):
+            assert (replicate["a"][pos], replicate["b"][pos]) in {
+                ("A", "G"),
+                ("C", "T"),
+            }
+
+    def test_deterministic_per_seed(self, dataset):
+        assert bootstrap_sequences(dataset.sequences, seed=3) == (
+            bootstrap_sequences(dataset.sequences, seed=3)
+        )
+
+    def test_replicates_differ(self, dataset):
+        a = bootstrap_sequences(dataset.sequences, seed=4)
+        b = bootstrap_sequences(dataset.sequences, seed=5)
+        assert a != b
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            bootstrap_sequences({"a": "ACGT", "b": "ACG"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_sequences({})
+        with pytest.raises(ValueError):
+            bootstrap_sequences({"a": "", "b": ""})
+
+
+class TestBootstrapMatrices:
+    def test_count_and_labels(self, dataset):
+        matrices = bootstrap_matrices(dataset.sequences, 3, seed=6)
+        assert len(matrices) == 3
+        for matrix in matrices:
+            assert set(matrix.labels) == set(dataset.sequences)
+            assert matrix.is_metric()
+
+    def test_replicates_differ(self, dataset):
+        a, b = bootstrap_matrices(dataset.sequences, 2, seed=7)
+        assert not (a.values == b.values).all()
+
+    def test_invalid_count(self, dataset):
+        with pytest.raises(ValueError):
+            bootstrap_matrices(dataset.sequences, 0)
+
+
+class TestBootstrapSupport:
+    def test_support_in_unit_interval(self, dataset):
+        tree = CompactSetTreeBuilder(max_exact_size=12).build(dataset.matrix).tree
+        support = bootstrap_support(
+            tree, dataset.sequences, n_replicates=10, seed=8
+        )
+        assert set(support) == clades(tree)
+        assert all(0.0 <= v <= 1.0 for v in support.values())
+
+    def test_strong_signal_gets_strong_support(self):
+        """With long sequences and deep splits, top clades are stable."""
+        data = generate_hmdna_dataset(6, seed=13, sequence_length=2000)
+        tree = CompactSetTreeBuilder(max_exact_size=12).build(data.matrix).tree
+        support = bootstrap_support(
+            tree, data.sequences, n_replicates=10, seed=9
+        )
+        assert support, "tree should have non-trivial clades"
+        assert max(support.values()) >= 0.8
+
+    def test_custom_builder(self, dataset):
+        from repro.heuristics.upgma import upgmm
+
+        tree = upgmm(dataset.matrix)
+        support = bootstrap_support(
+            tree, dataset.sequences, n_replicates=5, seed=10, builder=upgmm
+        )
+        assert set(support) == clades(tree)
+
+    def test_leaf_mismatch_rejected(self, dataset):
+        from repro.tree.ultrametric import UltrametricTree
+
+        wrong = UltrametricTree.join(
+            UltrametricTree.leaf("x"), UltrametricTree.leaf("y"), 1.0
+        )
+        with pytest.raises(ValueError):
+            bootstrap_support(wrong, dataset.sequences, n_replicates=2)

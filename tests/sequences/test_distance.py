@@ -1,0 +1,136 @@
+"""Tests for pairwise sequence distances."""
+
+import math
+
+import pytest
+
+from repro.sequences.distance import (
+    distance_matrix_from_sequences,
+    edit_distance,
+    jukes_cantor_distance,
+    p_distance,
+)
+
+
+class TestPDistance:
+    def test_identical(self):
+        assert p_distance("ACGT", "ACGT") == 0.0
+
+    def test_all_different(self):
+        assert p_distance("AAAA", "CCCC") == 1.0
+
+    def test_fraction(self):
+        assert p_distance("AACC", "AACG") == 0.25
+
+    def test_count_mode(self):
+        assert p_distance("AACC", "AACG", normalized=False) == 1.0
+
+    def test_empty(self):
+        assert p_distance("", "") == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            p_distance("ACG", "AC")
+
+    def test_symmetry(self):
+        assert p_distance("ACGT", "TGCA") == p_distance("TGCA", "ACGT")
+
+    def test_triangle_inequality(self):
+        a, b, c = "AAAA", "AACC", "CCCC"
+        assert p_distance(a, c) <= p_distance(a, b) + p_distance(b, c)
+
+
+class TestJukesCantor:
+    def test_zero_for_identical(self):
+        assert jukes_cantor_distance("ACGT", "ACGT") == 0.0
+
+    def test_exceeds_p_distance(self):
+        # Correction inflates distances (multiple hits).
+        a, b = "AAAAAAAA", "AACCAAAA"
+        assert jukes_cantor_distance(a, b) > p_distance(a, b)
+
+    def test_known_value(self):
+        # p = 0.25 -> d = -3/4 ln(1 - 1/3).
+        a, b = "AAAA", "AAAC"
+        assert jukes_cantor_distance(a, b) == pytest.approx(
+            -0.75 * math.log(1 - 4 * 0.25 / 3)
+        )
+
+    def test_saturation_clamped(self):
+        # p = 1 would diverge; clamp keeps it finite.
+        assert math.isfinite(jukes_cantor_distance("AAAA", "CCCC"))
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("ACGT", "ACGT") == 0
+
+    def test_single_substitution(self):
+        assert edit_distance("ACGT", "ACCT") == 1
+
+    def test_insertion(self):
+        assert edit_distance("ACGT", "ACGGT") == 1
+
+    def test_deletion(self):
+        assert edit_distance("ACGT", "ACT") == 1
+
+    def test_empty_vs_sequence(self):
+        assert edit_distance("", "ACGT") == 4
+        assert edit_distance("ACGT", "") == 4
+
+    def test_classic_example(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_banded_matches_full_when_band_sufficient(self):
+        a, b = "ACGTACGTAC", "ACGTCCGTAA"
+        full = edit_distance(a, b)
+        assert edit_distance(a, b, band=5) == full
+
+    def test_band_auto_widens_for_length_gap(self):
+        assert edit_distance("AAAA", "AAAAAAAA", band=1) == 4
+
+    def test_symmetry(self):
+        assert edit_distance("ACGGT", "AGGT") == edit_distance("AGGT", "ACGGT")
+
+
+class TestDistanceMatrixFromSequences:
+    SEQS = {
+        "a": "AAAAAAAAAA",
+        "b": "AAAAAAAACC",
+        "c": "CCCCCCCCCC",
+    }
+
+    def test_p_count_default(self):
+        m = distance_matrix_from_sequences(self.SEQS)
+        assert m["a", "b"] == 2.0
+        assert m["a", "c"] == 10.0
+
+    def test_metric_guaranteed(self):
+        m = distance_matrix_from_sequences(self.SEQS, method="jukes-cantor")
+        assert m.is_metric()
+
+    def test_scale(self):
+        m = distance_matrix_from_sequences(self.SEQS, method="p", scale=100)
+        assert m["a", "b"] == pytest.approx(20.0)
+
+    def test_order_respected(self):
+        m = distance_matrix_from_sequences(self.SEQS, order=["c", "a", "b"])
+        assert m.labels == ["c", "a", "b"]
+
+    def test_default_order_sorted(self):
+        m = distance_matrix_from_sequences(self.SEQS)
+        assert m.labels == ["a", "b", "c"]
+
+    def test_edit_method(self):
+        m = distance_matrix_from_sequences(
+            {"a": "ACGT", "b": "ACG"}, method="edit"
+        )
+        assert m["a", "b"] == 1.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            distance_matrix_from_sequences(self.SEQS, method="hamming2")
+
+    def test_missing_sequence_rejected(self):
+        with pytest.raises(KeyError):
+            distance_matrix_from_sequences(self.SEQS, order=["a", "zzz"])

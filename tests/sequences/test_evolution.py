@@ -1,0 +1,101 @@
+"""Tests for sequence evolution along species trees."""
+
+import pytest
+
+from repro.sequences.distance import p_distance
+from repro.sequences.evolution import evolve_sequences, random_species_tree
+from repro.tree.checks import is_valid_ultrametric_tree
+
+
+class TestRandomSpeciesTree:
+    def test_leaf_count(self):
+        tree = random_species_tree(12, seed=0)
+        assert tree.n_leaves == 12
+
+    def test_is_valid_ultrametric(self):
+        for seed in range(4):
+            tree = random_species_tree(8, seed=seed)
+            assert is_valid_ultrametric_tree(tree)
+
+    def test_depth_respected(self):
+        tree = random_species_tree(8, seed=1, depth=0.5)
+        assert tree.height() == pytest.approx(0.5)
+
+    def test_custom_labels(self):
+        labels = [f"sp{i}" for i in range(6)]
+        tree = random_species_tree(6, seed=2, labels=labels)
+        assert set(tree.leaf_labels) == set(labels)
+
+    def test_single_species(self):
+        tree = random_species_tree(1, seed=3)
+        assert tree.n_leaves == 1
+
+    def test_deterministic(self):
+        a = random_species_tree(7, seed=4)
+        b = random_species_tree(7, seed=4)
+        assert a.distance_matrix().values.tolist() == b.distance_matrix().values.tolist()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_species_tree(0)
+        with pytest.raises(ValueError):
+            random_species_tree(5, depth=-1)
+        with pytest.raises(ValueError):
+            random_species_tree(5, balance=0.0)
+        with pytest.raises(ValueError):
+            random_species_tree(5, labels=["too", "few"])
+
+
+class TestEvolveSequences:
+    def test_all_leaves_get_sequences(self):
+        tree = random_species_tree(10, seed=5)
+        seqs = evolve_sequences(tree, length=200, seed=5)
+        assert set(seqs) == set(tree.leaf_labels)
+
+    def test_sequence_lengths(self):
+        tree = random_species_tree(6, seed=6)
+        seqs = evolve_sequences(tree, length=333, seed=6)
+        assert all(len(s) == 333 for s in seqs.values())
+
+    def test_alphabet(self):
+        tree = random_species_tree(6, seed=7)
+        seqs = evolve_sequences(tree, length=100, seed=7)
+        for s in seqs.values():
+            assert set(s) <= set("ACGT")
+
+    def test_deterministic(self):
+        tree = random_species_tree(5, seed=8)
+        assert evolve_sequences(tree, length=50, seed=9) == evolve_sequences(
+            tree, length=50, seed=9
+        )
+
+    def test_closer_species_have_more_similar_sequences(self):
+        """The molecular clock signal: sequence divergence tracks tree
+        distance on average."""
+        tree = random_species_tree(8, seed=10, depth=0.4)
+        seqs = evolve_sequences(tree, length=2000, seed=10)
+        labels = tree.leaf_labels
+        # Compare the closest and the farthest pair in the true tree.
+        pairs = [
+            (a, b, tree.distance(a, b))
+            for i, a in enumerate(labels)
+            for b in labels[i + 1:]
+        ]
+        closest = min(pairs, key=lambda p: p[2])
+        farthest = max(pairs, key=lambda p: p[2])
+        if farthest[2] > 2 * closest[2]:
+            assert p_distance(seqs[closest[0]], seqs[closest[1]]) <= p_distance(
+                seqs[farthest[0]], seqs[farthest[1]]
+            )
+
+    def test_zero_length_rejected(self):
+        tree = random_species_tree(4, seed=11)
+        with pytest.raises(ValueError):
+            evolve_sequences(tree, length=0)
+
+    def test_single_leaf_tree(self):
+        from repro.tree.ultrametric import UltrametricTree
+
+        seqs = evolve_sequences(UltrametricTree.leaf("x"), length=30, seed=12)
+        assert set(seqs) == {"x"}
+        assert len(seqs["x"]) == 30

@@ -1,0 +1,81 @@
+"""Tests for FASTA I/O."""
+
+import io
+
+import pytest
+
+from repro.sequences.fasta import FastaError, read_fasta, write_fasta
+from repro.sequences.hmdna import generate_hmdna_dataset
+
+
+class TestReadFasta:
+    def test_basic(self):
+        text = ">a\nACGT\n>b\nTTTT\n"
+        assert read_fasta(io.StringIO(text)) == {"a": "ACGT", "b": "TTTT"}
+
+    def test_multiline_sequences(self):
+        text = ">a\nACG\nTAC\nGT\n"
+        assert read_fasta(io.StringIO(text)) == {"a": "ACGTACGT"}
+
+    def test_header_token_only(self):
+        text = ">seq1 Homo sapiens mitochondrion\nACGT\n"
+        assert list(read_fasta(io.StringIO(text))) == ["seq1"]
+
+    def test_lowercase_normalised(self):
+        assert read_fasta(io.StringIO(">a\nacgt\n")) == {"a": "ACGT"}
+
+    def test_blank_lines_ignored(self):
+        text = "\n>a\n\nACGT\n\n>b\nGGGG\n"
+        assert len(read_fasta(io.StringIO(text))) == 2
+
+    def test_validation_rejects_bad_symbols(self):
+        with pytest.raises(ValueError, match="non-DNA"):
+            read_fasta(io.StringIO(">a\nACGX\n"))
+
+    def test_validation_can_be_disabled(self):
+        result = read_fasta(io.StringIO(">a\nACGX\n"), validate=False)
+        assert result == {"a": "ACGX"}
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FastaError, match="no FASTA records"):
+            read_fasta(io.StringIO(""))
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(FastaError, match="before any header"):
+            read_fasta(io.StringIO("ACGT\n>a\nACGT\n"))
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaError, match="empty FASTA header"):
+            read_fasta(io.StringIO(">\nACGT\n"))
+
+    def test_duplicate_record_rejected(self):
+        with pytest.raises(FastaError, match="duplicate"):
+            read_fasta(io.StringIO(">a\nAC\n>a\nGT\n"))
+
+    def test_record_without_sequence_rejected(self):
+        with pytest.raises(FastaError, match="no sequence"):
+            read_fasta(io.StringIO(">a\n>b\nACGT\n"))
+
+
+class TestWriteFasta:
+    def test_round_trip(self):
+        seqs = {"x": "ACGT" * 30, "y": "TTTT"}
+        buffer = io.StringIO()
+        write_fasta(seqs, buffer)
+        assert read_fasta(io.StringIO(buffer.getvalue())) == seqs
+
+    def test_line_wrapping(self):
+        buffer = io.StringIO()
+        write_fasta({"x": "A" * 100}, buffer, line_width=30)
+        lines = buffer.getvalue().splitlines()
+        assert max(len(line) for line in lines[1:]) == 30
+
+    def test_file_round_trip(self, tmp_path):
+        dataset = generate_hmdna_dataset(6, seed=1, sequence_length=80)
+        path = tmp_path / "seqs.fasta"
+        write_fasta(dataset.sequences, path)
+        assert read_fasta(path) == dataset.sequences
+
+    def test_bad_line_width(self):
+        with pytest.raises(ValueError):
+            write_fasta({"a": "ACGT"}, io.StringIO(), line_width=0)

@@ -1,0 +1,75 @@
+"""Tests for the synthetic HMDNA datasets."""
+
+import pytest
+
+from repro.graph.compact_sets import find_compact_sets
+from repro.sequences.hmdna import generate_hmdna_dataset, hmdna_matrices
+from repro.tree.checks import is_valid_ultrametric_tree
+
+
+class TestGenerateHmdna:
+    def test_species_count(self):
+        d = generate_hmdna_dataset(12, seed=0)
+        assert d.n_species == 12
+        assert d.matrix.n == 12
+
+    def test_sequences_match_labels(self):
+        d = generate_hmdna_dataset(10, seed=1)
+        assert set(d.sequences) == set(d.matrix.labels)
+
+    def test_matrix_is_metric(self):
+        for seed in range(3):
+            d = generate_hmdna_dataset(10, seed=seed)
+            assert d.matrix.is_metric()
+
+    def test_true_tree_valid(self):
+        d = generate_hmdna_dataset(10, seed=2)
+        assert is_valid_ultrametric_tree(d.true_tree)
+        assert set(d.true_tree.leaf_labels) == set(d.matrix.labels)
+
+    def test_deterministic(self):
+        a = generate_hmdna_dataset(8, seed=3)
+        b = generate_hmdna_dataset(8, seed=3)
+        assert (a.matrix.values == b.matrix.values).all()
+
+    def test_haplogroup_structure_present(self):
+        """The cluster signal that makes compact sets useful on HMDNA."""
+        with_structure = 0
+        for seed in range(5):
+            d = generate_hmdna_dataset(16, seed=seed)
+            if len(find_compact_sets(d.matrix)) >= 2:
+                with_structure += 1
+        assert with_structure >= 3
+
+    def test_sequence_length_option(self):
+        d = generate_hmdna_dataset(6, seed=4, sequence_length=123)
+        assert all(len(s) == 123 for s in d.sequences.values())
+
+    def test_distance_method_option(self):
+        d = generate_hmdna_dataset(6, seed=5, method="jukes-cantor")
+        assert d.matrix.is_metric()
+
+    def test_name(self):
+        d = generate_hmdna_dataset(6, seed=6, name="xyz")
+        assert d.name == "xyz"
+
+
+class TestHmdnaMatrices:
+    def test_batch_counts(self):
+        batch = hmdna_matrices(8, 4, seed=0)
+        assert len(batch) == 4
+        assert all(d.n_species == 8 for d in batch)
+
+    def test_batch_instances_differ(self):
+        batch = hmdna_matrices(8, 2, seed=1)
+        assert not (batch[0].matrix.values == batch[1].matrix.values).all()
+
+    def test_batch_deterministic(self):
+        a = hmdna_matrices(6, 2, seed=2)
+        b = hmdna_matrices(6, 2, seed=2)
+        assert (a[0].matrix.values == b[0].matrix.values).all()
+        assert (a[1].matrix.values == b[1].matrix.values).all()
+
+    def test_names_enumerated(self):
+        batch = hmdna_matrices(6, 3, seed=3)
+        assert batch[0].name != batch[1].name != batch[2].name

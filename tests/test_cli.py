@@ -1,0 +1,258 @@
+"""Tests for the repro-mut command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.matrix.generators import clustered_matrix
+from repro.matrix.io import read_phylip, write_phylip
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    path = tmp_path / "matrix.phy"
+    write_phylip(clustered_matrix([3, 3], seed=1), path)
+    return str(path)
+
+
+class TestBuild:
+    def test_default_method(self, matrix_file, capsys):
+        assert main(["build", matrix_file]) == 0
+        out = capsys.readouterr().out
+        assert "method : compact" in out
+        assert "cost" in out
+
+    @pytest.mark.parametrize("method", ["bnb", "upgma", "upgmm", "nj"])
+    def test_methods(self, matrix_file, method, capsys):
+        assert main(["build", matrix_file, "--method", method]) == 0
+        assert f"method : {method}" in capsys.readouterr().out
+
+    def test_parallel_method(self, matrix_file, capsys):
+        assert main([
+            "build", matrix_file, "--method", "parallel-bnb", "--workers", "4"
+        ]) == 0
+        assert "cost" in capsys.readouterr().out
+
+    def test_json_output(self, matrix_file, capsys):
+        assert main(["build", matrix_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_species"] == 6
+        assert payload["newick"].endswith(";")
+
+    def test_newick_out(self, matrix_file, tmp_path, capsys):
+        out = tmp_path / "tree.nwk"
+        assert main(["build", matrix_file, "--newick-out", str(out)]) == 0
+        from repro.tree.newick import parse_newick
+
+        tree = parse_newick(out.read_text())
+        assert tree.n_leaves == 6
+
+    def test_reduction_option(self, matrix_file, capsys):
+        assert main(["build", matrix_file, "--reduction", "average"]) == 0
+
+    def test_missing_file(self, capsys):
+        with pytest.raises(SystemExit, match="no such matrix"):
+            main(["build", "/nonexistent/file.phy"])
+
+    def test_csv_input(self, tmp_path, capsys):
+        from repro.matrix.io import write_csv_matrix
+
+        path = tmp_path / "m.csv"
+        write_csv_matrix(clustered_matrix([2, 3], seed=2), path)
+        assert main(["build", str(path), "--method", "upgmm"]) == 0
+
+
+class TestCompactSets:
+    def test_text_output(self, matrix_file, capsys):
+        assert main(["compact-sets", matrix_file]) == 0
+        out = capsys.readouterr().out
+        assert "compact set" in out
+        assert "largest reduced matrix" in out
+
+    def test_json_output(self, matrix_file, capsys):
+        assert main(["compact-sets", matrix_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_species"] == 6
+        assert isinstance(payload["compact_sets"], list)
+        # The two generated clusters must appear.
+        sets = {tuple(sorted(s)) for s in payload["compact_sets"]}
+        assert ("s0", "s1", "s2") in sets
+        assert ("s3", "s4", "s5") in sets
+
+
+class TestGenerate:
+    def test_hmdna(self, tmp_path, capsys):
+        out = tmp_path / "gen.phy"
+        assert main([
+            "generate", "--kind", "hmdna", "--species", "8",
+            "--seed", "5", "--out", str(out),
+        ]) == 0
+        matrix = read_phylip(out)
+        assert matrix.n == 8
+        assert matrix.is_metric()
+
+    def test_random(self, tmp_path, capsys):
+        out = tmp_path / "gen.phy"
+        assert main([
+            "generate", "--kind", "random", "--species", "7",
+            "--seed", "2", "--out", str(out),
+        ]) == 0
+        assert read_phylip(out).n == 7
+
+    def test_roundtrip_build(self, tmp_path, capsys):
+        out = tmp_path / "gen.phy"
+        main(["generate", "--species", "8", "--seed", "1", "--out", str(out)])
+        assert main(["build", str(out), "--method", "compact"]) == 0
+
+
+class TestDistances:
+    def test_fasta_to_matrix(self, tmp_path, capsys):
+        from repro.sequences.fasta import write_fasta
+
+        fasta = tmp_path / "seqs.fasta"
+        write_fasta({"a": "AAAA", "b": "AACC", "c": "CCCC"}, fasta)
+        out = tmp_path / "m.phy"
+        assert main(["distances", str(fasta), "--out", str(out)]) == 0
+        matrix = read_phylip(out)
+        assert matrix.n == 3
+        assert matrix["a", "c"] == 4.0
+
+    def test_distance_method(self, tmp_path, capsys):
+        from repro.sequences.fasta import write_fasta
+
+        fasta = tmp_path / "seqs.fasta"
+        write_fasta({"a": "ACGT", "b": "ACG"}, fasta)
+        out = tmp_path / "m.phy"
+        assert main([
+            "distances", str(fasta), "--out", str(out), "--distance", "edit"
+        ]) == 0
+        assert read_phylip(out)["a", "b"] == 1.0
+
+    def test_missing_fasta(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such FASTA"):
+            main(["distances", "/nope.fasta", "--out", str(tmp_path / "m.phy")])
+
+
+class TestRender:
+    def test_render_output(self, matrix_file, capsys):
+        assert main(["render", matrix_file, "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "cost" in out
+        assert "+" in out and "-" in out
+        for label in ("s0", "s5"):
+            assert label in out
+
+    def test_render_rejects_nj(self, matrix_file):
+        with pytest.raises(SystemExit, match="ultrametric"):
+            main(["render", matrix_file, "--method", "nj"])
+
+
+class TestValidate:
+    def test_validate_ok(self, matrix_file, capsys):
+        assert main(["validate", matrix_file]) == 0
+        out = capsys.readouterr().out
+        assert "verdict            : OK" in out
+
+    def test_validate_with_optimal(self, matrix_file, capsys):
+        assert main(["validate", matrix_file, "--compare-optimal"]) == 0
+        assert "exact optimum" in capsys.readouterr().out
+
+    def test_validate_rejects_nj(self, matrix_file):
+        with pytest.raises(SystemExit, match="ultrametric"):
+            main(["validate", matrix_file, "--method", "nj"])
+
+
+class TestCompare:
+    def test_identical_trees(self, matrix_file, tmp_path, capsys):
+        a = tmp_path / "a.nwk"
+        b = tmp_path / "b.nwk"
+        main(["build", matrix_file, "--newick-out", str(a)])
+        main(["build", matrix_file, "--newick-out", str(b)])
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "Robinson-Foulds distance : 0" in out
+
+    def test_json_output(self, matrix_file, tmp_path, capsys):
+        a = tmp_path / "a.nwk"
+        main(["build", matrix_file, "--newick-out", str(a)])
+        capsys.readouterr()
+        assert main(["compare", str(a), str(a), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["robinson_foulds"] == 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such tree"):
+            main(["compare", "/nope.nwk", "/nope2.nwk"])
+
+
+class TestGenerateFasta:
+    def test_fasta_out(self, tmp_path, capsys):
+        out = tmp_path / "m.phy"
+        fasta = tmp_path / "seqs.fasta"
+        assert main([
+            "generate", "--kind", "hmdna", "--species", "6", "--seed", "3",
+            "--out", str(out), "--fasta-out", str(fasta),
+        ]) == 0
+        from repro.sequences.fasta import read_fasta
+
+        assert len(read_fasta(fasta)) == 6
+
+    def test_fasta_out_requires_hmdna(self, tmp_path):
+        with pytest.raises(SystemExit, match="hmdna"):
+            main([
+                "generate", "--kind", "random", "--species", "5",
+                "--out", str(tmp_path / "m.phy"),
+                "--fasta-out", str(tmp_path / "s.fasta"),
+            ])
+
+
+class TestInspect:
+    def test_text_output(self, matrix_file, capsys):
+        assert main(["inspect", matrix_file]) == 0
+        out = capsys.readouterr().out
+        assert "species" in out
+        assert "compact sets" in out
+        assert "recommendation" in out
+
+    def test_json_output(self, matrix_file, capsys):
+        assert main(["inspect", matrix_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 6
+        assert payload["is_metric"] is True
+        assert 0.0 <= payload["structure_score"] <= 1.0
+
+
+class TestBootstrapCommand:
+    @pytest.fixture
+    def fasta_file(self, tmp_path):
+        from repro.sequences.fasta import write_fasta
+        from repro.sequences.hmdna import generate_hmdna_dataset
+
+        dataset = generate_hmdna_dataset(6, seed=4, sequence_length=200)
+        path = tmp_path / "seqs.fasta"
+        write_fasta(dataset.sequences, path)
+        return str(path)
+
+    def test_text_output(self, fasta_file, capsys):
+        assert main([
+            "bootstrap", fasta_file, "--replicates", "5", "--seed", "1"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "clade support" in out
+        assert "%" in out
+
+    def test_json_output(self, fasta_file, capsys):
+        assert main([
+            "bootstrap", fasta_file, "--replicates", "4", "--json"
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replicates"] == 4
+        assert payload["newick"].endswith(";")
+        for entry in payload["support"]:
+            assert 0.0 <= entry["support"] <= 1.0
+
+    def test_missing_fasta(self):
+        with pytest.raises(SystemExit, match="no such FASTA"):
+            main(["bootstrap", "/nope.fasta"])

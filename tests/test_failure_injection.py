@@ -1,0 +1,142 @@
+"""Failure injection: how the pipeline behaves on hostile inputs.
+
+A tool shipped to biologists sees malformed files, non-metric data and
+degenerate matrices.  These tests pin down the contract: structural
+garbage fails fast with a clear error, while mathematically unusual but
+well-formed inputs (ties, zeros, non-metric symmetric data) are handled
+gracefully and still yield feasible trees.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bnb.sequential import exact_mut
+from repro.core.pipeline import CompactSetTreeBuilder
+from repro.heuristics.upgma import upgmm
+from repro.matrix.distance_matrix import DistanceMatrix, MatrixValidationError
+from repro.matrix.repair import metric_closure
+from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
+
+
+class TestStructuralGarbage:
+    def test_nan_rejected_at_construction(self):
+        with pytest.raises(MatrixValidationError, match="finite"):
+            DistanceMatrix([[0, math.nan], [math.nan, 0]])
+
+    def test_inf_rejected_at_construction(self):
+        with pytest.raises(MatrixValidationError, match="finite"):
+            DistanceMatrix([[0, math.inf], [math.inf, 0]])
+
+    def test_asymmetry_rejected(self):
+        with pytest.raises(MatrixValidationError, match="symmetric"):
+            DistanceMatrix([[0, 1, 2], [1, 0, 3], [2, 3.5, 0]])
+
+    def test_ragged_input_rejected(self):
+        with pytest.raises((MatrixValidationError, ValueError)):
+            DistanceMatrix([[0, 1], [1, 0, 2]])
+
+    def test_string_entries_rejected(self):
+        with pytest.raises((TypeError, ValueError)):
+            DistanceMatrix([[0, "far"], ["far", 0]])
+
+
+class TestDegenerateButLegal:
+    def test_all_zero_distances(self):
+        """Identical species: every tree collapses to zero cost."""
+        m = DistanceMatrix(np.zeros((4, 4)))
+        result = exact_mut(m)
+        assert result.cost == pytest.approx(0.0)
+        assert is_valid_ultrametric_tree(result.tree)
+
+    def test_all_equal_distances(self):
+        m = DistanceMatrix(
+            5.0 * (np.ones((5, 5)) - np.eye(5))
+        )
+        result = exact_mut(m)
+        # Every topology costs the same: root at 2.5, all internals 2.5.
+        assert result.cost == pytest.approx(upgmm(m).cost())
+        assert dominates_matrix(result.tree, m)
+
+    def test_heavily_tied_matrix(self):
+        values = np.array(
+            [
+                [0, 1, 2, 2, 2],
+                [1, 0, 2, 2, 2],
+                [2, 2, 0, 1, 2],
+                [2, 2, 1, 0, 2],
+                [2, 2, 2, 2, 0],
+            ],
+            dtype=float,
+        )
+        m = DistanceMatrix(values)
+        result = exact_mut(m)
+        assert dominates_matrix(result.tree, m)
+        pipeline = CompactSetTreeBuilder().build(m)
+        assert dominates_matrix(pipeline.tree, m)
+
+    def test_huge_dynamic_range(self):
+        m = metric_closure(DistanceMatrix(
+            [[0, 1e-6, 1e6], [1e-6, 0, 1e6], [1e6, 1e6, 0]]
+        ))
+        result = exact_mut(m)
+        assert is_valid_ultrametric_tree(result.tree)
+        assert dominates_matrix(result.tree, m)
+
+
+class TestNonMetricInput:
+    """The MUT constraint d_T >= M never needs the triangle inequality;
+    the solvers must stay correct (if slower) on raw non-metric data."""
+
+    def non_metric(self):
+        return DistanceMatrix(
+            [[0, 1, 10, 2], [1, 0, 1, 9], [10, 1, 0, 1], [2, 9, 1, 0]]
+        )
+
+    def test_input_really_is_non_metric(self):
+        assert not self.non_metric().is_metric()
+
+    def test_upgmm_still_dominates(self):
+        m = self.non_metric()
+        assert dominates_matrix(upgmm(m), m)
+
+    def test_bnb_still_optimal(self):
+        from repro.bnb.enumeration import brute_force_mut
+
+        m = self.non_metric()
+        result = exact_mut(m)
+        _, certified = brute_force_mut(m)
+        assert result.cost == pytest.approx(certified)
+        assert dominates_matrix(result.tree, m)
+
+    def test_compact_pipeline_still_feasible(self):
+        m = self.non_metric()
+        result = CompactSetTreeBuilder().build(m)
+        assert dominates_matrix(result.tree, m)
+
+
+class TestFileLevelFailures:
+    def test_truncated_phylip(self, tmp_path):
+        from repro.matrix.io import read_phylip
+
+        path = tmp_path / "bad.phy"
+        path.write_text("5\nonly_one 0 1 2 3 4\n")
+        with pytest.raises(MatrixValidationError):
+            read_phylip(path)
+
+    def test_binary_garbage_fasta(self, tmp_path):
+        from repro.sequences.fasta import FastaError, read_fasta
+
+        path = tmp_path / "bad.fasta"
+        path.write_text("\x00\x01\x02 not fasta at all")
+        with pytest.raises((FastaError, ValueError)):
+            read_fasta(path)
+
+    def test_cli_survives_bad_matrix_gracefully(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.phy"
+        path.write_text("not a matrix")
+        with pytest.raises((SystemExit, MatrixValidationError)):
+            main(["build", str(path)])

@@ -1,0 +1,134 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test drives a complete user workflow through the public API only,
+the way the examples do -- catching wiring bugs no unit test would.
+"""
+
+import io
+
+import pytest
+
+from repro import (
+    ClusterConfig,
+    CompactSetTreeBuilder,
+    construct_tree,
+    distance_matrix_from_sequences,
+    exact_mut,
+    generate_hmdna_dataset,
+    hierarchical_matrix,
+    matrix_summary,
+    parse_newick,
+    random_metric_matrix,
+    read_phylip,
+    to_newick,
+    upgmm,
+    validate_tree,
+    write_phylip,
+)
+from repro.sequences.bootstrap import bootstrap_support
+from repro.sequences.fasta import read_fasta, write_fasta
+from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
+from repro.tree.compare import normalized_robinson_foulds
+
+
+class TestSequenceToTreeWorkflow:
+    def test_fasta_round_trip_to_validated_tree(self, tmp_path):
+        """FASTA -> matrix -> compact tree -> Newick -> re-parse -> validate."""
+        dataset = generate_hmdna_dataset(12, seed=3, sequence_length=400)
+        fasta_path = tmp_path / "seqs.fasta"
+        write_fasta(dataset.sequences, fasta_path)
+
+        sequences = read_fasta(fasta_path)
+        matrix = distance_matrix_from_sequences(sequences, method="p-count")
+        result = construct_tree(matrix, method="compact", max_exact_size=14)
+
+        newick = to_newick(result.tree, precision=12)
+        reparsed = parse_newick(newick)
+        assert reparsed.cost() == pytest.approx(result.cost)
+
+        report = validate_tree(reparsed, matrix)
+        assert report.ok
+
+    def test_bootstrap_closes_the_loop(self):
+        dataset = generate_hmdna_dataset(8, seed=9, sequence_length=400)
+        result = construct_tree(dataset.matrix, method="compact")
+        support = bootstrap_support(
+            result.tree, dataset.sequences, n_replicates=8, seed=9
+        )
+        assert support
+        assert all(0.0 <= value <= 1.0 for value in support.values())
+
+    def test_inferred_tree_close_to_truth(self):
+        """Long sequences: the pipeline recovers (most of) the true tree."""
+        dataset = generate_hmdna_dataset(10, seed=4, sequence_length=3000)
+        result = construct_tree(dataset.matrix, method="compact")
+        distance = normalized_robinson_foulds(result.tree, dataset.true_tree)
+        assert distance <= 0.5
+
+
+class TestMatrixFileWorkflow:
+    def test_phylip_round_trip_preserves_solution(self, tmp_path):
+        matrix = hierarchical_matrix([[3, 2], [4]], seed=5)
+        path = tmp_path / "matrix.phy"
+        write_phylip(matrix, path)
+        loaded = read_phylip(path)
+        assert exact_mut(loaded).cost == pytest.approx(exact_mut(matrix).cost)
+
+    def test_summary_predicts_decomposition(self):
+        structured = hierarchical_matrix([[3, 3], [3, 3]], seed=6)
+        summary = matrix_summary(structured)
+        result = CompactSetTreeBuilder().build(structured)
+        assert result.max_subproblem_size == summary.max_subproblem_size
+
+
+class TestSolverAgreement:
+    """All exact engines must agree; all feasible engines must dominate."""
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_three_exact_engines_agree(self, seed):
+        from repro import ParallelBranchAndBound, multiprocess_mut
+
+        matrix = random_metric_matrix(9, seed=seed)
+        sequential = exact_mut(matrix)
+        simulated = ParallelBranchAndBound(
+            ClusterConfig(n_workers=4)
+        ).solve(matrix)
+        processes = multiprocess_mut(matrix, n_workers=2)
+        assert simulated.cost == pytest.approx(sequential.cost)
+        assert processes.cost == pytest.approx(sequential.cost)
+
+    def test_feasible_methods_dominate_everywhere(self):
+        matrix = hierarchical_matrix([[3, 2], [3]], seed=7)
+        for method in ("bnb", "compact", "upgmm", "greedy"):
+            result = construct_tree(matrix, method)
+            assert dominates_matrix(result.tree, matrix), method
+            assert is_valid_ultrametric_tree(result.tree), method
+
+    def test_compact_parallel_equals_compact(self):
+        matrix = hierarchical_matrix([[4, 3], [4]], seed=8)
+        a = construct_tree(matrix, "compact")
+        b = construct_tree(
+            matrix, "compact-parallel", cluster=ClusterConfig(n_workers=8)
+        )
+        assert a.cost == pytest.approx(b.cost)
+
+
+class TestScaleWorkflow:
+    def test_thirty_eight_species_end_to_end(self):
+        """The scaled HPCAsia headline as a single library call."""
+        matrix = hierarchical_matrix(
+            [[7, 6], [6, 6], [7, 6]], seed=38, jitter=0.3
+        )
+        assert matrix.n == 38
+        result = construct_tree(matrix, method="compact", max_exact_size=16)
+        assert is_valid_ultrametric_tree(result.tree)
+        assert dominates_matrix(result.tree, matrix)
+        assert result.cost <= upgmm(matrix).cost() + 1e-9
+
+    def test_anytime_behaviour_on_a_budget(self):
+        matrix = random_metric_matrix(14, seed=42)
+        budget = construct_tree(matrix, "bnb", node_limit=50)
+        full = construct_tree(matrix, "bnb")
+        assert budget.details.stats.node_limit_hit
+        assert budget.cost >= full.cost - 1e-9
+        assert dominates_matrix(budget.tree, matrix)

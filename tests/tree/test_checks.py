@@ -1,0 +1,111 @@
+"""Tests for tree validity, feasibility and 3-3 relation checks."""
+
+import pytest
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.tree.checks import (
+    count_33_contradictions,
+    dominates_matrix,
+    is_valid_ultrametric_tree,
+    triple_relations,
+)
+from repro.tree.ultrametric import TreeNode, UltrametricTree
+
+
+def tree_ab_c(h_inner=1.0, h_root=4.0):
+    inner = TreeNode(h_inner, [TreeNode(label="a"), TreeNode(label="b")])
+    return UltrametricTree(TreeNode(h_root, [inner, TreeNode(label="c")]))
+
+
+class TestStructuralValidity:
+    def test_valid_tree(self):
+        assert is_valid_ultrametric_tree(tree_ab_c())
+
+    def test_leaf_tree_valid(self):
+        assert is_valid_ultrametric_tree(UltrametricTree.leaf("x"))
+
+    def test_height_inversion_invalid(self):
+        inner = TreeNode(5.0, [TreeNode(label="a"), TreeNode(label="b")])
+        bad = UltrametricTree(TreeNode(2.0, [inner, TreeNode(label="c")]))
+        assert not is_valid_ultrametric_tree(bad)
+
+    def test_nonbinary_rejected_by_default(self):
+        root = TreeNode(
+            1.0,
+            [TreeNode(label="a"), TreeNode(label="b"), TreeNode(label="c")],
+        )
+        tree = UltrametricTree(root)
+        assert not is_valid_ultrametric_tree(tree)
+        assert is_valid_ultrametric_tree(tree, binary=False)
+
+    def test_raised_leaf_invalid(self):
+        leaf = TreeNode(0.5, label="a")
+        root = TreeNode(1.0, [leaf, TreeNode(label="b")])
+        assert not is_valid_ultrametric_tree(UltrametricTree(root))
+
+
+class TestDominatesMatrix:
+    def test_feasible(self, tiny_matrix):
+        # heights 1 and 4 -> distances 2 and 8 == matrix.
+        assert dominates_matrix(tree_ab_c(), tiny_matrix)
+
+    def test_infeasible(self, tiny_matrix):
+        # Root too low: d(a, c) = 6 < 8.
+        assert not dominates_matrix(tree_ab_c(h_root=3.0), tiny_matrix)
+
+    def test_strictly_dominating(self, tiny_matrix):
+        assert dominates_matrix(tree_ab_c(h_inner=2.0, h_root=5.0), tiny_matrix)
+
+    def test_label_mismatch_raises(self, tiny_matrix):
+        wrong = UltrametricTree.join(
+            UltrametricTree.leaf("x"), UltrametricTree.leaf("y"), 1.0
+        )
+        with pytest.raises(ValueError):
+            dominates_matrix(wrong, tiny_matrix)
+
+
+class TestTripleRelations:
+    def test_consistent_tree(self, tiny_matrix):
+        consistent, contradictory, bad = triple_relations(tree_ab_c(), tiny_matrix)
+        assert (consistent, contradictory) == (1, 0)
+        assert bad == []
+
+    def test_contradictory_tree(self, tiny_matrix):
+        # Tree joins a with c first although the matrix says (a, b) is
+        # the closest pair.
+        inner = TreeNode(1.0, [TreeNode(label="a"), TreeNode(label="c")])
+        bad_tree = UltrametricTree(
+            TreeNode(4.0, [inner, TreeNode(label="b")])
+        )
+        assert count_33_contradictions(bad_tree, tiny_matrix) == 1
+
+    def test_tied_triple_counts_consistent(self):
+        m = DistanceMatrix(
+            [[0, 4, 4], [4, 0, 4], [4, 4, 0]], labels=["a", "b", "c"]
+        )
+        consistent, contradictory, _ = triple_relations(tree_ab_c(2, 2), m)
+        assert contradictory == 0
+        assert consistent == 1
+
+    def test_count_over_larger_tree(self, square5):
+        from repro.heuristics.upgma import upgmm
+
+        tree = upgmm(square5)
+        # UPGMM on clearly clustered data respects all relations.
+        assert count_33_contradictions(tree, square5) == 0
+
+    def test_exact_tree_has_fewer_contradictions_than_scrambled(self, square5):
+        from repro.bnb.sequential import exact_mut
+
+        good = exact_mut(square5).tree
+        # Deliberately scrambled caterpillar tree.
+        nodes = [TreeNode(label=name) for name in square5.labels]
+        current = nodes[0]
+        height = 1.0
+        for leaf in nodes[1:]:
+            current = TreeNode(height, [current, leaf])
+            height += 3.0
+        scrambled = UltrametricTree(current)
+        assert count_33_contradictions(good, square5) <= count_33_contradictions(
+            scrambled, square5
+        )

@@ -1,0 +1,87 @@
+"""Tests for Newick serialization."""
+
+import pytest
+
+from repro.heuristics.upgma import upgmm
+from repro.matrix.generators import random_metric_matrix
+from repro.tree.newick import NewickError, parse_newick, to_newick
+from repro.tree.ultrametric import TreeNode, UltrametricTree
+
+
+def simple_tree():
+    inner = TreeNode(1.0, [TreeNode(label="a"), TreeNode(label="b")])
+    return UltrametricTree(TreeNode(4.0, [inner, TreeNode(label="c")]))
+
+
+class TestToNewick:
+    def test_format(self):
+        s = to_newick(simple_tree())
+        assert s == "((a:1.000000,b:1.000000):3.000000,c:4.000000);"
+
+    def test_single_leaf(self):
+        assert to_newick(UltrametricTree.leaf("only")) == "only;"
+
+    def test_quoting_special_labels(self):
+        t = UltrametricTree.join(
+            UltrametricTree.leaf("sp one"), UltrametricTree.leaf("x:y"), 1.0
+        )
+        s = to_newick(t)
+        assert "'sp one'" in s
+        assert "'x:y'" in s
+
+    def test_precision(self):
+        s = to_newick(simple_tree(), precision=2)
+        assert ":1.00" in s
+
+
+class TestParseNewick:
+    def test_round_trip(self):
+        t = simple_tree()
+        back = parse_newick(to_newick(t, precision=10))
+        assert back.leaf_labels == t.leaf_labels
+        assert back.cost() == pytest.approx(t.cost())
+        assert back.distance("a", "c") == pytest.approx(8.0)
+
+    def test_round_trip_random_trees(self):
+        for seed in range(4):
+            t = upgmm(random_metric_matrix(9, seed=seed))
+            back = parse_newick(to_newick(t, precision=12))
+            assert back.cost() == pytest.approx(t.cost())
+            for a in t.leaf_labels[:3]:
+                for b in t.leaf_labels[3:6]:
+                    assert back.distance(a, b) == pytest.approx(t.distance(a, b))
+
+    def test_quoted_labels_round_trip(self):
+        t = UltrametricTree.join(
+            UltrametricTree.leaf("a b"), UltrametricTree.leaf("it's"), 2.0
+        )
+        back = parse_newick(to_newick(t))
+        assert set(back.leaf_labels) == {"a b", "it's"}
+
+    def test_single_leaf(self):
+        t = parse_newick("x;")
+        assert t.leaf_labels == ["x"]
+
+    def test_whitespace_tolerated(self):
+        t = parse_newick(" ( a:1 , b:1 ) ; ")
+        assert set(t.leaf_labels) == {"a", "b"}
+
+    def test_missing_semicolon_ok(self):
+        t = parse_newick("(a:1,b:1)")
+        assert t.n_leaves == 2
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(NewickError):
+            parse_newick("((a:1,b:1;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(NewickError, match="trailing"):
+            parse_newick("(a:1,b:1);xyz")
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(NewickError, match="unterminated"):
+            parse_newick("('a:1,b:1);")
+
+    def test_leaf_without_label_rejected(self):
+        with pytest.raises(NewickError, match="label"):
+            parse_newick("(:1.0,b:1.0);")

@@ -1,0 +1,83 @@
+"""Tests for ASCII tree rendering."""
+
+import pytest
+
+from repro.heuristics.upgma import upgmm
+from repro.matrix.generators import hierarchical_matrix, random_metric_matrix
+from repro.tree.render import render_ascii, render_heights
+from repro.tree.ultrametric import TreeNode, UltrametricTree
+
+
+def simple_tree():
+    inner = TreeNode(1.0, [TreeNode(label="a"), TreeNode(label="b")])
+    return UltrametricTree(TreeNode(4.0, [inner, TreeNode(label="c")]))
+
+
+class TestRenderAscii:
+    def test_every_leaf_appears_once(self):
+        art = render_ascii(simple_tree(), width=20)
+        for label in ("a", "b", "c"):
+            assert art.count(f" {label}") == 1
+
+    def test_line_count_equals_leaf_count(self):
+        # Binary dendrogram: one line per leaf.
+        art = render_ascii(simple_tree(), width=20)
+        assert len(art.splitlines()) == 3
+
+    def test_proportional_columns(self):
+        """Deeper merges start farther right."""
+        art = render_ascii(simple_tree(), width=20).splitlines()
+        # Line for 'c' hangs off the root (column 0); the (a, b) pair
+        # joins at 3/4 of the width.
+        c_line = next(line for line in art if line.endswith(" c"))
+        a_line = next(line for line in art if line.endswith(" a"))
+        assert c_line.startswith("+")
+        # a's connector to the inner node sits at column ~15.
+        assert a_line.index("+", 1) == pytest.approx(15, abs=1)
+
+    def test_all_lines_equal_branch_width(self):
+        tree = upgmm(random_metric_matrix(9, seed=1))
+        art = render_ascii(tree, width=40)
+        for line in art.splitlines():
+            label_start = line.rindex(" ")
+            assert label_start == 40  # labels start right after the branch area
+
+    def test_single_leaf(self):
+        art = render_ascii(UltrametricTree.leaf("only"))
+        assert art == "- only"
+
+    def test_larger_tree_smoke(self):
+        tree = upgmm(hierarchical_matrix([[3, 2], [4]], seed=2))
+        art = render_ascii(tree, width=50)
+        assert len(art.splitlines()) == 9
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_ascii(simple_tree(), width=2)
+
+    def test_rails_are_vertical(self):
+        """Every '|' must sit directly under a '+' or another '|'."""
+        tree = upgmm(random_metric_matrix(10, seed=3))
+        lines = render_ascii(tree, width=30).splitlines()
+        for row, line in enumerate(lines[1:], start=1):
+            for col, ch in enumerate(line):
+                if ch == "|":
+                    above = lines[row - 1][col] if col < len(lines[row - 1]) else " "
+                    assert above in "+|", (row, col, above)
+
+
+class TestRenderHeights:
+    def test_lists_internal_nodes(self):
+        text = render_heights(simple_tree())
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "{a, b}" in lines[0]
+        assert "{a, b, c}" in lines[1]
+
+    def test_sorted_by_height(self):
+        tree = upgmm(random_metric_matrix(8, seed=4))
+        heights = [
+            float(line.split("=", 1)[1].split()[0])
+            for line in render_heights(tree).splitlines()
+        ]
+        assert heights == sorted(heights)
