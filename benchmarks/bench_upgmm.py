@@ -1,0 +1,132 @@
+"""UPGMM hot-path benchmark: vectorised vs reference agglomerative path.
+
+Times :func:`repro.heuristics.upgma.agglomerative_tree` (the production,
+vectorised implementation) against
+:func:`~repro.heuristics.upgma.agglomerative_tree_reference` (the original
+pure-Python loop kept as the differential oracle) on random metric
+matrices, verifies both produce trees of identical cost, and writes a
+machine-readable ``BENCH_upgmm.json`` so later PRs have a perf
+trajectory to beat.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_upgmm.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_upgmm.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_upgmm.py --out path.json
+
+The acceptance gate for the hot-path overhaul is a >= 10x speedup at
+n=200; ``acceptance.n200_speedup`` in the JSON records the measured
+value (absent in ``--quick`` mode, which stops at smaller n).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.heuristics.upgma import (
+    _maximum_linkage,
+    agglomerative_tree,
+    agglomerative_tree_reference,
+)
+from repro.matrix.generators import random_metric_matrix
+
+FULL_SIZES = (50, 100, 200)
+QUICK_SIZES = (30, 60)
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_upgmm.json"
+
+
+def _best_of(fn, repeats: int):
+    """Minimum wall time of ``repeats`` runs, plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def run(sizes, *, fast_repeats: int = 5, seed: int = 0) -> dict:
+    results = []
+    for n in sizes:
+        matrix = random_metric_matrix(n, seed=seed, integer=False)
+        fast_s, fast_tree = _best_of(
+            lambda: agglomerative_tree(matrix, _maximum_linkage), fast_repeats
+        )
+        ref_s, ref_tree = _best_of(
+            lambda: agglomerative_tree_reference(matrix, _maximum_linkage), 1
+        )
+        fast_cost, ref_cost = fast_tree.cost(), ref_tree.cost()
+        if abs(fast_cost - ref_cost) > 1e-6:
+            raise AssertionError(
+                f"differential mismatch at n={n}: "
+                f"fast={fast_cost!r} reference={ref_cost!r}"
+            )
+        row = {
+            "n": n,
+            "linkage": "upgmm",
+            "fast_seconds": fast_s,
+            "reference_seconds": ref_s,
+            "speedup": ref_s / fast_s if fast_s > 0 else float("inf"),
+            "cost": fast_cost,
+        }
+        results.append(row)
+        print(
+            f"n={n:4d}  fast={fast_s * 1e3:9.2f} ms  "
+            f"reference={ref_s * 1e3:9.2f} ms  speedup={row['speedup']:7.1f}x"
+        )
+    report = {
+        "benchmark": "upgmm-agglomerative-hot-path",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "seed": seed,
+        "results": results,
+    }
+    by_n = {r["n"]: r for r in results}
+    if 200 in by_n:
+        report["acceptance"] = {
+            "n200_speedup": by_n[200]["speedup"],
+            "required_min_speedup": 10.0,
+            "passed": by_n[200]["speedup"] >= 10.0,
+        }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes only (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=None,
+        help="comma-separated species counts (overrides --quick)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    sizes = args.sizes or (QUICK_SIZES if args.quick else FULL_SIZES)
+    report = run(sizes)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    acceptance = report.get("acceptance")
+    if acceptance is not None and not acceptance["passed"]:
+        print("ACCEPTANCE FAILED: n=200 speedup below 10x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

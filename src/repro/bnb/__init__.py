@@ -14,6 +14,7 @@ from repro.bnb.bounds import (
     half_matrix,
     minfront_tails,
     minlink_tails,
+    search_context,
 )
 from repro.bnb.sequential import (
     BranchAndBoundSolver,
@@ -34,6 +35,7 @@ __all__ = [
     "half_matrix",
     "minfront_tails",
     "minlink_tails",
+    "search_context",
     "BranchAndBoundSolver",
     "BBUResult",
     "SearchStats",

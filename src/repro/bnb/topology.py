@@ -217,6 +217,55 @@ class PartialTopology:
         return clone
 
     # ------------------------------------------------------------------
+    def to_payload(self) -> tuple:
+        """Compact picklable state *excluding* the shared ``half`` matrix.
+
+        Workers and the master both hold ``half`` already, so shipping a
+        topology across a process boundary only needs the flat arrays.
+        Heights travel as native floats (bit-exact through pickle), which
+        is what lets the multiprocess engine assert the re-materialised
+        tree's cost equals the reported cost to 1e-9.
+        """
+        return (
+            self.n,
+            self.num_leaves,
+            list(self.parent),
+            list(self.child_a),
+            list(self.child_b),
+            list(self.height),
+            list(self.leafset),
+            list(self.species),
+            list(self.leaf_of),
+            self.root,
+            self.internal_sum,
+            self.lower_bound,
+        )
+
+    @classmethod
+    def from_payload(
+        cls, payload: tuple, half: Sequence[Sequence[float]]
+    ) -> "PartialTopology":
+        """Rebuild a topology from :meth:`to_payload` plus the shared
+        ``M / 2`` matrix (inverse of :meth:`to_payload`, bit-exact)."""
+        topo = cls()
+        (
+            topo.n,
+            topo.num_leaves,
+            topo.parent,
+            topo.child_a,
+            topo.child_b,
+            topo.height,
+            topo.leafset,
+            topo.species,
+            topo.leaf_of,
+            topo.root,
+            topo.internal_sum,
+            topo.lower_bound,
+        ) = payload
+        topo.half = [list(row) for row in half]
+        return topo
+
+    # ------------------------------------------------------------------
     def lca_node(self, species_a: int, species_b: int) -> int:
         """Index of the LCA node of two *placed* species."""
         leaf = self.leaf_of[species_a]

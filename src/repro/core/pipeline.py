@@ -106,6 +106,17 @@ class CompactSetTreeBuilder:
         self.cluster = cluster or ClusterConfig()
         self.max_exact_size = max_exact_size
         self.solver_options = solver_options
+        # Solver objects are stateless across solves; construct once here
+        # instead of once per subproblem (this also validates the solver
+        # options up front rather than on the first reduced matrix).
+        self._bnb_solver: Optional[BranchAndBoundSolver] = None
+        self._parallel_solver: Optional[ParallelBranchAndBound] = None
+        if solver == "bnb":
+            self._bnb_solver = BranchAndBoundSolver(**solver_options)
+        elif solver == "parallel":
+            self._parallel_solver = ParallelBranchAndBound(
+                self.cluster, **solver_options
+            )
 
     # ------------------------------------------------------------------
     def build(self, matrix: DistanceMatrix) -> CompactResult:
@@ -184,13 +195,13 @@ class CompactSetTreeBuilder:
         nodes_expanded = 0
         makespan = 0.0
         if solver == "bnb":
-            result = BranchAndBoundSolver(**self.solver_options).solve(reduced)
+            assert self._bnb_solver is not None
+            result = self._bnb_solver.solve(reduced)
             tree, cost = result.tree, result.cost
             nodes_expanded = result.stats.nodes_expanded
         elif solver == "parallel":
-            presult = ParallelBranchAndBound(
-                self.cluster, **self.solver_options
-            ).solve(reduced)
+            assert self._parallel_solver is not None
+            presult = self._parallel_solver.solve(reduced)
             tree, cost = presult.tree, presult.cost
             nodes_expanded = presult.total_nodes_expanded
             makespan = presult.makespan

@@ -9,14 +9,22 @@
   baseline mentioned in both introductions.
 """
 
-from repro.heuristics.upgma import upgma, upgmm, agglomerative_tree
+from repro.heuristics.upgma import (
+    upgma,
+    upgmm,
+    single_linkage,
+    agglomerative_tree,
+    agglomerative_tree_reference,
+)
 from repro.heuristics.nj import neighbor_joining, AdditiveTree
 from repro.heuristics.greedy import greedy_insertion
 
 __all__ = [
     "upgma",
     "upgmm",
+    "single_linkage",
     "agglomerative_tree",
+    "agglomerative_tree_reference",
     "neighbor_joining",
     "AdditiveTree",
     "greedy_insertion",

@@ -16,20 +16,44 @@ clusters is defined:
 
 Both linkages are *reducible*, so merge heights never decrease and the
 output is a valid ultrametric tree.
+
+Two implementations are provided:
+
+* :func:`agglomerative_tree` -- the production path.  It keeps one
+  ``(n, n)`` float64 working matrix, retires merged clusters in place by
+  masking their row/column with ``+inf``, finds the closest pair with a
+  vectorised ``argmin`` over the whole matrix, and applies the
+  Lance-Williams linkage update to a full row at a time.  Cost is
+  O(n^2) NumPy work per merge (O(n^3) total, but entirely inside C
+  loops) with **zero** per-merge allocations of a fresh matrix.
+* :func:`agglomerative_tree_reference` -- the original pure-Python
+  implementation (O(n^3) scalar loops plus a grown ``(n+k, n+k)`` matrix
+  copy per merge).  Kept verbatim for differential testing; the property
+  suite asserts both produce trees of identical cost.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, Dict, List
 
 import numpy as np
 
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.tree.ultrametric import TreeNode, UltrametricTree
 
-__all__ = ["upgma", "upgmm", "single_linkage", "agglomerative_tree"]
+__all__ = [
+    "upgma",
+    "upgmm",
+    "single_linkage",
+    "agglomerative_tree",
+    "agglomerative_tree_reference",
+]
 
 Linkage = Callable[[float, float, int, int], float]
+#: Row-at-a-time linkage: maps two full distance rows (and cluster sizes)
+#: onto the merged cluster's row.  ``inf`` entries (retired clusters and
+#: the diagonal) must map to ``inf``, which all three built-ins do.
+VectorLinkage = Callable[[np.ndarray, np.ndarray, int, int], np.ndarray]
 
 
 def _average_linkage(d_ak: float, d_bk: float, size_a: int, size_b: int) -> float:
@@ -44,12 +68,106 @@ def _minimum_linkage(d_ak: float, d_bk: float, size_a: int, size_b: int) -> floa
     return min(d_ak, d_bk)
 
 
+def _average_linkage_rows(
+    row_a: np.ndarray, row_b: np.ndarray, size_a: int, size_b: int
+) -> np.ndarray:
+    return (row_a * size_a + row_b * size_b) / (size_a + size_b)
+
+
+#: Vectorised counterparts of the scalar built-ins; unknown (user-supplied)
+#: linkages fall back to an element-wise loop over live clusters, which is
+#: still O(n) per merge instead of the reference's O(n^2).
+_VECTOR_LINKAGES: Dict[Linkage, VectorLinkage] = {
+    _average_linkage: _average_linkage_rows,
+    _maximum_linkage: lambda a, b, sa, sb: np.maximum(a, b),
+    _minimum_linkage: lambda a, b, sa, sb: np.minimum(a, b),
+}
+
+
 def agglomerative_tree(matrix: DistanceMatrix, linkage: Linkage) -> UltrametricTree:
     """Generic agglomerative construction with a Lance-Williams linkage.
 
     ``linkage(d_ak, d_bk, |A|, |B|)`` maps the distances of two merged
     clusters ``A``, ``B`` to a third cluster ``K`` onto the distance of
     ``A union B`` to ``K``.
+
+    This is the vectorised production implementation: a single in-place
+    working matrix with ``inf``-masked retired slots and an ``argmin``
+    nearest-pair scan.  For the three built-in linkages the row update is
+    a NumPy expression; custom scalar linkages are applied element-wise
+    over the live clusters only.  See
+    :func:`agglomerative_tree_reference` for the original loop the
+    differential tests compare against.
+    """
+    n = matrix.n
+    if n == 0:
+        raise ValueError("cannot build a tree over zero species")
+    if n == 1:
+        return UltrametricTree.leaf(matrix.labels[0])
+
+    vector_linkage = _VECTOR_LINKAGES.get(linkage)
+
+    # One (n, n) working matrix for the whole run.  Slot i holds the
+    # distances of live cluster i; a merged-away cluster's row/column is
+    # masked to +inf so the global argmin never selects it.
+    dist = matrix.values.astype(float, copy=True)
+    np.fill_diagonal(dist, np.inf)
+    alive = np.ones(n, dtype=bool)
+    sizes = np.ones(n, dtype=np.int64)
+    slot_nodes: List[TreeNode] = [
+        TreeNode(0.0, label=label) for label in matrix.labels
+    ]
+
+    for _ in range(n - 1):
+        # Closest live pair: argmin over the masked matrix (ties resolve
+        # to the smallest row-major index, deterministically).
+        flat = int(np.argmin(dist))
+        a, b = divmod(flat, n)
+        if a > b:
+            a, b = b, a
+        d = float(dist[a, b])
+        height = d / 2.0
+        node_a, node_b = slot_nodes[a], slot_nodes[b]
+        merged = TreeNode(
+            max(height, node_a.height, node_b.height), [node_a, node_b]
+        )
+
+        # Lance-Williams update: cluster A union B reuses slot a.
+        if vector_linkage is not None:
+            new_row = vector_linkage(
+                dist[a], dist[b], int(sizes[a]), int(sizes[b])
+            )
+        else:
+            new_row = np.full(n, np.inf)
+            row_a, row_b = dist[a], dist[b]
+            sa, sb = int(sizes[a]), int(sizes[b])
+            for k in np.flatnonzero(alive):
+                if k == a or k == b:
+                    continue
+                new_row[k] = linkage(float(row_a[k]), float(row_b[k]), sa, sb)
+        new_row[a] = np.inf
+        new_row[b] = np.inf
+        dist[a, :] = new_row
+        dist[:, a] = new_row
+        dist[b, :] = np.inf
+        dist[:, b] = np.inf
+        sizes[a] += sizes[b]
+        alive[b] = False
+        slot_nodes[a] = merged
+
+    root_slot = int(np.flatnonzero(alive)[0])
+    return UltrametricTree(slot_nodes[root_slot])
+
+
+def agglomerative_tree_reference(
+    matrix: DistanceMatrix, linkage: Linkage
+) -> UltrametricTree:
+    """The original pure-Python agglomerative loop (differential oracle).
+
+    O(n^3) scalar pair scans plus a freshly grown ``(n+k, n+k)`` matrix
+    per merge.  Retained unchanged so property tests can assert the
+    vectorised :func:`agglomerative_tree` produces trees of identical
+    cost; do not use it on large inputs.
     """
     n = matrix.n
     if n == 0:
@@ -106,7 +224,10 @@ def upgmm(matrix: DistanceMatrix) -> UltrametricTree:
 
     The returned tree always satisfies ``d_T(i, j) >= M[i, j]`` for a
     metric input, making its cost a valid upper bound on the minimum
-    ultrametric tree cost.
+    ultrametric tree cost.  Runs on the vectorised
+    :func:`agglomerative_tree` path -- this function is called once per
+    branch-and-bound solve (BBU Step 3) and once per compact-set
+    subproblem, so it sits directly on the construction hot path.
     """
     return agglomerative_tree(matrix, _maximum_linkage)
 

@@ -10,6 +10,7 @@ and lets the search prune earlier.
 
 from __future__ import annotations
 
+import weakref
 from typing import List, Tuple
 
 import numpy as np
@@ -47,15 +48,32 @@ def maxmin_permutation(matrix: DistanceMatrix) -> List[int]:
     return order
 
 
+#: ``matrix -> (ordered, permutation)`` keyed by matrix identity.  Every
+#: solver front door calls :func:`apply_maxmin`; returning the *same*
+#: reordered matrix object for repeated solves of one input lets the
+#: per-matrix caches downstream (``repro.bnb.bounds.search_context``) hit
+#: instead of recomputing half-matrices and tail bounds each time.
+_MAXMIN_CACHE: "weakref.WeakKeyDictionary[DistanceMatrix, Tuple[DistanceMatrix, List[int]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def apply_maxmin(matrix: DistanceMatrix) -> Tuple[DistanceMatrix, List[int]]:
     """Relabel ``matrix`` into max-min order.
 
     Returns the reordered matrix together with the permutation, where
     ``permutation[p]`` is the original index of the species now at
     position ``p`` (so results can be mapped back to the caller's labels).
+    Results are memoised per input-matrix object; matrices are treated as
+    immutable throughout the pipeline, so the cache can never go stale.
     """
-    order = maxmin_permutation(matrix)
-    return matrix.relabeled(order), order
+    cached = _MAXMIN_CACHE.get(matrix)
+    if cached is None:
+        order = maxmin_permutation(matrix)
+        cached = (matrix.relabeled(order), order)
+        _MAXMIN_CACHE[matrix] = cached
+    ordered, order = cached
+    return ordered, list(order)
 
 
 def is_maxmin_permutation(matrix: DistanceMatrix) -> bool:

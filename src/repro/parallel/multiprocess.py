@@ -12,27 +12,74 @@ check that the decomposition logic is sound:
   upper bounds through a shared ``multiprocessing.Value`` (the "global
   upper bound broadcast") that every worker polls between expansions;
 * the master gathers per-worker optima and returns the global best.
+
+Production hardening (vs. the original prototype):
+
+* **Start-method portability** -- ``fork`` is used where available (it is
+  the cheapest), falling back to ``spawn`` on platforms without it
+  (Windows) or when the caller asks; every worker argument is picklable,
+  so both start methods produce identical results.
+* **Exact result transport** -- workers ship their best topology as a
+  :meth:`~repro.bnb.topology.PartialTopology.to_payload` tuple whose
+  floats survive pickling bit-exactly (the prototype round-tripped
+  through a 12-digit Newick string, so the re-parsed tree's cost could
+  disagree with the reported cost).  The master re-materialises the tree
+  and verifies ``|tree.cost() - cost| < 1e-9`` on receipt.
+* **Liveness supervision** -- the master polls the result queue with a
+  timeout and watches worker exit codes, so a worker killed by the OOM
+  killer or a signal raises a :class:`RuntimeError` naming the dead
+  worker instead of blocking forever on ``Queue.get()``.  Worker-side
+  exceptions travel back as formatted tracebacks.  All processes are
+  terminated and joined in a ``finally`` block.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import queue as queue_lib
+import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.bnb.bounds import LOWER_BOUNDS, half_matrix
+from repro.bnb.bounds import search_context
 from repro.bnb.relationship import insertion_is_consistent
 from repro.bnb.topology import PartialTopology
 from repro.bnb.sequential import BranchAndBoundSolver
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.maxmin import apply_maxmin
-from repro.tree.newick import parse_newick
 from repro.tree.ultrametric import UltrametricTree
 
-__all__ = ["MultiprocessResult", "multiprocess_mut"]
+__all__ = ["MultiprocessResult", "multiprocess_mut", "select_start_method"]
 
 _EPS = 1e-9
+#: Seconds between liveness checks while the master waits for results.
+_POLL_TIMEOUT = 0.25
+#: Consecutive empty polls tolerated after every pending worker exited
+#: cleanly (exit code 0) without its result arriving, before the master
+#: gives up.  Covers the short window in which a finished worker's queue
+#: feeder thread has written the payload but the pipe is not yet readable.
+_LOST_RESULT_GRACE = 20
+
+
+def select_start_method(preferred: Optional[str] = None) -> str:
+    """Pick a :mod:`multiprocessing` start method that exists here.
+
+    ``fork`` is preferred where the platform offers it (cheapest, shares
+    the parent's pages); otherwise ``spawn``.  Passing ``preferred``
+    forces that method, raising :class:`ValueError` if the platform does
+    not support it (e.g. ``fork`` on Windows).
+    """
+    available = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} is not available on this "
+                f"platform; choose from {available}"
+            )
+        return preferred
+    return "fork" if "fork" in available else "spawn"
 
 
 @dataclass
@@ -45,72 +92,137 @@ class MultiprocessResult:
     nodes_pruned: int
     n_workers: int
     initial_upper_bound: float
+    #: Resolved multiprocessing start method ("fork"/"spawn"), or
+    #: "sequential" when the input was solved in-process.
+    start_method: str = "fork"
 
 
 def _worker_main(
-    topologies: List[PartialTopology],
+    worker_id: int,
+    payloads: List[tuple],
+    half: List[List[float]],
     tails: List[float],
     values: List[List[float]],
-    labels: List[str],
     check_33: bool,
     enforce_all_33: bool,
     shared_ub,
     result_queue,
     poll_interval: int,
 ) -> None:
-    """DFS-complete a share of the frontier (runs in a child process)."""
-    local_ub = shared_ub.value
-    best: Optional[PartialTopology] = None
+    """DFS-complete a share of the frontier (runs in a child process).
+
+    Every argument is picklable so the function works under both the
+    ``fork`` and ``spawn`` start methods.  Results (or a formatted
+    traceback on failure) are reported through ``result_queue`` as
+    ``(kind, worker_id, cost_or_traceback, payload, counters)`` tuples.
+    """
     expanded = 0
     pruned = 0
-    n = len(values)
-    stack = sorted(topologies, key=lambda t: -t.lower_bound)
-    while stack:
-        node = stack.pop()
-        if expanded % poll_interval == 0:
-            published = shared_ub.value
-            if published < local_ub:
-                local_ub = published
-        if node.lower_bound > local_ub - _EPS:
-            pruned += 1
-            continue
-        expanded += 1
-        s = node.next_species
-        tail = tails[s + 1]
-        children = []
-        for position in range(len(node.parent)):
-            child = node.child(position, tail)
-            if child.lower_bound > local_ub - _EPS:
+    try:
+        topologies = [PartialTopology.from_payload(p, half) for p in payloads]
+        local_ub = shared_ub.value
+        best: Optional[PartialTopology] = None
+        n = len(values)
+        stack = sorted(topologies, key=lambda t: -t.lower_bound)
+        while stack:
+            node = stack.pop()
+            if expanded % poll_interval == 0:
+                published = shared_ub.value
+                if published < local_ub:
+                    local_ub = published
+            if node.lower_bound > local_ub - _EPS:
                 pruned += 1
                 continue
-            if check_33 and not insertion_is_consistent(
-                child, values, s, check_all_pairs=enforce_all_33
-            ):
-                continue
-            children.append(child)
-        if node.num_leaves + 1 == n:
-            for child in children:
-                if child.cost < local_ub - _EPS:
-                    local_ub = child.cost
-                    best = child
-                    with shared_ub.get_lock():
-                        if local_ub < shared_ub.value:
-                            shared_ub.value = local_ub
-        else:
-            children.sort(key=lambda c: -c.lower_bound)
-            stack.extend(children)
-    from repro.tree.newick import to_newick
+            expanded += 1
+            s = node.next_species
+            tail = tails[s + 1]
+            children = []
+            for position in range(len(node.parent)):
+                child = node.child(position, tail)
+                if child.lower_bound > local_ub - _EPS:
+                    pruned += 1
+                    continue
+                if check_33 and not insertion_is_consistent(
+                    child, values, s, check_all_pairs=enforce_all_33
+                ):
+                    continue
+                children.append(child)
+            if node.num_leaves + 1 == n:
+                for child in children:
+                    if child.cost < local_ub - _EPS:
+                        local_ub = child.cost
+                        best = child
+                        with shared_ub.get_lock():
+                            if local_ub < shared_ub.value:
+                                shared_ub.value = local_ub
+            else:
+                children.sort(key=lambda c: -c.lower_bound)
+                stack.extend(children)
 
-    payload: Tuple[Optional[float], Optional[str], Dict[str, int]]
-    if best is None:
-        payload = (None, None, {"expanded": expanded, "pruned": pruned})
-    else:
-        payload = (
-            best.cost,
-            to_newick(best.to_tree(labels), precision=12),
-            {"expanded": expanded, "pruned": pruned},
+        counters = {"expanded": expanded, "pruned": pruned}
+        if best is None:
+            result_queue.put(("result", worker_id, None, None, counters))
+        else:
+            result_queue.put(
+                ("result", worker_id, best.cost, best.to_payload(), counters)
+            )
+    except Exception:
+        result_queue.put(
+            (
+                "error",
+                worker_id,
+                traceback.format_exc(),
+                None,
+                {"expanded": expanded, "pruned": pruned},
+            )
         )
-    result_queue.put(payload)
+
+
+def _gather_results(
+    processes: Dict[int, "multiprocessing.process.BaseProcess"],
+    result_queue,
+) -> List[tuple]:
+    """Collect one message per worker, supervising worker liveness.
+
+    Raises :class:`RuntimeError` naming the worker when one dies without
+    reporting (non-zero exit code or a lost result), or when a worker
+    ships back an exception traceback.
+    """
+    pending = dict(processes)
+    results: List[tuple] = []
+    clean_exit_polls = 0
+    while pending:
+        try:
+            message = result_queue.get(timeout=_POLL_TIMEOUT)
+        except queue_lib.Empty:
+            dead_clean = []
+            for worker_id, proc in sorted(pending.items()):
+                if proc.is_alive():
+                    continue
+                code = proc.exitcode
+                if code not in (0, None):
+                    raise RuntimeError(
+                        f"branch-and-bound worker {worker_id} "
+                        f"(pid {proc.pid}) died with exit code {code} "
+                        f"before reporting a result"
+                    )
+                dead_clean.append(worker_id)
+            if dead_clean and len(dead_clean) == len(pending):
+                clean_exit_polls += 1
+                if clean_exit_polls >= _LOST_RESULT_GRACE:
+                    raise RuntimeError(
+                        f"branch-and-bound workers {dead_clean} exited "
+                        f"cleanly but their results never arrived"
+                    )
+            continue
+        kind, worker_id, info, payload, counters = message
+        if kind == "error":
+            raise RuntimeError(
+                f"branch-and-bound worker {worker_id} raised:\n{info}"
+            )
+        pending.pop(worker_id, None)
+        results.append(message)
+    return results
 
 
 def multiprocess_mut(
@@ -122,13 +234,18 @@ def multiprocess_mut(
     enforce_all_33: bool = False,
     prebranch_factor: int = 2,
     poll_interval: int = 64,
+    start_method: Optional[str] = None,
 ) -> MultiprocessResult:
     """Exact minimum ultrametric tree using real worker processes.
 
     Falls back to the sequential solver for tiny inputs or ``n_workers=1``.
+    ``start_method`` forces a :mod:`multiprocessing` start method
+    (``"fork"``/``"spawn"``/``"forkserver"``); by default the cheapest
+    method the platform supports is used (see :func:`select_start_method`).
     """
     if n_workers < 1:
         raise ValueError("n_workers must be positive")
+    method = select_start_method(start_method)
     if matrix.n < 4 or n_workers == 1:
         seq = BranchAndBoundSolver(
             lower_bound=lower_bound,
@@ -142,13 +259,13 @@ def multiprocess_mut(
             nodes_pruned=seq.stats.nodes_pruned,
             n_workers=1,
             initial_upper_bound=seq.stats.initial_upper_bound,
+            start_method="sequential",
         )
 
     ordered, _ = apply_maxmin(matrix)
     labels = ordered.labels
     values = [list(map(float, row)) for row in ordered.values]
-    half = half_matrix(ordered)
-    tails = LOWER_BOUNDS[lower_bound](ordered)
+    half, tails = search_context(ordered, lower_bound)
     check_33 = relationship_33 or enforce_all_33
 
     seed = upgmm(ordered)
@@ -156,17 +273,21 @@ def multiprocess_mut(
     best_tree: UltrametricTree = seed
     best_cost = upper_bound
 
-    # Master pre-branching (same as the simulator's master phase).
+    # Master pre-branching (same as the simulator's master phase): a heap
+    # keyed by lower bound replaces the prototype's full re-sort per
+    # iteration; ties pop the most recently created child first.
     root = PartialTopology.initial(half)
     root.lower_bound = root.cost + tails[2]
-    queue: List[PartialTopology] = [root]
+    queue: List[Tuple[float, int, PartialTopology]] = [
+        (root.lower_bound, 0, root)
+    ]
+    heap_seq = 0
     target = prebranch_factor * n_workers
     expanded = 0
     pruned = 0
     n = matrix.n
     while queue and len(queue) < target:
-        queue.sort(key=lambda t: -t.lower_bound)
-        node = queue.pop()
+        _, _, node = heapq.heappop(queue)
         if node.lower_bound > upper_bound - _EPS:
             pruned += 1
             continue
@@ -188,9 +309,11 @@ def multiprocess_mut(
                     best_cost = child.cost
                     best_tree = child.to_tree(labels)
             else:
-                queue.append(child)
+                heap_seq -= 1
+                heapq.heappush(queue, (child.lower_bound, heap_seq, child))
 
-    if not queue:
+    frontier = [entry[2] for entry in queue]
+    if not frontier:
         return MultiprocessResult(
             tree=best_tree,
             cost=best_cost,
@@ -198,48 +321,64 @@ def multiprocess_mut(
             nodes_pruned=pruned,
             n_workers=n_workers,
             initial_upper_bound=seed.cost(),
+            start_method=method,
         )
 
-    queue.sort(key=lambda t: t.lower_bound)
-    shares: List[List[PartialTopology]] = [[] for _ in range(n_workers)]
-    for index, node in enumerate(queue):
-        shares[index % n_workers].append(node)
+    frontier.sort(key=lambda t: t.lower_bound)
+    shares: List[List[tuple]] = [[] for _ in range(n_workers)]
+    for index, node in enumerate(frontier):
+        shares[index % n_workers].append(node.to_payload())
 
-    ctx = multiprocessing.get_context("fork")
+    ctx = multiprocessing.get_context(method)
     shared_ub = ctx.Value("d", upper_bound)
     result_queue = ctx.Queue()
-    processes = []
-    live_workers = 0
-    for share in shares:
-        if not share:
-            continue
-        proc = ctx.Process(
-            target=_worker_main,
-            args=(
-                share,
-                tails,
-                values,
-                labels,
-                check_33,
-                enforce_all_33,
-                shared_ub,
-                result_queue,
-                poll_interval,
-            ),
-        )
-        proc.start()
-        processes.append(proc)
-        live_workers += 1
+    processes: Dict[int, "multiprocessing.process.BaseProcess"] = {}
+    try:
+        for worker_id, share in enumerate(shares):
+            if not share:
+                continue
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    share,
+                    half,
+                    tails,
+                    values,
+                    check_33,
+                    enforce_all_33,
+                    shared_ub,
+                    result_queue,
+                    poll_interval,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            processes[worker_id] = proc
 
-    for _ in range(live_workers):
-        cost, newick, counters = result_queue.get()
-        expanded += counters["expanded"]
-        pruned += counters["pruned"]
-        if cost is not None and cost < best_cost - _EPS:
-            best_cost = cost
-            best_tree = parse_newick(newick)
-    for proc in processes:
-        proc.join()
+        for message in _gather_results(processes, result_queue):
+            _, worker_id, cost, payload, counters = message
+            expanded += counters["expanded"]
+            pruned += counters["pruned"]
+            if cost is not None and cost < best_cost - _EPS:
+                tree = PartialTopology.from_payload(payload, half).to_tree(
+                    labels
+                )
+                realised = tree.cost()
+                if abs(realised - cost) > 1e-9:
+                    raise RuntimeError(
+                        f"worker {worker_id} reported cost {cost!r} but its "
+                        f"tree realises {realised!r} (lossy transport?)"
+                    )
+                best_cost = cost
+                best_tree = tree
+    finally:
+        for proc in processes.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in processes.values():
+            proc.join(timeout=5.0)
+        result_queue.close()
 
     return MultiprocessResult(
         tree=best_tree,
@@ -248,4 +387,5 @@ def multiprocess_mut(
         nodes_pruned=pruned,
         n_workers=n_workers,
         initial_upper_bound=seed.cost(),
+        start_method=method,
     )

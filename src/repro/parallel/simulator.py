@@ -30,7 +30,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.bnb.bounds import LOWER_BOUNDS, half_matrix
+from repro.bnb.bounds import LOWER_BOUNDS, search_context
 from repro.bnb.relationship import insertion_is_consistent
 from repro.bnb.topology import PartialTopology
 from repro.heuristics.upgma import upgmm
@@ -154,8 +154,7 @@ class ParallelBranchAndBound:
         ordered, _ = apply_maxmin(matrix) if self.use_maxmin else (matrix, None)
         labels = ordered.labels
         values = [list(map(float, row)) for row in ordered.values]
-        half = half_matrix(ordered)
-        tails = LOWER_BOUNDS[self.lower_bound](ordered)
+        half, tails = search_context(ordered, self.lower_bound)
         check_33 = self.relationship_33 or self.enforce_all_33
 
         seed = upgmm(ordered)
@@ -169,13 +168,16 @@ class ParallelBranchAndBound:
         frontier: List[PartialTopology] = []
         root = PartialTopology.initial(half)
         root.lower_bound = root.cost + tails[2]
-        queue: List[PartialTopology] = [root]
+        # Best-lower-bound-first pre-branching.  A heap replaces the old
+        # full re-sort per iteration (O(q log q) each step); ties pop the
+        # most recently created child first, matching the old LIFO order.
+        queue: List[Tuple[float, int, PartialTopology]] = [(root.lower_bound, 0, root)]
+        heap_seq = 0
         target = cfg.prebranch_factor * cfg.n_workers
         pruned_in_prebranch = 0
         expanded_in_prebranch = 0
         while queue and len(queue) + len(frontier) < target:
-            queue.sort(key=lambda t: -t.lower_bound)
-            node = queue.pop()
+            _, _, node = heapq.heappop(queue)
             if node.lower_bound > global_ub - _EPS:
                 pruned_in_prebranch += 1
                 clock += _PRUNE_COST
@@ -198,8 +200,9 @@ class ParallelBranchAndBound:
                         global_ub = child.cost
                         best = child
                 else:
-                    queue.append(child)
-        frontier.extend(queue)
+                    heap_seq -= 1
+                    heapq.heappush(queue, (child.lower_bound, heap_seq, child))
+        frontier.extend(entry[2] for entry in queue)
         frontier.sort(key=lambda t: t.lower_bound)
         setup_time = clock
 

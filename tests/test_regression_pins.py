@@ -45,7 +45,9 @@ class TestOptimalCostPins:
 
 class TestSearchEffortPins:
     def test_node_counts_seed42(self):
-        expected = {12: 287, 14: 2635, 16: 5203}
+        # 12: 287 -> 258 when the vectorised UPGMM (PR 1) changed its
+        # deterministic tie-break and found a cheaper seed upper bound.
+        expected = {12: 258, 14: 2635, 16: 5203}
         for n, nodes in expected.items():
             m = random_metric_matrix(n, seed=42)
             assert exact_mut(m).stats.nodes_expanded == nodes, n
@@ -60,7 +62,9 @@ class TestSearchEffortPins:
 class TestSimulatorPins:
     def test_makespans_seed42_n16(self):
         m = random_metric_matrix(16, seed=42)
-        expected = {1: 1053770.0, 2: 513893.0, 16: 73564.0}
+        # 16: 73564 -> 76705 when the master pre-branch switched to a
+        # heap (PR 1); tie order among equal lower bounds changed.
+        expected = {1: 1053770.0, 2: 513893.0, 16: 76705.0}
         for p, makespan in expected.items():
             result = ParallelBranchAndBound(ClusterConfig(n_workers=p)).solve(m)
             assert result.makespan == pytest.approx(makespan), p
