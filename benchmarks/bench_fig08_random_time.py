@@ -12,6 +12,7 @@ import pytest
 from benchmarks.common import (
     FIG8_SIZES,
     fig8_compact,
+    fig8_compact_traced,
     fig8_exact,
     once,
     record_series,
@@ -69,3 +70,30 @@ def test_fig08_shape_time_saved_grows(benchmark):
     )
     # At the top of the sweep the savings must be in the paper's band.
     assert rows[-1][1] > 0.77
+
+
+def test_fig08_where_the_time_went(benchmark):
+    """Table-3 style phase breakdown from the recorded span stream."""
+    from repro.obs import aggregate_spans
+
+    def breakdown():
+        result, recorder = fig8_compact_traced(FIG8_SIZES[-1])
+        totals = aggregate_spans(recorder.events)
+        build = totals["pipeline.build"][1]
+        return {
+            name: seconds / max(build, 1e-9)
+            for name, (_, seconds) in sorted(totals.items())
+            if name in ("pipeline.discover", "pipeline.reduce",
+                        "pipeline.solve", "pipeline.merge")
+        }
+
+    shares = once(benchmark, breakdown)
+    record_series(
+        "fig08_random_time",
+        f"phase shares of build time, n={FIG8_SIZES[-1]}",
+        [f"{name}: {100 * share:.2f}%" for name, share in shares.items()],
+    )
+    # The paper's claim: solving the reduced subproblems dominates, the
+    # decomposition machinery itself is cheap.
+    assert shares["pipeline.solve"] > shares["pipeline.discover"]
+    assert shares["pipeline.solve"] > shares["pipeline.merge"]

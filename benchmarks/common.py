@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 from pathlib import Path
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.generators import hierarchical_matrix, random_metric_matrix
@@ -102,6 +102,24 @@ def fig8_compact(n: int):
     from repro.core.pipeline import CompactSetTreeBuilder
 
     return CompactSetTreeBuilder(max_exact_size=16).build(fig8_matrix(n))
+
+
+@lru_cache(maxsize=None)
+def fig8_compact_traced(n: int):
+    """Recorder-instrumented pipeline run on the Figure-8 matrix.
+
+    Returns ``(CompactResult, Recorder)``; benches that break a run's
+    total into per-phase shares (discover / reduce / solve / merge) read
+    the recorder's spans instead of re-timing phases by hand.
+    """
+    from repro.core.pipeline import CompactSetTreeBuilder
+    from repro.obs import Recorder
+
+    recorder = Recorder()
+    result = CompactSetTreeBuilder(
+        max_exact_size=16, recorder=recorder
+    ).build(fig8_matrix(n))
+    return result, recorder
 
 
 @lru_cache(maxsize=None)

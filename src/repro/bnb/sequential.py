@@ -16,7 +16,6 @@ filters children as they are generated.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -26,6 +25,7 @@ from repro.bnb.topology import PartialTopology
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.maxmin import apply_maxmin
+from repro.obs.recorder import NullRecorder, as_recorder
 from repro.tree.ultrametric import UltrametricTree
 
 __all__ = ["SearchStats", "BBUResult", "BranchAndBoundSolver", "exact_mut"]
@@ -99,6 +99,13 @@ class BranchAndBoundSolver:
         Optional callback ``(cost, tree)`` fired whenever the search
         finds a strictly better complete tree — anytime progress
         reporting for long runs (the UPGMM seed is reported first).
+    recorder:
+        Optional :class:`repro.obs.Recorder`.  Each solve runs inside a
+        ``bnb.solve`` span and emits its search counters
+        (``bnb.nodes_expanded``, ``bnb.nodes_pruned``,
+        ``bnb.ub_updates``, ...) plus bound-effectiveness statistics on
+        completion -- the counters aggregate the run's ``SearchStats``
+        once at the end, so the per-node hot loop is untouched.
     """
 
     def __init__(
@@ -113,6 +120,7 @@ class BranchAndBoundSolver:
         on_incumbent: Optional[
             Callable[[float, UltrametricTree], None]
         ] = None,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         if lower_bound not in LOWER_BOUNDS:
             raise ValueError(
@@ -126,15 +134,47 @@ class BranchAndBoundSolver:
         self.node_limit = node_limit
         self.collect_all = collect_all
         self.on_incumbent = on_incumbent
+        self.recorder = as_recorder(recorder)
 
     # ------------------------------------------------------------------
     def solve(self, matrix: DistanceMatrix) -> BBUResult:
         """Construct a minimum ultrametric tree for ``matrix``."""
-        start = time.perf_counter()
+        rec = self.recorder
+        if matrix.n == 0:
+            raise ValueError("cannot build a tree over zero species")
+        with rec.span(
+            "bnb.solve", n=matrix.n, lower_bound=self.lower_bound
+        ):
+            result = self._solve(matrix)
+        if rec.enabled:
+            stats = result.stats
+            rec.counter("bnb.nodes_created", stats.nodes_created)
+            rec.counter("bnb.nodes_expanded", stats.nodes_expanded)
+            rec.counter("bnb.nodes_pruned", stats.nodes_pruned)
+            rec.counter("bnb.nodes_filtered_33", stats.nodes_filtered_33)
+            rec.counter("bnb.ub_updates", stats.ub_updates)
+            rec.counter("bnb.max_open_size", stats.max_open_size)
+            if stats.nodes_created > 0:
+                # Bound effectiveness: fraction of generated nodes the
+                # lower bound killed, and how far the UPGMM seed was from
+                # the final optimum (0 = seed already optimal).
+                rec.counter(
+                    "bnb.prune_fraction",
+                    stats.nodes_pruned / stats.nodes_created,
+                )
+            if stats.initial_upper_bound > 0:
+                rec.counter(
+                    "bnb.seed_gap_fraction",
+                    (stats.initial_upper_bound - result.cost)
+                    / stats.initial_upper_bound,
+                )
+        return result
+
+    def _solve(self, matrix: DistanceMatrix) -> BBUResult:
+        rec = self.recorder
+        start = rec.clock()
         stats = SearchStats()
         n = matrix.n
-        if n == 0:
-            raise ValueError("cannot build a tree over zero species")
         if n == 1:
             tree = UltrametricTree.leaf(matrix.labels[0])
             stats.best_cost = 0.0
@@ -155,7 +195,7 @@ class BranchAndBoundSolver:
             )
             cost = tree.cost()
             stats.best_cost = cost
-            stats.elapsed_seconds = time.perf_counter() - start
+            stats.elapsed_seconds = rec.clock() - start
             return BBUResult(tree, cost, stats)
 
         # Cached per matrix identity: solving the same (relabelled) matrix
@@ -232,7 +272,7 @@ class BranchAndBoundSolver:
                     stats.max_open_size = len(open_nodes)
 
         stats.best_cost = upper_bound if best is not None else stats.initial_upper_bound
-        stats.elapsed_seconds = time.perf_counter() - start
+        stats.elapsed_seconds = rec.clock() - start
 
         if best is None:
             # The UPGMM seed was never beaten (it is optimal or the node

@@ -20,7 +20,7 @@ maintained incrementally:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.tree.ultrametric import TreeNode, UltrametricTree
 

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.api import METHODS, construct_tree
+from repro.obs import Recorder, render_profile
 from repro.graph.compact_sets import find_compact_sets
 from repro.graph.hierarchy import CompactSetHierarchy
 from repro.matrix.distance_matrix import DistanceMatrix
@@ -77,8 +78,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fall back to UPGMM above this subproblem size")
     build.add_argument("--newick-out", default=None,
                        help="write the tree in Newick format to this file")
+    build.add_argument("--trace-out", default=None,
+                       help="record observability events and write them as "
+                            "JSON lines to this file")
     build.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+
+    profile = sub.add_parser(
+        "profile", help="construct a tree and print where the time went"
+    )
+    profile.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
+    profile.add_argument(
+        "--method", choices=METHODS, default="compact",
+        help="construction method (default: compact)",
+    )
+    profile.add_argument(
+        "--reduction", choices=("maximum", "minimum", "average"),
+        default="maximum", help="group-matrix reduction for compact methods",
+    )
+    profile.add_argument("--workers", type=int, default=16,
+                         help="simulated cluster size for parallel methods")
+    profile.add_argument("--max-exact", type=int, default=None,
+                         help="fall back to UPGMM above this subproblem size")
+    profile.add_argument("--min-percent", type=float, default=0.0,
+                         help="hide spans below this percentage of total time")
+    profile.add_argument("--trace-out", default=None,
+                         help="also write the raw events as JSON lines")
 
     compact = sub.add_parser("compact-sets", help="list compact sets of a matrix")
     compact.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
@@ -143,15 +168,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_build(args: argparse.Namespace) -> int:
-    matrix = _load_matrix(args.matrix)
+def _engine_options(args: argparse.Namespace) -> dict:
     options = {}
     if args.method.startswith("compact"):
         options["reduction"] = args.reduction
         if args.max_exact is not None:
             options["max_exact_size"] = args.max_exact
+    return options
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    options = _engine_options(args)
     cluster = ClusterConfig(n_workers=args.workers)
-    result = construct_tree(matrix, args.method, cluster=cluster, **options)
+    recorder = Recorder() if args.trace_out else None
+    result = construct_tree(
+        matrix, args.method, cluster=cluster, recorder=recorder, **options
+    )
+    elapsed = getattr(result.details, "elapsed_seconds", None)
+    if elapsed is None:  # BBUResult keeps its timing on .stats
+        elapsed = getattr(
+            getattr(result.details, "stats", None), "elapsed_seconds", None
+        )
 
     if args.method == "nj":
         newick = result.tree.newick()
@@ -159,19 +197,48 @@ def _cmd_build(args: argparse.Namespace) -> int:
         newick = to_newick(result.tree)
 
     if args.json:
-        print(json.dumps({
+        payload = {
             "method": result.method,
             "n_species": matrix.n,
             "cost": result.cost,
             "newick": newick,
-        }, indent=2))
+        }
+        if elapsed is not None:
+            payload["elapsed_seconds"] = elapsed
+        print(json.dumps(payload, indent=2))
     else:
         print(f"method : {result.method}")
         print(f"species: {matrix.n}")
         print(f"cost   : {result.cost:.6f}")
+        if elapsed is not None:
+            print(f"time   : {elapsed:.6f}s")
         print(f"tree   : {newick}")
     if args.newick_out:
         Path(args.newick_out).write_text(newick + "\n")
+    if args.trace_out:
+        recorder.write_jsonl(args.trace_out)
+        print(f"wrote {len(recorder.events)} trace event(s) to {args.trace_out}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    options = _engine_options(args)
+    cluster = ClusterConfig(n_workers=args.workers)
+    recorder = Recorder()
+    result = construct_tree(
+        matrix, args.method, cluster=cluster, recorder=recorder, **options
+    )
+    print(f"method : {result.method}")
+    print(f"species: {matrix.n}")
+    print(f"cost   : {result.cost:.6f}")
+    print()
+    print(render_profile(recorder.events, min_fraction=args.min_percent / 100.0))
+    if args.trace_out:
+        recorder.write_jsonl(args.trace_out)
+        print(f"wrote {len(recorder.events)} trace event(s) to {args.trace_out}",
+              file=sys.stderr)
     return 0
 
 
@@ -338,6 +405,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "build": _cmd_build,
+        "profile": _cmd_profile,
         "compact-sets": _cmd_compact_sets,
         "generate": _cmd_generate,
         "distances": _cmd_distances,

@@ -27,6 +27,7 @@ from repro.heuristics.nj import neighbor_joining
 from repro.heuristics.greedy import greedy_insertion
 from repro.heuristics.upgma import upgma, upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
+from repro.obs.recorder import NullRecorder, as_recorder
 from repro.parallel.config import ClusterConfig
 from repro.parallel.simulator import ParallelBranchAndBound
 
@@ -66,40 +67,51 @@ def construct_tree(
     method: str = "compact",
     *,
     cluster: Optional[ClusterConfig] = None,
+    recorder: Optional[NullRecorder] = None,
     **options,
 ) -> ConstructionResult:
     """Construct an evolutionary tree for ``matrix`` with ``method``.
 
     ``options`` are forwarded to the underlying engine (e.g.
     ``lower_bound=...``, ``reduction=...``, ``max_exact_size=...``).
+    ``recorder`` threads a :class:`repro.obs.Recorder` through whichever
+    engine runs; heuristic methods execute inside a single
+    ``heuristic.<method>`` span.
     """
     if method == "compact":
-        builder = CompactSetTreeBuilder(solver="bnb", **options)
+        builder = CompactSetTreeBuilder(
+            solver="bnb", recorder=recorder, **options
+        )
         result = builder.build(matrix)
         return ConstructionResult(result.tree, result.cost, method, result)
     if method == "compact-parallel":
         builder = CompactSetTreeBuilder(
-            solver="parallel", cluster=cluster, **options
+            solver="parallel", cluster=cluster, recorder=recorder, **options
         )
         result = builder.build(matrix)
         return ConstructionResult(result.tree, result.cost, method, result)
     if method == "bnb":
-        result = BranchAndBoundSolver(**options).solve(matrix)
+        result = BranchAndBoundSolver(recorder=recorder, **options).solve(matrix)
         return ConstructionResult(result.tree, result.cost, method, result)
     if method == "parallel-bnb":
-        solver = ParallelBranchAndBound(cluster, **options)
+        solver = ParallelBranchAndBound(cluster, recorder=recorder, **options)
         result = solver.solve(matrix)
         return ConstructionResult(result.tree, result.cost, method, result)
+    rec = as_recorder(recorder)
     if method == "upgma":
-        tree = upgma(matrix)
+        with rec.span("heuristic.upgma", n=matrix.n):
+            tree = upgma(matrix)
         return ConstructionResult(tree, tree.cost(), method)
     if method == "upgmm":
-        tree = upgmm(matrix)
+        with rec.span("heuristic.upgmm", n=matrix.n):
+            tree = upgmm(matrix)
         return ConstructionResult(tree, tree.cost(), method)
     if method == "greedy":
-        tree = greedy_insertion(matrix, **options)
+        with rec.span("heuristic.greedy", n=matrix.n):
+            tree = greedy_insertion(matrix, **options)
         return ConstructionResult(tree, tree.cost(), method)
     if method == "nj":
-        tree = neighbor_joining(matrix)
+        with rec.span("heuristic.nj", n=matrix.n):
+            tree = neighbor_joining(matrix)
         return ConstructionResult(tree, tree.cost(), method)
     raise ValueError(f"unknown method {method!r}; choose from {METHODS}")

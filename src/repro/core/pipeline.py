@@ -11,16 +11,16 @@ smaller than the input.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.bnb.sequential import BranchAndBoundSolver, SearchStats
+from repro.bnb.sequential import BranchAndBoundSolver
 from repro.core.merge import merge_group_tree
 from repro.core.reduction import REDUCTIONS, reduce_matrix
 from repro.graph.hierarchy import CompactSetHierarchy, HierarchyNode
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
+from repro.obs.recorder import NullRecorder, as_recorder
 from repro.parallel.config import ClusterConfig
 from repro.parallel.simulator import ParallelBranchAndBound
 from repro.tree.ultrametric import UltrametricTree
@@ -84,6 +84,13 @@ class CompactSetTreeBuilder:
     solver_options:
         Extra keyword arguments for the branch-and-bound solver
         (``lower_bound``, ``relationship_33``...).
+    recorder:
+        Optional :class:`repro.obs.Recorder`.  When supplied, the build
+        emits one ``pipeline.node`` span per internal hierarchy node with
+        nested ``pipeline.reduce`` / ``pipeline.solve`` /
+        ``pipeline.merge`` spans (plus ``pipeline.discover`` for the
+        hierarchy scan), and the underlying solver emits its search
+        counters.  Defaults to the no-op recorder.
     """
 
     def __init__(
@@ -93,6 +100,7 @@ class CompactSetTreeBuilder:
         solver: str = "bnb",
         cluster: Optional[ClusterConfig] = None,
         max_exact_size: Optional[int] = None,
+        recorder: Optional[NullRecorder] = None,
         **solver_options,
     ) -> None:
         if reduction not in REDUCTIONS:
@@ -106,37 +114,54 @@ class CompactSetTreeBuilder:
         self.cluster = cluster or ClusterConfig()
         self.max_exact_size = max_exact_size
         self.solver_options = solver_options
+        self.recorder = as_recorder(recorder)
         # Solver objects are stateless across solves; construct once here
         # instead of once per subproblem (this also validates the solver
         # options up front rather than on the first reduced matrix).
         self._bnb_solver: Optional[BranchAndBoundSolver] = None
         self._parallel_solver: Optional[ParallelBranchAndBound] = None
         if solver == "bnb":
-            self._bnb_solver = BranchAndBoundSolver(**solver_options)
+            self._bnb_solver = BranchAndBoundSolver(
+                recorder=self.recorder, **solver_options
+            )
         elif solver == "parallel":
             self._parallel_solver = ParallelBranchAndBound(
-                self.cluster, **solver_options
+                self.cluster, recorder=self.recorder, **solver_options
             )
 
     # ------------------------------------------------------------------
     def build(self, matrix: DistanceMatrix) -> CompactResult:
         """Run the full pipeline on ``matrix``."""
-        start = time.perf_counter()
+        rec = self.recorder
         if matrix.n == 0:
             raise ValueError("cannot build a tree over zero species")
-        hierarchy = CompactSetHierarchy.from_matrix(matrix)
-        reports: List[SubproblemReport] = []
-        if matrix.n == 1:
-            tree = UltrametricTree.leaf(matrix.labels[0])
+        start = rec.clock()
+        with rec.span(
+            "pipeline.build",
+            n=matrix.n,
+            reduction=self.reduction,
+            solver=self.solver,
+        ) as build_span:
+            with rec.span("pipeline.discover", n=matrix.n):
+                hierarchy = CompactSetHierarchy.from_matrix(matrix)
+            reports: List[SubproblemReport] = []
+            if matrix.n == 1:
+                tree = UltrametricTree.leaf(matrix.labels[0])
+            else:
+                self._placeholder_counter = 0
+                tree = self._solve_node(matrix, hierarchy.root, reports)
+        # When tracing, the result's elapsed time IS the build span's
+        # duration; otherwise fall back to plain clock arithmetic.
+        if build_span.end is not None:
+            elapsed = build_span.end - build_span.start
         else:
-            self._placeholder_counter = 0
-            tree = self._solve_node(matrix, hierarchy.root, reports)
+            elapsed = rec.clock() - start
         result = CompactResult(
             tree=tree,
             cost=tree.cost(),
             hierarchy=hierarchy,
             reports=reports,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=elapsed,
             reduction=self.reduction,
         )
         return result
@@ -154,36 +179,42 @@ class CompactSetTreeBuilder:
         if node.arity == 1:  # defensive; laminar construction avoids this
             return self._solve_node(matrix, node.children[0], reports)
 
-        children = sorted(node.children, key=lambda c: min(c.members))
-        groups = [sorted(child.members) for child in children]
-        labels: List[str] = []
-        placeholders: Dict[str, HierarchyNode] = {}
-        for child in children:
-            if child.size == 1:
-                (member,) = child.members
-                labels.append(matrix.labels[member])
-            else:
-                name = f"__cs{self._placeholder_counter}__"
-                self._placeholder_counter += 1
-                labels.append(name)
-                placeholders[name] = child
-        reduced = reduce_matrix(
-            matrix, groups, labels, mode=self.reduction
-        )
+        rec = self.recorder
+        with rec.span("pipeline.node", size=node.size, arity=node.arity):
+            children = sorted(node.children, key=lambda c: min(c.members))
+            groups = [sorted(child.members) for child in children]
+            labels: List[str] = []
+            placeholders: Dict[str, HierarchyNode] = {}
+            for child in children:
+                if child.size == 1:
+                    (member,) = child.members
+                    labels.append(matrix.labels[member])
+                else:
+                    name = f"__cs{self._placeholder_counter}__"
+                    self._placeholder_counter += 1
+                    labels.append(name)
+                    placeholders[name] = child
+            with rec.span("pipeline.reduce", size=len(groups)):
+                reduced = reduce_matrix(
+                    matrix, groups, labels, mode=self.reduction
+                )
 
-        group_tree, report = self._solve_matrix(reduced, tuple(sorted(node.members)))
-        reports.append(report)
+            group_tree, report = self._solve_matrix(
+                reduced, tuple(sorted(node.members))
+            )
+            reports.append(report)
 
-        subtrees = {
-            name: self._solve_node(matrix, child, reports)
-            for name, child in placeholders.items()
-        }
-        return merge_group_tree(group_tree, subtrees)
+            subtrees = {
+                name: self._solve_node(matrix, child, reports)
+                for name, child in placeholders.items()
+            }
+            with rec.span("pipeline.merge", size=node.size):
+                return merge_group_tree(group_tree, subtrees)
 
     def _solve_matrix(
         self, reduced: DistanceMatrix, members: Tuple[int, ...]
     ) -> Tuple[UltrametricTree, SubproblemReport]:
-        t0 = time.perf_counter()
+        rec = self.recorder
         solver = self.solver
         if (
             self.max_exact_size is not None
@@ -194,26 +225,37 @@ class CompactSetTreeBuilder:
 
         nodes_expanded = 0
         makespan = 0.0
-        if solver == "bnb":
-            assert self._bnb_solver is not None
-            result = self._bnb_solver.solve(reduced)
-            tree, cost = result.tree, result.cost
-            nodes_expanded = result.stats.nodes_expanded
-        elif solver == "parallel":
-            assert self._parallel_solver is not None
-            presult = self._parallel_solver.solve(reduced)
-            tree, cost = presult.tree, presult.cost
-            nodes_expanded = presult.total_nodes_expanded
-            makespan = presult.makespan
-        else:  # upgmm
-            tree = upgmm(reduced)
-            cost = tree.cost()
+        t0 = rec.clock()
+        with rec.span(
+            "pipeline.solve", solver=solver, size=reduced.n
+        ) as solve_span:
+            if solver == "bnb":
+                assert self._bnb_solver is not None
+                result = self._bnb_solver.solve(reduced)
+                tree, cost = result.tree, result.cost
+                nodes_expanded = result.stats.nodes_expanded
+            elif solver == "parallel":
+                assert self._parallel_solver is not None
+                presult = self._parallel_solver.solve(reduced)
+                tree, cost = presult.tree, presult.cost
+                nodes_expanded = presult.total_nodes_expanded
+                makespan = presult.makespan
+            else:  # upgmm
+                tree = upgmm(reduced)
+                cost = tree.cost()
+        # The report's elapsed time comes from the recorder: the solve
+        # span's own duration when tracing, its clock otherwise, so every
+        # SubproblemReport matches its span exactly.
+        if solve_span.end is not None:
+            elapsed = solve_span.end - solve_span.start
+        else:
+            elapsed = rec.clock() - t0
 
         report = SubproblemReport(
             members=members,
             size=reduced.n,
             cost=cost,
-            elapsed_seconds=time.perf_counter() - t0,
+            elapsed_seconds=elapsed,
             solver=solver,
             nodes_expanded=nodes_expanded,
             simulated_makespan=makespan,

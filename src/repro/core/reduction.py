@@ -19,7 +19,7 @@ Worked example: for the paper's Figure 3 graph, the *maximum* matrix of
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 import numpy as np
 

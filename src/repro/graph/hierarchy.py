@@ -10,7 +10,7 @@ and the pipeline solves those matrices independently before merging.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterator, List, Optional, Sequence
+from typing import FrozenSet, Iterator, List, Sequence
 
 from repro.graph.compact_sets import find_compact_sets
 from repro.matrix.distance_matrix import DistanceMatrix

@@ -13,7 +13,6 @@ from __future__ import annotations
 import heapq
 from typing import List, Tuple
 
-import numpy as np
 
 from repro.graph.union_find import UnionFind
 from repro.matrix.distance_matrix import DistanceMatrix

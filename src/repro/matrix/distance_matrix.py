@@ -36,7 +36,13 @@ class DistanceMatrix:
     Parameters
     ----------
     values:
-        Square array-like of distances.  Copied and stored as ``float64``.
+        Square array-like of distances.  Copied, stored as ``float64`` and
+        frozen: the stored array is marked read-only, so the matrix is
+        immutable after construction.  Several caches key off matrix
+        identity (``bnb.bounds.search_context``,
+        ``matrix.maxmin.apply_maxmin``) and would silently serve stale
+        results if entries could change in place; any attempted write to
+        :attr:`values` raises instead.
     labels:
         Optional species names; defaults to ``"s0", "s1", ...``.
     validate:
@@ -61,6 +67,9 @@ class DistanceMatrix:
             raise MatrixValidationError(
                 f"distance matrix must be square, got shape {array.shape}"
             )
+        # Freeze: identity-keyed caches depend on the values never
+        # changing after construction.
+        array.setflags(write=False)
         self._values = array
         self._tolerance = float(tolerance)
         if labels is None:
@@ -90,8 +99,13 @@ class DistanceMatrix:
 
     @property
     def values(self) -> np.ndarray:
-        """The underlying ``(n, n)`` float array (not a copy; treat as
-        read-only)."""
+        """The underlying ``(n, n)`` float array.
+
+        Not a copy: the array is shared but frozen
+        (``writeable=False``), so in-place mutation raises a numpy
+        ``ValueError``.  Build a new :class:`DistanceMatrix` to change
+        distances.
+        """
         return self._values
 
     @property
@@ -119,7 +133,7 @@ class DistanceMatrix:
             self._values, other._values
         )
 
-    def __hash__(self) -> int:  # pragma: no cover - matrices are mutable-ish
+    def __hash__(self) -> int:  # pragma: no cover - identity hash, see caches
         return id(self)
 
     def __repr__(self) -> str:

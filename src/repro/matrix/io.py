@@ -47,6 +47,13 @@ def read_phylip(source: Union[PathLike, _io.TextIOBase]) -> DistanceMatrix:
         raise MatrixValidationError(
             f"PHYLIP header promises {n} rows, found {len(lines) - 1}"
         )
+    if len(lines) - 1 > n:
+        # Silently dropping data would let a wrong header truncate the
+        # matrix; make the mismatch loud instead.
+        raise MatrixValidationError(
+            f"PHYLIP header promises {n} rows, found {len(lines) - 1} "
+            f"non-empty rows; extra data would be ignored"
+        )
     labels: List[str] = []
     values = np.zeros((n, n))
     for row, line in enumerate(lines[1 : n + 1]):
@@ -56,8 +63,23 @@ def read_phylip(source: Union[PathLike, _io.TextIOBase]) -> DistanceMatrix:
                 f"PHYLIP row {row} has {len(tokens) - 1} distances, expected {n}"
             )
         labels.append(tokens[0])
-        values[row] = [float(t) for t in tokens[1:]]
+        try:
+            values[row] = [float(t) for t in tokens[1:]]
+        except ValueError:
+            bad = next(t for t in tokens[1:] if not _is_float(t))
+            raise MatrixValidationError(
+                f"PHYLIP row {row} ({tokens[0]!r}) has a non-numeric "
+                f"distance {bad!r}"
+            ) from None
     return DistanceMatrix(values, labels)
+
+
+def _is_float(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
 
 
 def write_phylip(matrix: DistanceMatrix, destination: Union[PathLike, _io.TextIOBase]) -> None:
@@ -66,7 +88,19 @@ def write_phylip(matrix: DistanceMatrix, destination: Union[PathLike, _io.TextIO
     Distances are written with full float precision so a read-back
     matrix is bit-identical (rounding could otherwise break the strict
     metric predicate).
+
+    Labels containing whitespace (or empty labels) are rejected with
+    :class:`MatrixValidationError`: the format delimits fields with
+    whitespace, so such labels could not round-trip -- ``read_phylip``
+    would split them into spurious tokens and corrupt the row.
     """
+    for label in matrix.labels:
+        if not label or label.split() != [label]:
+            raise MatrixValidationError(
+                f"label {label!r} cannot be written to PHYLIP: labels are "
+                f"whitespace-delimited and must be non-empty; rename the "
+                f"species (e.g. replace spaces with underscores)"
+            )
     lines = [f"{matrix.n}"]
     width = max(len(label) for label in matrix.labels) if matrix.n else 0
     for i, label in enumerate(matrix.labels):

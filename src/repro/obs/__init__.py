@@ -1,0 +1,57 @@
+"""Structured observability for the compact-set pipeline.
+
+The paper's headline claim is a *time* claim (77-99.7% of the search
+effort saved with tree cost within 5% of optimal), so the repository
+needs first-class effort accounting, not scattered ``elapsed_seconds``
+fields.  This package provides it:
+
+* :class:`Recorder` -- an in-memory event sink with a *span* API
+  (nested, timed phases: discover / reduce / solve / merge) and a
+  *counter* API (branch-and-bound expand / prune / incumbent tallies);
+* :class:`NullRecorder` / :data:`NULL_RECORDER` -- the allocation-free
+  default every engine uses when no recorder is supplied, so the hot
+  paths pay nothing for the instrumentation;
+* JSON-lines export/import (:meth:`Recorder.write_jsonl`,
+  :func:`read_jsonl`) -- one event per line, schema documented in
+  ``docs/observability.md``;
+* :mod:`repro.obs.profile` -- the "where the time went" span-tree view
+  the ``repro-mut profile`` subcommand prints.
+"""
+
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    SCHEMA_VERSION,
+    CounterEvent,
+    NullRecorder,
+    Recorder,
+    Span,
+    SpanEvent,
+    as_recorder,
+    read_jsonl,
+)
+from repro.obs.profile import (
+    ProfileNode,
+    aggregate_spans,
+    build_span_tree,
+    counter_totals,
+    render_profile,
+    render_span_tree,
+)
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Span",
+    "SpanEvent",
+    "CounterEvent",
+    "SCHEMA_VERSION",
+    "as_recorder",
+    "read_jsonl",
+    "ProfileNode",
+    "build_span_tree",
+    "aggregate_spans",
+    "counter_totals",
+    "render_span_tree",
+    "render_profile",
+]

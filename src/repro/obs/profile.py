@@ -1,0 +1,177 @@
+"""Where-the-time-went views over recorded span events.
+
+The paper's Table-3 story is that the largest reduced matrix dominates
+the construction time; this module generalises that view to any run:
+rebuild the span tree from a :class:`~repro.obs.recorder.Recorder` (or a
+JSON-lines file), attribute durations, and render an indented profile
+with percentages.  Spans whose ``clock`` attribute is ``"simulated"``
+(the cluster simulator's worker intervals) are excluded from the
+wall-clock tree by default -- their timestamps live on the simulated
+clock, not the recorder's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.recorder import CounterEvent, Event, SpanEvent
+
+__all__ = [
+    "ProfileNode",
+    "build_span_tree",
+    "aggregate_spans",
+    "counter_totals",
+    "render_span_tree",
+    "render_profile",
+]
+
+
+@dataclass
+class ProfileNode:
+    """One span with its children, ordered by start time."""
+
+    span: SpanEvent
+    children: List["ProfileNode"] = field(default_factory=list)
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration not covered by child spans."""
+        return self.span.duration - sum(c.span.duration for c in self.children)
+
+
+def _wall_spans(events: Iterable[Event]) -> List[SpanEvent]:
+    return [
+        e for e in events
+        if isinstance(e, SpanEvent) and e.attrs.get("clock") != "simulated"
+    ]
+
+
+def build_span_tree(events: Iterable[Event]) -> List[ProfileNode]:
+    """Rebuild the span forest from a flat event stream.
+
+    Spans whose parent is missing from the stream become roots, so a
+    filtered or truncated trace still renders.
+    """
+    spans = _wall_spans(events)
+    nodes = {span.id: ProfileNode(span) for span in spans}
+    roots: List[ProfileNode] = []
+    for span in spans:
+        node = nodes[span.id]
+        parent = nodes.get(span.parent) if span.parent is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda c: c.span.start)
+    roots.sort(key=lambda r: r.span.start)
+    return roots
+
+
+def aggregate_spans(
+    events: Iterable[Event],
+) -> Dict[str, Tuple[int, float]]:
+    """``name -> (count, total_seconds)`` over all wall-clock spans."""
+    totals: Dict[str, Tuple[int, float]] = {}
+    for span in _wall_spans(events):
+        count, seconds = totals.get(span.name, (0, 0.0))
+        totals[span.name] = (count + 1, seconds + span.duration)
+    return totals
+
+
+def counter_totals(events: Iterable[Event]) -> Dict[str, float]:
+    """``name -> summed value`` over all counter events."""
+    totals: Dict[str, float] = {}
+    for event in events:
+        if isinstance(event, CounterEvent):
+            totals[event.name] = totals.get(event.name, 0.0) + event.value
+    return totals
+
+
+def _attr_suffix(span: SpanEvent) -> str:
+    shown = {
+        k: v for k, v in span.attrs.items()
+        if k in ("solver", "size", "n", "method", "worker", "workers")
+    }
+    if not shown:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+    return f" [{inner}]"
+
+
+def render_span_tree(
+    events: Iterable[Event],
+    *,
+    min_fraction: float = 0.0,
+) -> str:
+    """Indented span tree with durations and percent-of-total.
+
+    ``min_fraction`` hides subtrees below that share of the total (their
+    time still counts toward their parent).
+    """
+    roots = build_span_tree(events)
+    if not roots:
+        return "(no spans recorded)"
+    total = sum(r.span.duration for r in roots) or 1.0
+    lines: List[str] = []
+
+    def emit(node: ProfileNode, prefix: str, child_prefix: str) -> None:
+        duration = node.span.duration
+        fraction = duration / total
+        if fraction < min_fraction:
+            return
+        lines.append(
+            f"{prefix}{node.span.name}{_attr_suffix(node.span)}"
+            f"  {duration * 1e3:10.3f} ms  {fraction:6.1%}"
+        )
+        visible = [
+            c for c in node.children if c.span.duration / total >= min_fraction
+        ]
+        for i, child in enumerate(visible):
+            last = i == len(visible) - 1
+            branch = "└─ " if last else "├─ "
+            extend = "   " if last else "│  "
+            emit(child, child_prefix + branch, child_prefix + extend)
+
+    for root in roots:
+        emit(root, "", "")
+    return "\n".join(lines)
+
+
+def render_profile(
+    events: Iterable[Event],
+    *,
+    min_fraction: float = 0.0,
+    top: Optional[int] = 10,
+) -> str:
+    """The full ``repro-mut profile`` report: span tree, per-name rollup
+    and counter totals."""
+    sections = [render_span_tree(events, min_fraction=min_fraction)]
+    aggregates = aggregate_spans(events)
+    if aggregates:
+        grand = max(seconds for _, seconds in aggregates.values())
+        rows = sorted(aggregates.items(), key=lambda item: -item[1][1])
+        if top is not None:
+            rows = rows[:top]
+        width = max(len(name) for name, _ in rows)
+        lines = ["", "span totals by name:"]
+        for name, (count, seconds) in rows:
+            row = f"  {name:<{width}}  x{count:<5d} {seconds * 1e3:10.3f} ms"
+            if grand > 0:
+                row += f"  {seconds / grand:6.1%}"
+            lines.append(row)
+        sections.append("\n".join(lines))
+    counters = counter_totals(events)
+    if counters:
+        width = max(len(name) for name in counters)
+        sections.append(
+            "\n".join(
+                ["", "counters:"]
+                + [
+                    f"  {name:<{width}}  {value:g}"
+                    for name, value in sorted(counters.items())
+                ]
+            )
+        )
+    return "\n".join(sections)

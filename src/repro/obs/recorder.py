@@ -1,0 +1,356 @@
+"""The :class:`Recorder`: spans, counters and JSON-lines export.
+
+Design constraints, in order:
+
+1. **Zero-cost when off.**  Every engine defaults to the shared
+   :data:`NULL_RECORDER`, whose ``span``/``counter``/``add_span`` are
+   allocation-free no-ops, so the branch-and-bound hot loops and the
+   UPGMM vectorised path stay exactly as fast as before.
+2. **Deterministic when tested.**  The clock is injectable
+   (``Recorder(clock=fake)``), so span timestamps -- and therefore the
+   JSON-lines output -- are reproducible byte for byte in tests.
+3. **One flat event list.**  Spans carry ``id``/``parent`` links instead
+   of being nested objects; consumers (the profile view, the Gantt
+   projection in :mod:`repro.parallel.trace`) rebuild whatever tree or
+   timeline they need.
+
+Event schema (JSON lines, one object per line; see
+``docs/observability.md``)::
+
+    {"event": "meta", "schema": 1}
+    {"event": "span", "id": 1, "parent": null, "name": "pipeline.build",
+     "start": 0.0, "end": 1.5, "duration": 1.5, "attrs": {"n": 26}}
+    {"event": "counter", "name": "bnb.nodes_expanded", "value": 42,
+     "time": 1.2, "span": 1, "attrs": {}}
+"""
+
+from __future__ import annotations
+
+import io as _io
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Span",
+    "SpanEvent",
+    "CounterEvent",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "as_recorder",
+    "read_jsonl",
+]
+
+#: Version stamped into the ``meta`` line of every JSON-lines export.
+SCHEMA_VERSION = 1
+
+Event = Union["SpanEvent", "CounterEvent"]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A closed, timed phase of work."""
+
+    id: int
+    parent: Optional[int]
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "event": "span",
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """A named tally emitted at a point in time."""
+
+    name: str
+    value: float
+    time: float
+    span: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "event": "counter",
+            "name": self.name,
+            "value": self.value,
+            "time": self.time,
+            "span": self.span,
+            "attrs": self.attrs,
+        }
+
+
+class Span:
+    """Handle for a span that is currently open on a :class:`Recorder`.
+
+    ``start``/``end`` are recorder-clock timestamps; ``end`` is ``None``
+    until the ``with`` block exits.  The null recorder hands out a shared
+    sentinel whose timestamps stay ``None``.
+    """
+
+    __slots__ = ("id", "parent", "name", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        id: Optional[int],
+        parent: Optional[int],
+        name: str,
+        start: Optional[float],
+        attrs: Dict[str, object],
+    ) -> None:
+        self.id = id
+        self.parent = parent
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+class _NullContext:
+    """Reusable no-op context manager yielding the shared null span."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self) -> None:
+        self._span = Span(None, None, "", None, {})
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+class NullRecorder:
+    """Recorder that records nothing (the engines' default).
+
+    It still carries a ``clock`` so callers can time work consistently
+    through an injected clock even when nothing is recorded (the batch
+    runner relies on this).
+    """
+
+    enabled = False
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self._null_context = _NullContext()
+
+    @property
+    def events(self) -> List[Event]:
+        return []
+
+    def span(self, name: str, **attrs) -> _NullContext:
+        return self._null_context
+
+    def add_span(
+        self, name: str, start: float, end: float, **attrs
+    ) -> None:
+        return None
+
+    def counter(self, name: str, value: float = 1, **attrs) -> None:
+        return None
+
+    def spans(self, name: Optional[str] = None) -> List[SpanEvent]:
+        return []
+
+    def counters(self, name: Optional[str] = None) -> List[CounterEvent]:
+        return []
+
+    def counter_total(self, name: str) -> float:
+        return 0.0
+
+
+#: Shared default instance; engines use it when no recorder is supplied.
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder(NullRecorder):
+    """In-memory event sink with span nesting and JSON-lines export."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        super().__init__(clock)
+        self._events: List[Event] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[Event]:
+        """All recorded events; spans appear when they *close*."""
+        return list(self._events)
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested, timed span around a ``with`` block."""
+        parent = self._stack[-1].id if self._stack else None
+        handle = Span(self._next_id, parent, name, self.clock(), attrs)
+        self._next_id += 1
+        self._stack.append(handle)
+        try:
+            yield handle
+        finally:
+            handle.end = self.clock()
+            self._stack.pop()
+            self._events.append(
+                SpanEvent(
+                    id=handle.id,
+                    parent=handle.parent,
+                    name=name,
+                    start=handle.start,
+                    end=handle.end,
+                    attrs=attrs,
+                )
+            )
+
+    def add_span(
+        self, name: str, start: float, end: float, **attrs
+    ) -> SpanEvent:
+        """Record an externally timed span (e.g. a simulated worker's busy
+        interval, or a worker process timed by the master).  It is parented
+        to whatever span is currently open."""
+        parent = self._stack[-1].id if self._stack else None
+        event = SpanEvent(
+            id=self._next_id, parent=parent, name=name,
+            start=start, end=end, attrs=attrs,
+        )
+        self._next_id += 1
+        self._events.append(event)
+        return event
+
+    def counter(self, name: str, value: float = 1, **attrs) -> CounterEvent:
+        """Record a named tally, attached to the currently open span."""
+        span_id = self._stack[-1].id if self._stack else None
+        event = CounterEvent(
+            name=name, value=value, time=self.clock(), span=span_id, attrs=attrs
+        )
+        self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def spans(self, name: Optional[str] = None) -> List[SpanEvent]:
+        return [
+            e for e in self._events
+            if isinstance(e, SpanEvent) and (name is None or e.name == name)
+        ]
+
+    def counters(self, name: Optional[str] = None) -> List[CounterEvent]:
+        return [
+            e for e in self._events
+            if isinstance(e, CounterEvent) and (name is None or e.name == name)
+        ]
+
+    def counter_total(self, name: str) -> float:
+        """Sum of every counter event with this name."""
+        return sum(e.value for e in self.counters(name))
+
+    # ------------------------------------------------------------------
+    # JSON-lines export
+    # ------------------------------------------------------------------
+    def json_lines(self) -> List[str]:
+        """The serialized event stream, meta line first."""
+        lines = [json.dumps({"event": "meta", "schema": SCHEMA_VERSION})]
+        lines.extend(
+            json.dumps(event.to_json(), sort_keys=True) for event in self._events
+        )
+        return lines
+
+    def write_jsonl(
+        self, destination: Union[str, Path, _io.TextIOBase]
+    ) -> None:
+        """Write the event stream as JSON lines to a path or open file."""
+        text = "\n".join(self.json_lines()) + "\n"
+        if hasattr(destination, "write"):
+            destination.write(text)  # type: ignore[union-attr]
+        else:
+            Path(destination).write_text(text)
+
+
+def as_recorder(recorder: Optional[NullRecorder]) -> NullRecorder:
+    """``recorder`` itself, or the shared null recorder for ``None``."""
+    return NULL_RECORDER if recorder is None else recorder
+
+
+def read_jsonl(
+    source: Union[str, Path, _io.TextIOBase]
+) -> List[Event]:
+    """Parse a JSON-lines event stream back into typed events.
+
+    The ``meta`` line is validated and dropped; unknown event kinds raise
+    ``ValueError`` so schema drift fails loudly rather than silently.
+    """
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        text = Path(source).read_text()
+    events: List[Event] = []
+    for line_no, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("event")
+        if kind == "meta":
+            schema = record.get("schema")
+            if schema != SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported trace schema {schema!r} "
+                    f"(this reader understands {SCHEMA_VERSION})"
+                )
+        elif kind == "span":
+            events.append(
+                SpanEvent(
+                    id=record["id"],
+                    parent=record.get("parent"),
+                    name=record["name"],
+                    start=record["start"],
+                    end=record["end"],
+                    attrs=record.get("attrs", {}),
+                )
+            )
+        elif kind == "counter":
+            events.append(
+                CounterEvent(
+                    name=record["name"],
+                    value=record["value"],
+                    time=record["time"],
+                    span=record.get("span"),
+                    attrs=record.get("attrs", {}),
+                )
+            )
+        else:
+            raise ValueError(
+                f"line {line_no}: unknown event kind {kind!r}"
+            )
+    return events

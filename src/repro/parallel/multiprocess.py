@@ -49,6 +49,7 @@ from repro.bnb.sequential import BranchAndBoundSolver
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.maxmin import apply_maxmin
+from repro.obs.recorder import NullRecorder, as_recorder
 from repro.tree.ultrametric import UltrametricTree
 
 __all__ = ["MultiprocessResult", "multiprocess_mut", "select_start_method"]
@@ -181,12 +182,16 @@ def _worker_main(
 def _gather_results(
     processes: Dict[int, "multiprocessing.process.BaseProcess"],
     result_queue,
+    arrivals: Optional[Dict[int, float]] = None,
+    clock=None,
 ) -> List[tuple]:
     """Collect one message per worker, supervising worker liveness.
 
     Raises :class:`RuntimeError` naming the worker when one dies without
     reporting (non-zero exit code or a lost result), or when a worker
-    ships back an exception traceback.
+    ships back an exception traceback.  When ``arrivals``/``clock`` are
+    supplied, each worker's result-arrival timestamp is recorded so the
+    caller can emit per-worker spans.
     """
     pending = dict(processes)
     results: List[tuple] = []
@@ -221,6 +226,8 @@ def _gather_results(
                 f"branch-and-bound worker {worker_id} raised:\n{info}"
             )
         pending.pop(worker_id, None)
+        if arrivals is not None and clock is not None:
+            arrivals[worker_id] = clock()
         results.append(message)
     return results
 
@@ -235,6 +242,7 @@ def multiprocess_mut(
     prebranch_factor: int = 2,
     poll_interval: int = 64,
     start_method: Optional[str] = None,
+    recorder: Optional[NullRecorder] = None,
 ) -> MultiprocessResult:
     """Exact minimum ultrametric tree using real worker processes.
 
@@ -242,15 +250,49 @@ def multiprocess_mut(
     ``start_method`` forces a :mod:`multiprocessing` start method
     (``"fork"``/``"spawn"``/``"forkserver"``); by default the cheapest
     method the platform supports is used (see :func:`select_start_method`).
+    With a ``recorder``, the run executes inside an ``mp.solve`` span,
+    each worker process contributes an ``mp.worker`` span (master-side
+    wall clock, process start to result arrival -- the same per-worker
+    interval model as the simulator's trace) and its expand/prune
+    counters.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be positive")
+    rec = as_recorder(recorder)
     method = select_start_method(start_method)
+    with rec.span(
+        "mp.solve", n=matrix.n, workers=n_workers, start_method=method
+    ):
+        return _multiprocess_impl(
+            matrix,
+            n_workers,
+            lower_bound,
+            relationship_33,
+            enforce_all_33,
+            prebranch_factor,
+            poll_interval,
+            method,
+            rec,
+        )
+
+
+def _multiprocess_impl(
+    matrix: DistanceMatrix,
+    n_workers: int,
+    lower_bound: str,
+    relationship_33: bool,
+    enforce_all_33: bool,
+    prebranch_factor: int,
+    poll_interval: int,
+    method: str,
+    rec: NullRecorder,
+) -> MultiprocessResult:
     if matrix.n < 4 or n_workers == 1:
         seq = BranchAndBoundSolver(
             lower_bound=lower_bound,
             relationship_33=relationship_33,
             enforce_all_33=enforce_all_33,
+            recorder=rec,
         ).solve(matrix)
         return MultiprocessResult(
             tree=seq.tree,
@@ -333,6 +375,8 @@ def multiprocess_mut(
     shared_ub = ctx.Value("d", upper_bound)
     result_queue = ctx.Queue()
     processes: Dict[int, "multiprocessing.process.BaseProcess"] = {}
+    starts: Dict[int, float] = {}
+    arrivals: Dict[int, float] = {}
     try:
         for worker_id, share in enumerate(shares):
             if not share:
@@ -353,13 +397,29 @@ def multiprocess_mut(
                 ),
                 daemon=True,
             )
+            starts[worker_id] = rec.clock()
             proc.start()
             processes[worker_id] = proc
 
-        for message in _gather_results(processes, result_queue):
+        for message in _gather_results(
+            processes, result_queue, arrivals=arrivals, clock=rec.clock
+        ):
             _, worker_id, cost, payload, counters = message
             expanded += counters["expanded"]
             pruned += counters["pruned"]
+            if rec.enabled:
+                rec.add_span(
+                    "mp.worker",
+                    starts[worker_id],
+                    arrivals.get(worker_id, rec.clock()),
+                    worker=worker_id,
+                )
+                rec.counter(
+                    "mp.nodes_expanded", counters["expanded"], worker=worker_id
+                )
+                rec.counter(
+                    "mp.nodes_pruned", counters["pruned"], worker=worker_id
+                )
             if cost is not None and cost < best_cost - _EPS:
                 tree = PartialTopology.from_payload(payload, half).to_tree(
                     labels

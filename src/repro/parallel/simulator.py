@@ -36,6 +36,7 @@ from repro.bnb.topology import PartialTopology
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.maxmin import apply_maxmin
+from repro.obs.recorder import NullRecorder, as_recorder
 from repro.parallel.config import ClusterConfig
 from repro.parallel.pools import SortedPool
 from repro.parallel.trace import TraceInterval
@@ -118,6 +119,7 @@ class ParallelBranchAndBound:
         use_maxmin: bool = True,
         relationship_33: bool = False,
         enforce_all_33: bool = False,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         self.config = config or ClusterConfig()
         if lower_bound not in LOWER_BOUNDS:
@@ -126,11 +128,45 @@ class ParallelBranchAndBound:
         self.use_maxmin = use_maxmin
         self.relationship_33 = relationship_33
         self.enforce_all_33 = enforce_all_33
+        self.recorder = as_recorder(recorder)
 
     # ------------------------------------------------------------------
     def solve(self, matrix: DistanceMatrix) -> ParallelResult:
-        """Run the simulated cluster on ``matrix``."""
+        """Run the simulated cluster on ``matrix``.
+
+        With a recorder attached, the run executes inside a
+        ``parallel.solve`` wall-clock span; every simulated busy interval
+        is also emitted as a ``parallel.worker`` span (``clock:
+        "simulated"`` -- the same model as :class:`TraceInterval`, so the
+        Gantt/utilization views consume either source), along with the
+        run's expansion/prune/message counters.
+        """
+        rec = self.recorder
+        with rec.span(
+            "parallel.solve", n=matrix.n, workers=self.config.n_workers
+        ):
+            result = self._solve_impl(matrix)
+            if rec.enabled:
+                for interval in result.trace:
+                    rec.add_span(
+                        "parallel.worker",
+                        interval.start,
+                        interval.end,
+                        worker=interval.worker,
+                        kind=interval.kind,
+                        clock="simulated",
+                    )
+                rec.counter(
+                    "parallel.nodes_expanded", result.total_nodes_expanded
+                )
+                rec.counter("parallel.nodes_pruned", result.total_nodes_pruned)
+                rec.counter("parallel.messages", result.messages)
+                rec.counter("parallel.simulated_makespan", result.makespan)
+        return result
+
+    def _solve_impl(self, matrix: DistanceMatrix) -> ParallelResult:
         cfg = self.config
+        record_trace = cfg.record_trace or self.recorder.enabled
         n = matrix.n
         if n < 3:
             # Too small to parallelise; fall back to the trivial cases.
@@ -294,7 +330,7 @@ class ParallelBranchAndBound:
 
             if node is None:
                 worker.stats.busy_time += elapsed
-                if cfg.record_trace and elapsed > 0:
+                if record_trace and elapsed > 0:
                     trace.append(TraceInterval(wid, now, now + elapsed, "prune"))
                 refill = gp.pop_best()
                 if refill is not None:
@@ -325,7 +361,7 @@ class ParallelBranchAndBound:
             worker.stats.busy_time += elapsed + dt
             worker.stats.nodes_expanded += 1
             done = now + elapsed + dt
-            if cfg.record_trace:
+            if record_trace:
                 if elapsed > 0:
                     trace.append(
                         TraceInterval(wid, now, now + elapsed, "prune")

@@ -5,14 +5,24 @@ With ``ClusterConfig(record_trace=True)`` the simulator records one
 those intervals into the load-balance views the HPCAsia paper reasons
 about: per-worker utilization and an ASCII Gantt chart showing where the
 global-pool refills and steals keep the cluster busy.
+
+The same views consume recorder events: every engine that runs workers
+(the cluster simulator, ``multiprocess_mut``) emits one worker span per
+interval, and :func:`intervals_from_spans` converts those spans back
+into :class:`TraceInterval` rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["TraceInterval", "worker_utilization", "ascii_gantt"]
+__all__ = [
+    "TraceInterval",
+    "intervals_from_spans",
+    "worker_utilization",
+    "ascii_gantt",
+]
 
 
 @dataclass(frozen=True)
@@ -27,6 +37,51 @@ class TraceInterval:
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+
+def intervals_from_spans(events: Iterable) -> List[TraceInterval]:
+    """Rebuild :class:`TraceInterval` rows from recorder worker spans.
+
+    Accepts any iterable of :class:`repro.obs.SpanEvent` /
+    :class:`repro.obs.CounterEvent` (e.g. ``Recorder.events`` or the
+    output of :func:`repro.obs.read_jsonl`) and keeps the spans that
+    carry a ``worker`` attribute -- ``parallel.worker`` spans from the
+    cluster simulator (simulated clock) and ``mp.worker`` spans from the
+    multiprocess engine (wall clock).  Simulated-clock timestamps are
+    kept verbatim (they already live on the cluster's own timeline);
+    wall-clock timestamps sit at an arbitrary ``perf_counter`` origin and
+    are shifted so the earliest such interval starts at 0.
+    """
+    rows: List[TraceInterval] = []
+    wall: List[int] = []
+    for event in events:
+        attrs = getattr(event, "attrs", None)
+        if not attrs or "worker" not in attrs:
+            continue
+        # Counters can carry a worker attr too; only spans have times.
+        start = getattr(event, "start", None)
+        end = getattr(event, "end", None)
+        if start is None or end is None:
+            continue
+        if attrs.get("clock") != "simulated":
+            wall.append(len(rows))
+        rows.append(
+            TraceInterval(
+                worker=int(attrs["worker"]),
+                start=float(start),
+                end=float(end),
+                kind=str(attrs.get("kind", "expand")),
+            )
+        )
+    if wall:
+        origin = min(rows[i].start for i in wall)
+        for i in wall:
+            r = rows[i]
+            rows[i] = TraceInterval(
+                r.worker, r.start - origin, r.end - origin, r.kind
+            )
+    rows.sort(key=lambda r: (r.start, r.worker))
+    return rows
 
 
 def worker_utilization(

@@ -12,7 +12,7 @@ species"; these metrics let the experiments quantify that claim:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Set, Tuple
+from typing import FrozenSet, Set
 
 import numpy as np
 

@@ -15,7 +15,7 @@ which is the quantity the Minimum Ultrametric Tree problem minimises
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 

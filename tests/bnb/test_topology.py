@@ -1,12 +1,10 @@
 """Tests for the partial-topology branching structure."""
 
-import math
 
 import pytest
 
 from repro.bnb.bounds import half_matrix
 from repro.bnb.topology import PartialTopology
-from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.generators import random_metric_matrix
 from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
 

@@ -1,11 +1,13 @@
 """Tests for the batch experiment runner."""
 
 import itertools
+import math
 
 import pytest
 
-from repro.core.batch import BatchRunner
+from repro.core.batch import BatchReport, BatchRunner
 from repro.matrix.generators import clustered_matrix, random_metric_matrix
+from repro.obs import Recorder
 
 
 @pytest.fixture
@@ -71,3 +73,35 @@ class TestBatchRunner:
         agg = report.aggregate("bnb")
         assert agg.median_seconds <= agg.worst_seconds
         assert agg.mean_seconds <= agg.worst_seconds
+
+    def test_zero_cost_baseline_does_not_raise(self):
+        report = BatchReport(methods=["a", "b"])
+        report.costs["a"] = [3.0, 0.0, 2.0]
+        report.costs["b"] = [0.0, 0.0, 1.0]
+        ratios = report.cost_ratio("a", "b")
+        assert ratios[0] == math.inf
+        assert math.isnan(ratios[1])
+        assert ratios[2] == 2.0
+
+    def test_effort_recorded_per_instance(self):
+        # Seeds chosen so the UPGMM seed is beatable and B&B must expand.
+        matrices = [random_metric_matrix(8, seed=s) for s in (1, 2)]
+        report = BatchRunner(["bnb", "upgmm"]).run(matrices)
+        assert all(nodes > 0 for nodes in report.effort["bnb"])
+        assert report.effort["upgmm"] == [0, 0]
+        agg = report.aggregate("bnb")
+        assert agg.total_nodes_expanded == sum(report.effort["bnb"])
+        assert f"nodes={agg.total_nodes_expanded}" in agg.row()
+
+    def test_recorder_threads_through_engines(self, small_batch):
+        recorder = Recorder()
+        report = BatchRunner(["bnb", "upgmm"], recorder=recorder).run(small_batch)
+        # One batch.run span per (method, instance) pair.
+        runs = recorder.spans("batch.run")
+        assert len(runs) == 2 * len(small_batch)
+        # The engines recorded through the same recorder.
+        assert len(recorder.spans("bnb.solve")) == len(small_batch)
+        assert len(recorder.spans("heuristic.upgmm")) == len(small_batch)
+        assert recorder.counter_total("batch.nodes_expanded") == sum(
+            report.effort["bnb"]
+        )

@@ -12,6 +12,7 @@ from repro.matrix.generators import (
     random_metric_matrix,
     random_ultrametric_matrix,
 )
+from repro.obs import Recorder
 from repro.parallel.config import ClusterConfig
 from repro.tree.checks import dominates_matrix, is_valid_ultrametric_tree
 
@@ -109,6 +110,54 @@ class TestReports:
         m = clustered_matrix([3, 3], seed=4)
         result = CompactSetTreeBuilder().build(m)
         assert result.elapsed_seconds > 0
+
+
+class TestObservability:
+    def test_one_solve_span_per_subproblem_report(self):
+        recorder = Recorder()
+        m = hierarchical_matrix([[3, 2], [3]], seed=2)
+        result = CompactSetTreeBuilder(recorder=recorder).build(m)
+        solves = recorder.spans("pipeline.solve")
+        assert len(solves) == len(result.reports)
+        # Each report's elapsed time IS its span's duration.
+        for report, span in zip(result.reports, solves):
+            assert report.elapsed_seconds == pytest.approx(span.duration)
+            assert span.attrs["size"] == report.size
+            assert span.attrs["solver"] == report.solver
+
+    def test_span_hierarchy(self):
+        recorder = Recorder()
+        m = clustered_matrix([3, 3], seed=4)
+        result = CompactSetTreeBuilder(recorder=recorder).build(m)
+        (build,) = recorder.spans("pipeline.build")
+        assert build.attrs["n"] == m.n
+        assert result.elapsed_seconds == pytest.approx(build.duration)
+        (discover,) = recorder.spans("pipeline.discover")
+        assert discover.parent == build.id
+        for node_span in recorder.spans("pipeline.node"):
+            assert node_span.parent is not None
+        # Every internal node produced reduce and merge spans.
+        n_nodes = len(recorder.spans("pipeline.node"))
+        assert len(recorder.spans("pipeline.reduce")) == n_nodes
+        assert len(recorder.spans("pipeline.merge")) == n_nodes
+
+    def test_solve_spans_cover_most_of_build_time(self):
+        """Acceptance check: per-subproblem timings are consistent with
+        the run's total, not a separate hand-rolled measurement."""
+        recorder = Recorder()
+        m = hierarchical_matrix([[3, 2], [3]], seed=2)
+        result = CompactSetTreeBuilder(recorder=recorder).build(m)
+        span_total = sum(s.duration for s in recorder.spans("pipeline.solve"))
+        report_total = sum(r.elapsed_seconds for r in result.reports)
+        assert span_total == pytest.approx(report_total)
+        assert span_total <= result.elapsed_seconds
+
+    def test_recorder_does_not_change_result(self):
+        m = clustered_matrix([3, 3], seed=4)
+        plain = CompactSetTreeBuilder().build(m)
+        traced = CompactSetTreeBuilder(recorder=Recorder()).build(m)
+        assert traced.cost == pytest.approx(plain.cost)
+        assert len(traced.reports) == len(plain.reports)
 
 
 class TestOptions:

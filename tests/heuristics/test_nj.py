@@ -5,7 +5,6 @@ import pytest
 from repro.heuristics.nj import neighbor_joining
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.generators import random_metric_matrix
-from repro.tree.ultrametric import UltrametricTree
 
 
 def additive_matrix():

@@ -26,6 +26,24 @@ class TestConstruction:
         raw[0, 1] = 99.0
         assert m[0, 1] == 1.0
 
+    def test_stored_values_are_immutable(self):
+        # Identity-keyed caches (bnb.bounds.search_context,
+        # matrix.maxmin.apply_maxmin) assume a matrix never changes after
+        # construction; in-place writes must fail loudly.
+        m = DistanceMatrix([[0, 1], [1, 0]])
+        with pytest.raises(ValueError, match="read-only"):
+            m.values[0, 1] = 99.0
+        with pytest.raises(ValueError, match="read-only"):
+            m.values[:] = 0.0
+        assert m[0, 1] == 1.0
+
+    def test_derived_matrices_are_immutable_too(self):
+        m = DistanceMatrix([[0, 1, 2], [1, 0, 2], [2, 2, 0]])
+        for derived in (m.submatrix([0, 1]), m.relabeled([2, 1, 0]),
+                        m.with_labels(["a", "b", "c"])):
+            with pytest.raises(ValueError, match="read-only"):
+                derived.values[0, 0] = 1.0
+
     def test_non_square_rejected(self):
         with pytest.raises(MatrixValidationError, match="square"):
             DistanceMatrix([[0, 1, 2], [1, 0, 2]])

@@ -50,6 +50,38 @@ class TestPhylip:
         with pytest.raises(MatrixValidationError, match="distances"):
             read_phylip(io.StringIO("2\nfoo 0.0\nbar 0.0 1.0"))
 
+    def test_rejects_extra_rows(self):
+        # A wrong header must not silently truncate the matrix.
+        text = "2\nfoo 0 1\nbar 1 0\nbaz 1 1\n"
+        with pytest.raises(MatrixValidationError, match="extra data"):
+            read_phylip(io.StringIO(text))
+
+    def test_rejects_non_numeric_distance(self):
+        text = "2\nfoo 0.0 oops\nbar 1.0 0.0\n"
+        with pytest.raises(MatrixValidationError, match="non-numeric"):
+            read_phylip(io.StringIO(text))
+
+    def test_write_rejects_whitespace_label(self):
+        # "big cat" would be split into two tokens on read, shifting the
+        # whole row; refuse to write instead of corrupting silently.
+        m = DistanceMatrix([[0, 1], [1, 0]], labels=["big cat", "dog"])
+        with pytest.raises(MatrixValidationError, match="whitespace"):
+            write_phylip(m, io.StringIO())
+
+    def test_write_rejects_tab_and_empty_labels(self):
+        for labels in (["a\tb", "c"], ["", "c"]):
+            m = DistanceMatrix([[0, 1], [1, 0]], labels=labels)
+            with pytest.raises(MatrixValidationError):
+                write_phylip(m, io.StringIO())
+
+    def test_safe_labels_still_round_trip(self):
+        m = DistanceMatrix([[0, 1], [1, 0]], labels=["big_cat", "dog"])
+        buffer = io.StringIO()
+        write_phylip(m, buffer)
+        parsed = read_phylip(io.StringIO(buffer.getvalue()))
+        assert parsed.labels == ["big_cat", "dog"]
+        assert np.allclose(parsed.values, m.values)
+
 
 class TestCsv:
     def test_round_trip(self, square5):

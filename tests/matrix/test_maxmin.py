@@ -1,7 +1,6 @@
 """Tests for max-min permutations."""
 
 import numpy as np
-import pytest
 
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.generators import random_metric_matrix

@@ -1,0 +1,96 @@
+"""Profile-view tests: tree rebuilding, aggregation, rendering."""
+
+import itertools
+
+from repro.obs import (
+    Recorder,
+    SpanEvent,
+    aggregate_spans,
+    build_span_tree,
+    counter_totals,
+    render_profile,
+    render_span_tree,
+)
+
+
+def ticking_clock():
+    counter = itertools.count()
+    return lambda: float(next(counter))
+
+
+def recorded_run():
+    rec = Recorder(clock=ticking_clock())
+    with rec.span("build", n=8):
+        with rec.span("discover"):
+            pass
+        with rec.span("solve", size=5):
+            rec.counter("nodes", 11)
+        with rec.span("solve", size=3):
+            rec.counter("nodes", 4)
+    return rec
+
+
+class TestBuildSpanTree:
+    def test_forest_structure(self):
+        roots = recorded_run().events
+        (root,) = build_span_tree(roots)
+        assert root.span.name == "build"
+        assert [c.span.name for c in root.children] == [
+            "discover", "solve", "solve",
+        ]
+        # Children are ordered by start time.
+        starts = [c.span.start for c in root.children]
+        assert starts == sorted(starts)
+
+    def test_orphan_parent_becomes_root(self):
+        orphan = SpanEvent(id=9, parent=999, name="lost", start=0.0, end=1.0)
+        (root,) = build_span_tree([orphan])
+        assert root.span is orphan
+
+    def test_simulated_clock_spans_excluded(self):
+        rec = recorded_run()
+        rec.add_span("parallel.worker", 0.0, 50.0, worker=0, clock="simulated")
+        (root,) = build_span_tree(rec.events)
+        names = {c.span.name for c in root.children}
+        assert "parallel.worker" not in names
+
+    def test_self_seconds(self):
+        (root,) = build_span_tree(recorded_run().events)
+        child_total = sum(c.span.duration for c in root.children)
+        assert root.self_seconds == root.span.duration - child_total
+
+
+class TestAggregation:
+    def test_aggregate_spans(self):
+        totals = aggregate_spans(recorded_run().events)
+        count, seconds = totals["solve"]
+        assert count == 2
+        assert seconds > 0
+        assert totals["build"][0] == 1
+
+    def test_counter_totals(self):
+        assert counter_totals(recorded_run().events) == {"nodes": 15.0}
+
+
+class TestRendering:
+    def test_tree_contains_names_and_percent(self):
+        text = render_span_tree(recorded_run().events)
+        assert "build" in text
+        assert "└─ " in text
+        assert "100.0%" in text
+        assert "[size=5]" in text
+
+    def test_min_fraction_hides_small_spans(self):
+        text = render_span_tree(recorded_run().events, min_fraction=0.99)
+        assert "build" in text
+        assert "discover" not in text
+
+    def test_empty_stream(self):
+        assert render_span_tree([]) == "(no spans recorded)"
+        assert render_profile([]) == "(no spans recorded)"
+
+    def test_full_profile_sections(self):
+        text = render_profile(recorded_run().events)
+        assert "span totals by name:" in text
+        assert "counters:" in text
+        assert "nodes" in text

@@ -3,9 +3,15 @@
 import pytest
 
 from repro.matrix.generators import random_metric_matrix
+from repro.obs import Recorder
 from repro.parallel.config import ClusterConfig
 from repro.parallel.simulator import ParallelBranchAndBound
-from repro.parallel.trace import TraceInterval, ascii_gantt, worker_utilization
+from repro.parallel.trace import (
+    TraceInterval,
+    ascii_gantt,
+    intervals_from_spans,
+    worker_utilization,
+)
 
 
 def traced_run(workers=4, n=12, seed=42):
@@ -103,3 +109,59 @@ class TestGantt:
     def test_width_validation(self):
         with pytest.raises(ValueError):
             ascii_gantt([], 1, 1.0, width=4)
+
+
+class TestIntervalsFromSpans:
+    def test_simulator_spans_round_trip(self):
+        """A recorder-instrumented run yields the same intervals as the
+        simulator's native trace."""
+        cfg = ClusterConfig(n_workers=4, record_trace=True)
+        matrix = random_metric_matrix(12, seed=42)
+        recorder = Recorder()
+        result = ParallelBranchAndBound(cfg, recorder=recorder).solve(matrix)
+        rebuilt = intervals_from_spans(recorder.events)
+        assert rebuilt == sorted(
+            result.trace, key=lambda t: (t.start, t.worker)
+        )
+
+    def test_recorder_implies_trace(self):
+        """Attaching a recorder records worker spans even when the
+        cluster config leaves record_trace off."""
+        cfg = ClusterConfig(n_workers=4)
+        matrix = random_metric_matrix(12, seed=42)
+        recorder = Recorder()
+        ParallelBranchAndBound(cfg, recorder=recorder).solve(matrix)
+        assert intervals_from_spans(recorder.events)
+
+    def test_wall_clock_spans_are_shifted_to_zero(self):
+        recorder = Recorder()
+        recorder.add_span("mp.worker", 100.0, 101.0, worker=0)
+        recorder.add_span("mp.worker", 100.5, 102.0, worker=1)
+        first, second = intervals_from_spans(recorder.events)
+        assert first == TraceInterval(0, 0.0, 1.0, "expand")
+        assert second == TraceInterval(1, 0.5, 2.0, "expand")
+
+    def test_non_worker_events_ignored(self):
+        recorder = Recorder()
+        with recorder.span("pipeline.build"):
+            recorder.counter("nodes", 3)
+        assert intervals_from_spans(recorder.events) == []
+
+    def test_counters_with_worker_attr_ignored(self):
+        # The multiprocess engine tags per-worker counters with worker=;
+        # only spans carry timestamps.
+        recorder = Recorder()
+        recorder.counter("mp.nodes_expanded", 5, worker=0)
+        recorder.add_span("mp.worker", 0.0, 1.0, worker=0)
+        (interval,) = intervals_from_spans(recorder.events)
+        assert interval.worker == 0
+
+    def test_feeds_utilization_and_gantt(self):
+        cfg = ClusterConfig(n_workers=4, record_trace=True)
+        matrix = random_metric_matrix(12, seed=42)
+        recorder = Recorder()
+        result = ParallelBranchAndBound(cfg, recorder=recorder).solve(matrix)
+        intervals = intervals_from_spans(recorder.events)
+        util = worker_utilization(intervals, 4, result.makespan)
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+        assert ascii_gantt(intervals, 4, result.makespan, width=40)

@@ -8,7 +8,6 @@ from repro.sequences.bootstrap import (
     bootstrap_sequences,
     bootstrap_support,
 )
-from repro.sequences.distance import distance_matrix_from_sequences
 from repro.sequences.hmdna import generate_hmdna_dataset
 from repro.tree.compare import clades
 

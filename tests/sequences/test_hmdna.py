@@ -1,6 +1,5 @@
 """Tests for the synthetic HMDNA datasets."""
 
-import pytest
 
 from repro.graph.compact_sets import find_compact_sets
 from repro.sequences.hmdna import generate_hmdna_dataset, hmdna_matrices

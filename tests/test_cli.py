@@ -62,6 +62,70 @@ class TestBuild:
         write_csv_matrix(clustered_matrix([2, 3], seed=2), path)
         assert main(["build", str(path), "--method", "upgmm"]) == 0
 
+    def test_trace_out(self, matrix_file, tmp_path, capsys):
+        from repro.obs import SpanEvent, read_jsonl
+
+        trace = tmp_path / "events.jsonl"
+        assert main(["build", matrix_file, "--trace-out", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "trace event(s)" in captured.err
+        events = read_jsonl(trace)
+        names = {e.name for e in events if isinstance(e, SpanEvent)}
+        assert "pipeline.build" in names
+        assert "pipeline.solve" in names
+
+    def test_trace_out_solve_spans_match_reported_elapsed(
+        self, matrix_file, tmp_path, capsys
+    ):
+        """Acceptance: the JSONL solve spans account for the run's time."""
+        from repro.obs import SpanEvent, read_jsonl
+
+        trace = tmp_path / "events.jsonl"
+        assert main([
+            "build", matrix_file, "--trace-out", str(trace), "--json"
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        spans = [
+            e for e in read_jsonl(trace)
+            if isinstance(e, SpanEvent) and e.name == "pipeline.build"
+        ]
+        (build,) = spans
+        assert build.duration == pytest.approx(payload["elapsed_seconds"])
+
+
+class TestProfile:
+    def test_prints_span_tree(self, matrix_file, capsys):
+        assert main(["profile", matrix_file]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.build" in out
+        assert "span totals by name:" in out
+        assert "counters:" in out
+        assert "%" in out
+
+    def test_method_option(self, matrix_file, capsys):
+        assert main(["profile", matrix_file, "--method", "bnb"]) == 0
+        out = capsys.readouterr().out
+        assert "bnb.solve" in out
+
+    def test_min_percent_filters(self, matrix_file, capsys):
+        assert main(["profile", matrix_file, "--min-percent", "100"]) == 0
+        out = capsys.readouterr().out
+        # Only the 100% root line survives in the tree section.
+        tree_lines = [
+            line for line in out.splitlines() if "pipeline." in line
+        ]
+        assert all("pipeline.build" in line or "totals" in line
+                   for line in tree_lines if "x" not in line)
+
+    def test_trace_out_also_written(self, matrix_file, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "profile.jsonl"
+        assert main([
+            "profile", matrix_file, "--trace-out", str(trace)
+        ]) == 0
+        assert read_jsonl(trace)
+
 
 class TestCompactSets:
     def test_text_output(self, matrix_file, capsys):

@@ -4,7 +4,6 @@ Each test drives a complete user workflow through the public API only,
 the way the examples do -- catching wiring bugs no unit test would.
 """
 
-import io
 
 import pytest
 

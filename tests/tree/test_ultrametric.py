@@ -1,6 +1,5 @@
 """Tests for the UltrametricTree data structure."""
 
-import numpy as np
 import pytest
 
 from repro.tree.ultrametric import TreeNode, UltrametricTree
