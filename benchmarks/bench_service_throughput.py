@@ -1,0 +1,168 @@
+"""Serving-layer throughput benchmark: cold vs warm-cache requests/sec.
+
+Measures the full HTTP path (client -> ``http.server`` -> scheduler ->
+solver/cache -> client) of an in-process :class:`ServiceServer`:
+
+* **cold** -- every request carries a distinct matrix, so each one
+  misses the cache and runs the solver;
+* **warm** -- every request repeats one matrix, so all but the first
+  are content-addressed cache hits.
+
+Writes machine-readable ``BENCH_service.json`` next to
+``BENCH_upgmm.json`` so later scaling PRs have a trajectory to beat.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --quick  # CI
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke  # CI
+                           # smoke: subprocess serve + one POST + SIGTERM drain
+
+The acceptance gate: warm-cache requests answer in under 10 ms median.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import signal
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_service.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.matrix.generators import clustered_matrix  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.scheduler import Scheduler  # noqa: E402
+from repro.service.server import ServiceServer  # noqa: E402
+
+
+def _run_requests(client: ServiceClient, matrices, method: str):
+    """Fire one request per matrix; returns per-request seconds."""
+    durations = []
+    for matrix in matrices:
+        t0 = time.perf_counter()
+        record = client.solve(matrix, method=method, wait_seconds=120.0)
+        durations.append(time.perf_counter() - t0)
+        assert record["state"] == "done", record
+    return durations
+
+
+def run(*, n_requests: int, species: int, method: str, workers: int) -> dict:
+    with ServiceServer(Scheduler(workers=workers), port=0) as server:
+        client = ServiceClient(server.url, timeout=120.0)
+        cold_matrices = [
+            clustered_matrix([species // 2, species - species // 2], seed=s)
+            for s in range(n_requests)
+        ]
+        cold = _run_requests(client, cold_matrices, method)
+        warm_matrix = cold_matrices[0]
+        warm = _run_requests(client, [warm_matrix] * n_requests, method)
+        stats = client.stats()
+
+    def summarise(durations):
+        return {
+            "requests": len(durations),
+            "total_seconds": sum(durations),
+            "requests_per_second": len(durations) / sum(durations),
+            "median_ms": statistics.median(durations) * 1e3,
+            "p95_ms": sorted(durations)[int(0.95 * (len(durations) - 1))] * 1e3,
+        }
+
+    report = {
+        "benchmark": "service-throughput",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "method": method,
+        "species": species,
+        "workers": workers,
+        "cold": summarise(cold),
+        "warm": summarise(warm),
+        "cache": stats["cache"],
+        "acceptance": {
+            "warm_median_ms": statistics.median(warm) * 1e3,
+            "required_max_ms": 10.0,
+            "passed": statistics.median(warm) < 0.010,
+        },
+    }
+    for phase in ("cold", "warm"):
+        row = report[phase]
+        print(
+            f"{phase:5s}  {row['requests']:4d} req  "
+            f"{row['requests_per_second']:8.1f} req/s  "
+            f"median {row['median_ms']:8.3f} ms  p95 {row['p95_ms']:8.3f} ms"
+        )
+    return report
+
+
+def smoke() -> int:
+    """CI smoke: subprocess serve, one POST /solve, assert 200, drain."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    try:
+        ready = proc.stdout.readline().strip()
+        print(ready)
+        assert "listening on" in ready, f"server never came up: {ready!r}"
+        client = ServiceClient(ready.split()[-1], timeout=60.0)
+        record = client.solve(clustered_matrix([3, 3], seed=1))
+        assert record["state"] == "done", record
+        print(f"solved: {record['result']['newick']}")
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        stderr = proc.stderr.read()
+        assert "drained; bye" in stderr, stderr
+        assert code == 0, f"serve exited {code}"
+        print("smoke OK: solve 200 + SIGTERM drain")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer, smaller requests (CI mode)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="subprocess smoke test only; no benchmark")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--species", type=int, default=None)
+    parser.add_argument("--method", default="compact")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default: {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    n_requests = args.requests or (10 if args.quick else 40)
+    species = args.species or (8 if args.quick else 12)
+    report = run(
+        n_requests=n_requests,
+        species=species,
+        method=args.method,
+        workers=args.workers,
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not report["acceptance"]["passed"]:
+        print("ACCEPTANCE FAILED: warm-cache median >= 10 ms", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,8 +56,15 @@ from repro.parallel import (
 from repro.core import (
     CompactSetTreeBuilder,
     construct_tree,
+    construct_tree_cached,
     reduce_matrix,
     validate_tree,
+)
+from repro.service import (
+    ResultCache,
+    Scheduler,
+    ServiceClient,
+    ServiceServer,
 )
 from repro.sequences import (
     generate_hmdna_dataset,
@@ -108,8 +115,13 @@ __all__ = [
     "multiprocess_mut",
     "CompactSetTreeBuilder",
     "construct_tree",
+    "construct_tree_cached",
     "reduce_matrix",
     "validate_tree",
+    "ResultCache",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceServer",
     "generate_hmdna_dataset",
     "hmdna_matrices",
     "distance_matrix_from_sequences",

@@ -22,6 +22,9 @@ this CLI is that surface.  Examples::
     repro-mut render matrix.phy --width 50
     repro-mut validate matrix.phy --method compact
     repro-mut compare tree_a.nwk tree_b.nwk
+
+    # run the serving layer (see docs/service.md)
+    repro-mut serve --port 8533 --workers 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -56,9 +59,15 @@ def _load_matrix(path: str) -> DistanceMatrix:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-mut",
         description="Minimum ultrametric evolutionary trees via compact sets",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-mut {__version__}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -85,9 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit machine-readable JSON instead of text")
 
     profile = sub.add_parser(
-        "profile", help="construct a tree and print where the time went"
+        "profile",
+        help="print where the time went (from a fresh build, or from a "
+             "recorded .jsonl trace file)",
     )
-    profile.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
+    profile.add_argument(
+        "matrix",
+        help="PHYLIP (.phy)/CSV matrix file, or a recorded JSON-lines "
+             "trace (.jsonl) to profile without re-running",
+    )
+    profile.add_argument(
+        "--from-trace", action="store_true",
+        help="treat the input as a trace file regardless of its suffix",
+    )
     profile.add_argument(
         "--method", choices=METHODS, default="compact",
         help="construction method (default: compact)",
@@ -165,6 +184,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="p-count",
     )
     bootstrap.add_argument("--json", action="store_true")
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP serving layer (see docs/service.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8533,
+                       help="listen port; 0 picks a free one (default: 8533)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="solver worker threads (default: 4)")
+    serve.add_argument("--queue-size", type=int, default=64,
+                       help="bounded job queue; beyond it POST /solve is "
+                            "rejected with 429 queue_full (default: 64)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="in-memory result-cache entries (default: 256)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="also persist cached results as JSON files here "
+                            "(warm restarts)")
+    serve.add_argument("--method", choices=METHODS, default="compact",
+                       help="default construction method for requests that "
+                            "do not name one (default: compact)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="default per-job deadline in seconds")
+    serve.add_argument("--trace-out", default=None,
+                       help="write the service trace (service.job spans, "
+                            "cache.hit/miss counters) as JSON lines on "
+                            "shutdown")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
     return parser
 
 
@@ -223,6 +270,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    path = Path(args.matrix)
+    if args.from_trace or path.suffix.lower() in (".jsonl", ".ndjson"):
+        return _profile_trace_file(path, min_percent=args.min_percent)
     matrix = _load_matrix(args.matrix)
     options = _engine_options(args)
     cluster = ClusterConfig(n_workers=args.workers)
@@ -239,6 +289,27 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         recorder.write_jsonl(args.trace_out)
         print(f"wrote {len(recorder.events)} trace event(s) to {args.trace_out}",
               file=sys.stderr)
+    return 0
+
+
+def _profile_trace_file(path: Path, *, min_percent: float = 0.0) -> int:
+    """Profile a previously recorded JSON-lines trace without re-running."""
+    from repro.obs import SpanEvent, read_jsonl
+
+    if not path.exists():
+        raise SystemExit(f"error: no such trace file: {path}")
+    try:
+        events = read_jsonl(path)
+    except ValueError as exc:
+        raise SystemExit(f"error: unreadable trace file {path}: {exc}")
+    if events.warning:
+        print(f"warning: {events.warning}", file=sys.stderr)
+    if not any(isinstance(e, SpanEvent) for e in events):
+        print(f"no spans recorded in {path}")
+        return 0
+    print(f"trace  : {path}")
+    print()
+    print(render_profile(events, min_fraction=min_percent / 100.0))
     return 0
 
 
@@ -401,6 +472,23 @@ def _cmd_bootstrap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_capacity=args.cache_size,
+        cache_dir=args.cache_dir,
+        default_method=args.method,
+        default_timeout=args.job_timeout,
+        trace_out=args.trace_out,
+        verbose=args.verbose,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -414,6 +502,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inspect": _cmd_inspect,
         "compare": _cmd_compare,
         "bootstrap": _cmd_bootstrap,
+        "serve": _cmd_serve,
     }
     handler = handlers.get(args.command)
     if handler is None:  # pragma: no cover

@@ -20,7 +20,7 @@ from repro.core.pipeline import (
     CompactResult,
     SubproblemReport,
 )
-from repro.core.api import construct_tree, METHODS
+from repro.core.api import construct_tree, construct_tree_cached, METHODS
 from repro.core.validation import TreeReport, validate_tree
 from repro.core.batch import BatchRunner, BatchReport, MethodAggregate
 
@@ -32,6 +32,7 @@ __all__ = [
     "CompactResult",
     "SubproblemReport",
     "construct_tree",
+    "construct_tree_cached",
     "METHODS",
     "TreeReport",
     "validate_tree",

@@ -31,7 +31,12 @@ from repro.obs.recorder import NullRecorder, as_recorder
 from repro.parallel.config import ClusterConfig
 from repro.parallel.simulator import ParallelBranchAndBound
 
-__all__ = ["ConstructionResult", "construct_tree", "METHODS"]
+__all__ = [
+    "ConstructionResult",
+    "construct_tree",
+    "construct_tree_cached",
+    "METHODS",
+]
 
 METHODS = (
     "compact",
@@ -115,3 +120,60 @@ def construct_tree(
             tree = neighbor_joining(matrix)
         return ConstructionResult(tree, tree.cost(), method)
     raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+
+
+def construct_tree_cached(
+    matrix: DistanceMatrix,
+    method: str = "compact",
+    *,
+    cache,
+    cluster: Optional[ClusterConfig] = None,
+    recorder: Optional[NullRecorder] = None,
+    **options,
+) -> ConstructionResult:
+    """:func:`construct_tree` behind a content-addressed result cache.
+
+    ``cache`` is a :class:`repro.service.cache.ResultCache` (or anything
+    with its ``get``/``put`` protocol).  The key covers the matrix
+    content (:meth:`DistanceMatrix.digest`) and the canonical solver
+    parameters, so equal inputs hit across processes and restarts.  A
+    hit reconstructs the tree from the cached Newick string (its
+    ``details`` is the cached payload dict, not the engine's result
+    object) and emits a ``cache.hit`` counter on ``recorder``; a miss
+    solves, stores the payload and emits ``cache.miss``.
+
+    ``"nj"`` bypasses the cache: additive NJ trees do not round-trip
+    through the ultrametric Newick parser.
+    """
+    from repro.service.cache import cache_key
+    from repro.tree.newick import parse_newick, to_newick
+
+    if method == "nj":
+        return construct_tree(
+            matrix, method, cluster=cluster, recorder=recorder, **options
+        )
+    rec = as_recorder(recorder)
+    key_options = dict(options)
+    if cluster is not None:
+        key_options["workers"] = cluster.n_workers
+    key = cache_key(matrix, method, key_options)
+    payload = cache.get(key)
+    if payload is not None:
+        rec.counter("cache.hit", key=key[:12])
+        return ConstructionResult(
+            tree=parse_newick(payload["newick"]),
+            cost=payload["cost"],
+            method=payload["method"],
+            details=payload,
+        )
+    rec.counter("cache.miss", key=key[:12])
+    result = construct_tree(
+        matrix, method, cluster=cluster, recorder=recorder, **options
+    )
+    cache.put(key, {
+        "method": result.method,
+        "n_species": matrix.n,
+        "cost": float(result.cost),
+        "newick": to_newick(result.tree),
+    })
+    return result

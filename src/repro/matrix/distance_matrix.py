@@ -13,6 +13,7 @@ predicates of Definitions 1-3 of the companion paper:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -138,6 +139,30 @@ class DistanceMatrix:
 
     def __repr__(self) -> str:
         return f"DistanceMatrix(n={self.n}, labels={self._labels[:4]}...)"
+
+    def digest(self) -> str:
+        """Content address of the matrix: a sha256 hex digest.
+
+        Covers the shape, the labels (length-prefixed, so ``["ab", "c"]``
+        and ``["a", "bc"]`` differ) and the raw little-endian float64
+        entries.  Two matrices have equal digests exactly when ``==``
+        holds, so the digest is a safe cache key across processes and
+        restarts (unlike ``hash()``, which is identity-based).  Computed
+        lazily and memoised: the values array is frozen, so the digest
+        can never go stale.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            h = hashlib.sha256()
+            h.update(b"repro.DistanceMatrix.v1\x00")
+            h.update(str(self.n).encode("ascii"))
+            for label in self._labels:
+                raw = label.encode("utf-8")
+                h.update(str(len(raw)).encode("ascii") + b":" + raw)
+            h.update(b"\x00values\x00")
+            h.update(np.ascontiguousarray(self._values, dtype="<f8").tobytes())
+            cached = self._digest = h.hexdigest()
+        return cached
 
     # ------------------------------------------------------------------
     # validation predicates (Definitions 1-3)

@@ -26,6 +26,7 @@ from repro.obs.recorder import (
     Recorder,
     Span,
     SpanEvent,
+    TraceEvents,
     as_recorder,
     read_jsonl,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "SpanEvent",
     "CounterEvent",
     "SCHEMA_VERSION",
+    "TraceEvents",
     "as_recorder",
     "read_jsonl",
     "ProfileNode",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import io as _io
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -44,6 +45,7 @@ __all__ = [
     "NULL_RECORDER",
     "as_recorder",
     "read_jsonl",
+    "TraceEvents",
 ]
 
 #: Version stamped into the ``meta`` line of every JSON-lines export.
@@ -192,15 +194,37 @@ NULL_RECORDER = NullRecorder()
 
 
 class Recorder(NullRecorder):
-    """In-memory event sink with span nesting and JSON-lines export."""
+    """In-memory event sink with span nesting and JSON-lines export.
+
+    Thread-safe: the span *stack* is thread-local (each thread nests its
+    own spans; a span opened on thread A never becomes the parent of a
+    span opened on thread B), while the event list and id allocation are
+    guarded by a lock, so worker-pool engines and the serving layer can
+    share one recorder and land every event in a single trace stream.
+    Single-threaded behaviour -- including event order and span ids under
+    a deterministic clock -- is unchanged.
+    """
 
     enabled = True
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         super().__init__(clock)
         self._events: List[Event] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 1
+
+    def _stack_for_thread(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
 
     # ------------------------------------------------------------------
     # recording
@@ -208,53 +232,57 @@ class Recorder(NullRecorder):
     @property
     def events(self) -> List[Event]:
         """All recorded events; spans appear when they *close*."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
         """Open a nested, timed span around a ``with`` block."""
-        parent = self._stack[-1].id if self._stack else None
-        handle = Span(self._next_id, parent, name, self.clock(), attrs)
-        self._next_id += 1
-        self._stack.append(handle)
+        stack = self._stack_for_thread()
+        parent = stack[-1].id if stack else None
+        handle = Span(self._allocate_id(), parent, name, self.clock(), attrs)
+        stack.append(handle)
         try:
             yield handle
         finally:
             handle.end = self.clock()
-            self._stack.pop()
-            self._events.append(
-                SpanEvent(
-                    id=handle.id,
-                    parent=handle.parent,
-                    name=name,
-                    start=handle.start,
-                    end=handle.end,
-                    attrs=attrs,
-                )
+            stack.pop()
+            event = SpanEvent(
+                id=handle.id,
+                parent=handle.parent,
+                name=name,
+                start=handle.start,
+                end=handle.end,
+                attrs=attrs,
             )
+            with self._lock:
+                self._events.append(event)
 
     def add_span(
         self, name: str, start: float, end: float, **attrs
     ) -> SpanEvent:
         """Record an externally timed span (e.g. a simulated worker's busy
         interval, or a worker process timed by the master).  It is parented
-        to whatever span is currently open."""
-        parent = self._stack[-1].id if self._stack else None
+        to whatever span is currently open on the calling thread."""
+        stack = self._stack_for_thread()
+        parent = stack[-1].id if stack else None
         event = SpanEvent(
-            id=self._next_id, parent=parent, name=name,
+            id=self._allocate_id(), parent=parent, name=name,
             start=start, end=end, attrs=attrs,
         )
-        self._next_id += 1
-        self._events.append(event)
+        with self._lock:
+            self._events.append(event)
         return event
 
     def counter(self, name: str, value: float = 1, **attrs) -> CounterEvent:
-        """Record a named tally, attached to the currently open span."""
-        span_id = self._stack[-1].id if self._stack else None
+        """Record a named tally, attached to the calling thread's open span."""
+        stack = self._stack_for_thread()
+        span_id = stack[-1].id if stack else None
         event = CounterEvent(
             name=name, value=value, time=self.clock(), span=span_id, attrs=attrs
         )
-        self._events.append(event)
+        with self._lock:
+            self._events.append(event)
         return event
 
     # ------------------------------------------------------------------
@@ -262,13 +290,13 @@ class Recorder(NullRecorder):
     # ------------------------------------------------------------------
     def spans(self, name: Optional[str] = None) -> List[SpanEvent]:
         return [
-            e for e in self._events
+            e for e in self.events
             if isinstance(e, SpanEvent) and (name is None or e.name == name)
         ]
 
     def counters(self, name: Optional[str] = None) -> List[CounterEvent]:
         return [
-            e for e in self._events
+            e for e in self.events
             if isinstance(e, CounterEvent) and (name is None or e.name == name)
         ]
 
@@ -283,7 +311,7 @@ class Recorder(NullRecorder):
         """The serialized event stream, meta line first."""
         lines = [json.dumps({"event": "meta", "schema": SCHEMA_VERSION})]
         lines.extend(
-            json.dumps(event.to_json(), sort_keys=True) for event in self._events
+            json.dumps(event.to_json(), sort_keys=True) for event in self.events
         )
         return lines
 
@@ -303,23 +331,55 @@ def as_recorder(recorder: Optional[NullRecorder]) -> NullRecorder:
     return NULL_RECORDER if recorder is None else recorder
 
 
+class TraceEvents(List[Event]):
+    """A list of events plus a ``warning`` set when the source file was
+    incomplete (e.g. a crash truncated the final line mid-record).
+
+    Behaves exactly like the plain list :func:`read_jsonl` used to
+    return; callers that care can check ``events.warning is not None``.
+    """
+
+    warning: Optional[str] = None
+
+
 def read_jsonl(
     source: Union[str, Path, _io.TextIOBase]
-) -> List[Event]:
+) -> TraceEvents:
     """Parse a JSON-lines event stream back into typed events.
 
     The ``meta`` line is validated and dropped; unknown event kinds raise
     ``ValueError`` so schema drift fails loudly rather than silently.
+
+    A *truncated final line* -- the signature of a writer killed
+    mid-record -- does not raise: the complete prefix is returned and the
+    result's ``warning`` attribute describes what was dropped.  Malformed
+    JSON anywhere *before* the final line still raises, since that is
+    corruption, not interruption.
     """
     if hasattr(source, "read"):
         text = source.read()  # type: ignore[union-attr]
     else:
         text = Path(source).read_text()
-    events: List[Event] = []
-    for line_no, line in enumerate(text.splitlines()):
+    events = TraceEvents()
+    lines = text.splitlines()
+    last_content_line = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1
+    )
+    for line_no, line in enumerate(lines):
         if not line.strip():
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if line_no == last_content_line:
+                events.warning = (
+                    f"line {line_no}: truncated record dropped "
+                    f"({exc.msg}); trace was interrupted mid-write"
+                )
+                break
+            raise ValueError(
+                f"line {line_no}: malformed JSON mid-stream: {exc.msg}"
+            ) from exc
         kind = record.get("event")
         if kind == "meta":
             schema = record.get("schema")

@@ -1,0 +1,55 @@
+"""The serving layer: queue, cache and HTTP front end.
+
+Turns the one-shot library/CLI pipeline into a long-lived service:
+
+* :class:`ResultCache` -- content-addressed (matrix digest + canonical
+  solver parameters) result store with an in-memory LRU front and an
+  optional on-disk JSON mirror;
+* :class:`Scheduler` -- bounded-queue worker pool with admission
+  control (:class:`QueueFull`), in-flight deduplication, per-job
+  timeout/cancellation and graceful drain;
+* :class:`ServiceServer` / :func:`serve` -- the stdlib ``http.server``
+  JSON API behind ``repro-mut serve``;
+* :class:`ServiceClient` -- the matching stdlib client.
+
+Architecture and API reference: ``docs/service.md``.
+"""
+
+from repro.service.cache import (
+    CACHE_KEY_VERSION,
+    ResultCache,
+    cache_key,
+    canonical_params,
+)
+from repro.service.client import ServiceClient
+from repro.service.errors import (
+    BadRequest,
+    JobNotFound,
+    JobTimeout,
+    QueueFull,
+    SchedulerClosed,
+    ServiceError,
+)
+from repro.service.jobs import Job, JobState
+from repro.service.scheduler import Scheduler, solve_payload
+from repro.service.server import ServiceServer, serve
+
+__all__ = [
+    "CACHE_KEY_VERSION",
+    "ResultCache",
+    "cache_key",
+    "canonical_params",
+    "ServiceClient",
+    "ServiceError",
+    "QueueFull",
+    "SchedulerClosed",
+    "JobNotFound",
+    "JobTimeout",
+    "BadRequest",
+    "Job",
+    "JobState",
+    "Scheduler",
+    "solve_payload",
+    "ServiceServer",
+    "serve",
+]

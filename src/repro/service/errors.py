@@ -1,0 +1,85 @@
+"""Typed errors for the serving layer.
+
+Every failure mode a caller can act on has its own exception class, so
+the scheduler, the HTTP front end and the Python client can agree on
+semantics without string matching.  Each class carries a stable ``code``
+that is also the wire format: the server sends ``{"error": <code>}`` and
+the client raises the matching class back.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "QueueFull",
+    "SchedulerClosed",
+    "JobNotFound",
+    "JobTimeout",
+    "BadRequest",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for every serving-layer failure."""
+
+    #: Stable machine-readable identifier (also the JSON ``error`` field).
+    code = "service_error"
+    #: HTTP status the front end maps this error to.
+    http_status = 500
+
+
+class QueueFull(ServiceError):
+    """Admission control rejected the job: the bounded queue is saturated.
+
+    Raised by :meth:`Scheduler.submit` instead of blocking, so callers
+    under load shed work instead of piling up.  The HTTP front end maps
+    it to ``429 Too Many Requests``.
+    """
+
+    code = "queue_full"
+    http_status = 429
+
+    def __init__(self, queue_size: "int | None" = None) -> None:
+        detail = f" ({queue_size} pending)" if queue_size is not None else ""
+        super().__init__(f"job queue is full{detail}; retry later")
+        self.queue_size = queue_size
+
+
+class SchedulerClosed(ServiceError):
+    """The scheduler is draining or stopped and accepts no new jobs."""
+
+    code = "scheduler_closed"
+    http_status = 503
+
+    def __init__(self) -> None:
+        super().__init__("scheduler is shut down; no new jobs accepted")
+
+
+class JobNotFound(ServiceError):
+    """No job with the requested id exists."""
+
+    code = "job_not_found"
+    http_status = 404
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"no such job: {job_id}")
+        self.job_id = job_id
+
+
+class JobTimeout(ServiceError):
+    """A job exceeded its deadline (while queued, or waiting on a result)."""
+
+    code = "job_timeout"
+    http_status = 504
+
+    def __init__(self, job_id: str, timeout: float) -> None:
+        super().__init__(f"job {job_id} exceeded its {timeout:g}s deadline")
+        self.job_id = job_id
+        self.timeout = timeout
+
+
+class BadRequest(ServiceError):
+    """The request payload could not be turned into a solve job."""
+
+    code = "bad_request"
+    http_status = 400

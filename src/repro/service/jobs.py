@@ -1,0 +1,174 @@
+"""Job objects: the unit of work the scheduler queues and tracks.
+
+A :class:`Job` is a future-like handle for one tree construction.  Its
+lifecycle::
+
+    PENDING --> RUNNING --> DONE
+        |           |-----> FAILED
+        |           '-----> TIMEOUT   (deadline passed)
+        '---------> CANCELLED          (cancelled while still queued)
+        '---------> TIMEOUT            (deadline passed while queued)
+
+State changes happen only under the job's lock (the scheduler drives
+them); callers block on :meth:`wait`/:meth:`result` or poll
+:meth:`to_json` for the wire representation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.service.errors import JobTimeout, ServiceError
+
+__all__ = ["JobState", "Job"]
+
+
+class JobState:
+    """String constants for the job lifecycle (also the wire values)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+    #: States from which the job can never move again.
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, TIMEOUT})
+
+
+class Job:
+    """One queued/running/finished solve request.
+
+    Not constructed directly -- :meth:`Scheduler.submit` creates jobs.
+    Deduplicated submissions share a single ``Job`` instance, so any
+    number of callers may :meth:`wait` on it concurrently.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        key: str,
+        matrix: DistanceMatrix,
+        method: str,
+        options: Dict[str, object],
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.id = job_id
+        self.key = key
+        self.matrix = matrix
+        self.method = method
+        self.options = options
+        self.timeout = timeout
+        self.state = JobState.PENDING
+        self.payload: Optional[dict] = None
+        self.error: Optional[str] = None
+        self.cache_status: Optional[str] = None  # "hit" | "miss" once run
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+
+    # ------------------------------------------------------------------
+    # caller side
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._finished.is_set()
+
+    @property
+    def deadline(self) -> Optional[float]:
+        if self.timeout is None:
+            return None
+        return self.submitted_at + self.timeout
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (or ``timeout``
+        seconds pass).  Returns whether the job finished."""
+        return self._finished.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> dict:
+        """The payload dict, blocking up to ``timeout`` seconds.
+
+        Raises :class:`JobTimeout` if the wait expires, or a
+        :class:`ServiceError` describing the failure for jobs that ended
+        in ``failed``/``cancelled``/``timeout`` state.
+        """
+        if not self.wait(timeout):
+            raise JobTimeout(self.id, timeout if timeout is not None else 0.0)
+        if self.state == JobState.DONE:
+            assert self.payload is not None
+            return self.payload
+        raise ServiceError(
+            f"job {self.id} ended in state {self.state!r}: {self.error}"
+        )
+
+    def cancel(self) -> bool:
+        """Cancel the job if it is still queued.  Running jobs are not
+        interrupted (pure-Python workers cannot be killed safely);
+        returns whether the cancellation took effect."""
+        return self._finish(JobState.CANCELLED, error="cancelled by caller")
+
+    # ------------------------------------------------------------------
+    # scheduler side
+    # ------------------------------------------------------------------
+    def _mark_running(self) -> bool:
+        """PENDING -> RUNNING; False if the job already left PENDING."""
+        with self._lock:
+            if self.state != JobState.PENDING:
+                return False
+            self.state = JobState.RUNNING
+            self.started_at = time.time()
+            return True
+
+    def _finish(
+        self,
+        state: str,
+        *,
+        payload: Optional[dict] = None,
+        error: Optional[str] = None,
+        cache_status: Optional[str] = None,
+    ) -> bool:
+        """Move to a terminal state exactly once; later calls are no-ops."""
+        assert state in JobState.TERMINAL
+        with self._lock:
+            if self.state in JobState.TERMINAL:
+                return False
+            self.state = state
+            self.payload = payload
+            self.error = error
+            if cache_status is not None:
+                self.cache_status = cache_status
+            self.finished_at = time.time()
+        self._finished.set()
+        return True
+
+    def _expired(self, now: Optional[float] = None) -> bool:
+        deadline = self.deadline
+        if deadline is None:
+            return False
+        return (time.time() if now is None else now) > deadline
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Wire representation served by ``GET /jobs/<id>``."""
+        record: dict = {
+            "id": self.id,
+            "state": self.state,
+            "key": self.key,
+            "method": self.method,
+            "n_species": self.matrix.n,
+            "cache": self.cache_status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.payload is not None:
+            record["result"] = self.payload
+        if self.error is not None:
+            record["error"] = self.error
+        return record

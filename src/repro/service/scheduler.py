@@ -1,0 +1,358 @@
+"""The job scheduler: bounded queue + worker pool around ``construct_tree``.
+
+Responsibilities, in the order a request meets them:
+
+1. **Admission control** -- the queue is bounded; a saturated scheduler
+   raises the typed :class:`~repro.service.errors.QueueFull` immediately
+   instead of blocking, so overload sheds work at the front door.
+2. **Deduplication** -- a submission whose cache key matches a job that
+   is already queued or running returns *that* job instead of enqueuing
+   a copy; any number of callers share one execution and one result.
+3. **Caching** -- each worker consults the content-addressed
+   :class:`~repro.service.cache.ResultCache` before solving and stores
+   the payload after, so repeated matrices are answered in microseconds.
+4. **Observability** -- every executed job runs inside a ``service.job``
+   span on the shared :class:`repro.obs.Recorder`, with ``cache.hit`` /
+   ``cache.miss`` / ``queue.rejected`` / ``queue.deduped`` counters in
+   the same schema-v1 stream the engines already emit.
+5. **Graceful shutdown** -- ``shutdown(drain=True)`` stops admissions,
+   lets queued and running jobs finish, and joins every worker thread;
+   ``drain=False`` cancels whatever has not started yet.
+
+Workers are plain threads: the engines are numpy-heavy (release the GIL
+in the vectorised paths) and jobs are short, so threads beat processes
+on latency while keeping the cache and recorder trivially shared.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.obs.recorder import NullRecorder, as_recorder
+from repro.service.cache import ResultCache, cache_key
+from repro.service.errors import QueueFull, SchedulerClosed
+from repro.service.jobs import Job, JobState
+
+__all__ = ["Scheduler", "solve_payload"]
+
+#: Queue sentinel telling a worker thread to exit.
+_STOP = object()
+
+
+def solve_payload(
+    matrix: DistanceMatrix,
+    method: str = "compact",
+    options: Optional[dict] = None,
+    recorder: Optional[NullRecorder] = None,
+) -> dict:
+    """Run one construction and shape the JSON-serializable payload.
+
+    This is the scheduler's default runner.  ``options`` are engine
+    keyword arguments; the special key ``workers`` is lifted out into a
+    :class:`ClusterConfig` for the parallel methods.
+    """
+    from repro.core.api import construct_tree
+    from repro.parallel.config import ClusterConfig
+    from repro.tree.newick import to_newick
+
+    options = dict(options or {})
+    workers = options.pop("workers", None)
+    cluster = ClusterConfig(n_workers=int(workers)) if workers else None
+    result = construct_tree(
+        matrix, method, cluster=cluster, recorder=recorder, **options
+    )
+    if method == "nj":
+        newick = result.tree.newick()
+    else:
+        newick = to_newick(result.tree)
+    return {
+        "method": result.method,
+        "n_species": matrix.n,
+        "cost": float(result.cost),
+        "newick": newick,
+    }
+
+
+class Scheduler:
+    """Bounded-queue worker pool executing tree-construction jobs.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count.
+    queue_size:
+        Bound on *queued* (not yet running) jobs; beyond it
+        :meth:`submit` raises :class:`QueueFull`.
+    cache:
+        A :class:`ResultCache`; a fresh in-memory cache of 256 entries
+        is created when omitted.
+    recorder:
+        Shared :class:`repro.obs.Recorder` for spans and counters
+        (defaults to the no-op recorder).
+    default_timeout:
+        Deadline in seconds applied to jobs submitted without their own
+        ``timeout``.  ``None`` means no deadline.
+    runner:
+        ``(matrix, method, options, recorder) -> payload`` callable; the
+        default is :func:`solve_payload`.  Tests inject slow or failing
+        runners here.
+    max_jobs_retained:
+        Finished jobs kept for ``GET /jobs/<id>`` lookups; the oldest
+        finished jobs are forgotten beyond this bound.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        queue_size: int = 64,
+        cache: Optional[ResultCache] = None,
+        recorder: Optional[NullRecorder] = None,
+        default_timeout: Optional[float] = None,
+        runner: Optional[Callable] = None,
+        max_jobs_retained: int = 1024,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if queue_size < 1:
+            raise ValueError(f"queue size must be >= 1, got {queue_size}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.recorder = as_recorder(recorder)
+        self.default_timeout = default_timeout
+        self.queue_size = queue_size
+        self._runner = runner or solve_payload
+        self._queue: "_queue.Queue" = _queue.Queue(maxsize=queue_size)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._finished_order: List[str] = []
+        self._inflight: Dict[str, Job] = {}
+        self._max_jobs_retained = max_jobs_retained
+        self._closed = False
+        self._abandon = False
+        self._next_job = 1
+        self._stats = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "timed_out": 0,
+            "rejected": 0,
+            "deduped": 0,
+        }
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-svc-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        matrix: DistanceMatrix,
+        method: str = "compact",
+        options: Optional[dict] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Queue one construction; returns a :class:`Job` handle.
+
+        Raises :class:`SchedulerClosed` after shutdown began and
+        :class:`QueueFull` when the bounded queue is saturated.  A
+        submission identical (same cache key) to a queued or running job
+        returns that job -- note the shared job keeps the *first*
+        submission's deadline.
+        """
+        options = dict(options or {})
+        key = cache_key(matrix, method, options)
+        if timeout is None:
+            timeout = self.default_timeout
+        with self._lock:
+            if self._closed:
+                raise SchedulerClosed()
+            existing = self._inflight.get(key)
+            if existing is not None and not existing.done:
+                self._stats["deduped"] += 1
+                self.recorder.counter("queue.deduped", key=key[:12])
+                return existing
+            job = Job(
+                f"job-{self._next_job}", key, matrix, method, options, timeout
+            )
+            self._next_job += 1
+            try:
+                self._queue.put_nowait(job)
+            except _queue.Full:
+                self._stats["rejected"] += 1
+                self.recorder.counter("queue.rejected", key=key[:12])
+                raise QueueFull(self.queue_size) from None
+            self._stats["submitted"] += 1
+            self._jobs[job.id] = job
+            self._inflight[key] = job
+        return job
+
+    def solve(
+        self,
+        matrix: DistanceMatrix,
+        method: str = "compact",
+        options: Optional[dict] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Submit and block for the payload (convenience wrapper)."""
+        return self.submit(matrix, method, options).result(timeout)
+
+    def job(self, job_id: str) -> Optional[Job]:
+        """Look up a job by id (``None`` when unknown or pruned)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            try:
+                self._execute(item)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, job: Job) -> None:
+        rec = self.recorder
+        if self._abandon:
+            job._finish(
+                JobState.CANCELLED, error="scheduler shut down before start"
+            )
+            self._settle(job, "cancelled")
+            return
+        if job._expired():
+            job._finish(
+                JobState.TIMEOUT,
+                error=f"deadline of {job.timeout:g}s passed while queued",
+            )
+            self._settle(job, "timed_out")
+            return
+        if not job._mark_running():
+            # Cancelled (or otherwise finished) while queued.
+            self._settle(job, "cancelled")
+            return
+        try:
+            with rec.span(
+                "service.job",
+                job=job.id,
+                method=job.method,
+                n=job.matrix.n,
+                key=job.key[:12],
+            ):
+                payload = self.cache.get(job.key)
+                if payload is not None:
+                    cache_status = "hit"
+                    rec.counter("cache.hit", key=job.key[:12])
+                else:
+                    cache_status = "miss"
+                    rec.counter("cache.miss", key=job.key[:12])
+                    payload = self._runner(
+                        job.matrix, job.method, job.options, rec
+                    )
+                    self.cache.put(job.key, payload)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            rec.counter("job.failed", job=job.id)
+            job._finish(
+                JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
+            self._settle(job, "failed")
+            return
+        if job._expired():
+            # The result is cached for future callers, but this caller's
+            # deadline has passed; report the timeout honestly.
+            job._finish(
+                JobState.TIMEOUT,
+                error=f"deadline of {job.timeout:g}s passed while running",
+                cache_status=cache_status,
+            )
+            self._settle(job, "timed_out")
+            return
+        job._finish(JobState.DONE, payload=payload, cache_status=cache_status)
+        self._settle(job, "completed")
+
+    def _settle(self, job: Job, stat: str) -> None:
+        """Post-terminal bookkeeping: statistics, dedup map, retention."""
+        with self._lock:
+            self._stats[stat] += 1
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+            self._finished_order.append(job.id)
+            while len(self._finished_order) > self._max_jobs_retained:
+                stale = self._finished_order.pop(0)
+                self._jobs.pop(stale, None)
+
+    # ------------------------------------------------------------------
+    # introspection and shutdown
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Snapshot for the ``/stats`` endpoint."""
+        with self._lock:
+            snapshot = dict(self._stats)
+            snapshot.update(
+                workers=len(self._workers),
+                queue_size=self.queue_size,
+                queue_depth=self._queue.qsize(),
+                inflight=len(self._inflight),
+                closed=self._closed,
+            )
+        snapshot["cache"] = self.cache.stats()
+        return snapshot
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shutdown(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> bool:
+        """Stop the scheduler; returns whether every worker exited.
+
+        ``drain=True`` (the default) finishes all queued and running
+        jobs first.  ``drain=False`` cancels jobs that have not started;
+        the currently running ones still run to completion (threads
+        cannot be killed safely).  ``timeout`` bounds the join of each
+        worker thread.  Idempotent.
+        """
+        with self._lock:
+            first_call = not self._closed
+            self._closed = True
+        if first_call:
+            if not drain:
+                self._abandon = True
+                with self._lock:
+                    pending = [
+                        job for job in self._jobs.values()
+                        if job.state == JobState.PENDING
+                    ]
+                for job in pending:
+                    job.cancel()
+            for _ in self._workers:
+                self._queue.put(_STOP)
+        clean = True
+        for thread in self._workers:
+            thread.join(timeout)
+            clean = clean and not thread.is_alive()
+        return clean
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)

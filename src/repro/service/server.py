@@ -1,0 +1,332 @@
+"""Stdlib HTTP front end: the ``repro-mut serve`` JSON API.
+
+Built on :class:`http.server.ThreadingHTTPServer` -- no third-party web
+framework, per the repository's no-new-dependencies rule.  Endpoints::
+
+    POST /solve      submit a matrix; waits for the result by default
+    GET  /jobs/<id>  poll a job submitted with {"wait": false}
+    GET  /healthz    liveness + version (503 once draining)
+    GET  /stats      scheduler, queue and cache statistics
+
+``POST /solve`` accepts a JSON body with either ``"phylip"`` (the PHYLIP
+square text) or ``"matrix"`` (a list of rows, or ``{"values": ...,
+"labels": ...}``), plus optional ``"method"``, ``"options"``,
+``"timeout"`` (job deadline, seconds), ``"wait"`` (default true) and
+``"wait_seconds"`` (response-wait budget).  Errors come back as
+``{"error": <code>, "detail": <message>}`` with the status of the typed
+:class:`~repro.service.errors.ServiceError` they correspond to.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.matrix.distance_matrix import DistanceMatrix, MatrixValidationError
+from repro.matrix.io import read_phylip
+from repro.service.errors import (
+    BadRequest,
+    JobNotFound,
+    ServiceError,
+)
+from repro.service.jobs import JobState
+from repro.service.scheduler import Scheduler
+
+__all__ = ["ServiceServer", "serve"]
+
+#: Default budget a synchronous ``POST /solve`` waits for its job.
+DEFAULT_WAIT_SECONDS = 30.0
+#: Cap on request body size: a 10k-species float matrix is ~1.6 GB of
+#: JSON; nothing legitimate is near this.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Job states whose HTTP representation is not 200.
+_STATE_STATUS = {
+    JobState.FAILED: 500,
+    JobState.TIMEOUT: 504,
+    JobState.CANCELLED: 409,
+}
+
+
+def _version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def _matrix_from_request(body: dict) -> DistanceMatrix:
+    """Build the input matrix from a ``POST /solve`` body."""
+    phylip = body.get("phylip")
+    raw = body.get("matrix")
+    if (phylip is None) == (raw is None):
+        raise BadRequest("provide exactly one of 'phylip' or 'matrix'")
+    try:
+        if phylip is not None:
+            if not isinstance(phylip, str):
+                raise BadRequest("'phylip' must be a string")
+            return read_phylip(io.StringIO(phylip))
+        labels = None
+        if isinstance(raw, dict):
+            labels = raw.get("labels")
+            raw = raw.get("values")
+        return DistanceMatrix(raw, labels)
+    except MatrixValidationError as exc:
+        raise BadRequest(f"invalid matrix: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"malformed matrix payload: {exc}") from exc
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP exchange; the server instance hangs off ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_HTTPServer"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.service.verbose:
+            sys.stderr.write(
+                f"[{self.address_string()}] {format % args}\n"
+            )
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, exc: ServiceError) -> None:
+        self._send_json(
+            exc.http_status, {"error": exc.code, "detail": str(exc)}
+        )
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequest("request body required")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"body is not valid JSON: {exc.msg}") from exc
+        if not isinstance(body, dict):
+            raise BadRequest("body must be a JSON object")
+        return body
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path.rstrip("/") != "/solve":
+                raise JobNotFound(self.path)
+            self._solve()
+        except ServiceError as exc:
+            self._send_error_json(exc)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        try:
+            path = self.path.rstrip("/") or "/"
+            if path == "/healthz":
+                closed = service.scheduler.closed
+                self._send_json(
+                    503 if closed else 200,
+                    {
+                        "status": "draining" if closed else "ok",
+                        "version": _version(),
+                        "uptime_seconds": time.time() - service.started_at,
+                    },
+                )
+            elif path == "/stats":
+                stats = service.scheduler.stats()
+                stats["version"] = _version()
+                stats["uptime_seconds"] = time.time() - service.started_at
+                self._send_json(200, stats)
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                job = service.scheduler.job(job_id)
+                if job is None:
+                    raise JobNotFound(job_id)
+                self._send_json(
+                    _STATE_STATUS.get(job.state, 200), job.to_json()
+                )
+            else:
+                raise JobNotFound(path)
+        except ServiceError as exc:
+            self._send_error_json(exc)
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        service = self.server.service
+        body = self._read_body()
+        matrix = _matrix_from_request(body)
+        method = body.get("method", service.default_method)
+        options = body.get("options") or {}
+        if not isinstance(options, dict):
+            raise BadRequest("'options' must be a JSON object")
+        timeout = body.get("timeout")
+        job = service.scheduler.submit(
+            matrix, method, options,
+            timeout=float(timeout) if timeout is not None else None,
+        )
+        wait = body.get("wait", True)
+        if wait:
+            budget = float(body.get("wait_seconds", service.wait_seconds))
+            job.wait(budget)
+        record = job.to_json()
+        if job.done:
+            self._send_json(_STATE_STATUS.get(job.state, 200), record)
+        else:
+            self._send_json(202, record)
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # The stdlib default listen backlog of 5 resets connections under
+    # concurrent bursts; the serving layer is built for exactly those.
+    request_queue_size = 128
+    service: "ServiceServer"
+
+
+class ServiceServer:
+    """Owns the HTTP listener and its :class:`Scheduler`.
+
+    ``start()`` serves from a background thread (tests drive it this
+    way); :func:`serve` runs the blocking signal-aware loop the CLI
+    uses.  ``close(drain=True)`` stops admissions, drains the scheduler
+    and releases the socket.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_method: str = "compact",
+        wait_seconds: float = DEFAULT_WAIT_SECONDS,
+        verbose: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.default_method = default_method
+        self.wait_seconds = wait_seconds
+        self.verbose = verbose
+        self.started_at = time.time()
+        self._httpd = _HTTPServer((host, port), _Handler)
+        self._httpd.service = self
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound ``(host, port)`` -- the real port even when 0 was asked."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve from a daemon thread; returns ``self`` for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-svc-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self, *, drain: bool = True) -> bool:
+        """Stop the listener, drain (or cancel) jobs, release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        clean = self.scheduler.shutdown(drain=drain)
+        if self._thread is not None:
+            self._thread.join(5.0)
+        return clean
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8533,
+    workers: int = 4,
+    queue_size: int = 64,
+    cache_capacity: int = 256,
+    cache_dir: Optional[str] = None,
+    default_method: str = "compact",
+    default_timeout: Optional[float] = None,
+    trace_out: Optional[str] = None,
+    verbose: bool = False,
+    ready_line: bool = True,
+) -> int:
+    """Blocking server loop with SIGTERM/SIGINT graceful drain.
+
+    On the first signal the server stops accepting, drains queued and
+    running jobs, writes the trace file (when ``--trace-out`` was
+    given), and exits 0.  The "listening on ..." line goes to stdout so
+    wrappers (tests, CI smoke) can scrape the bound port.
+    """
+    from repro.obs.recorder import Recorder
+    from repro.service.cache import ResultCache
+
+    recorder = Recorder() if trace_out else None
+    scheduler = Scheduler(
+        workers=workers,
+        queue_size=queue_size,
+        cache=ResultCache(capacity=cache_capacity, directory=cache_dir),
+        recorder=recorder,
+        default_timeout=default_timeout,
+    )
+    server = ServiceServer(
+        scheduler,
+        host=host,
+        port=port,
+        default_method=default_method,
+        verbose=verbose,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        print(
+            f"received {signal.Signals(signum).name}; draining...",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        server.start()
+        if ready_line:
+            print(f"repro-mut serve listening on {server.url}", flush=True)
+        stop.wait()
+        clean = server.close(drain=True)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    if recorder is not None and trace_out:
+        recorder.write_jsonl(trace_out)
+        print(
+            f"wrote {len(recorder.events)} trace event(s) to {trace_out}",
+            file=sys.stderr,
+        )
+    print("drained; bye", file=sys.stderr, flush=True)
+    return 0 if clean else 1

@@ -1,0 +1,111 @@
+"""Crash-interrupted traces and multi-threaded recording."""
+
+import threading
+
+import pytest
+
+from repro.obs import CounterEvent, Recorder, SpanEvent, read_jsonl
+
+
+def make_trace_text() -> str:
+    rec = Recorder(clock=iter(range(100)).__next__)
+    with rec.span("outer", n=3):
+        rec.counter("ticks", 2)
+        with rec.span("inner"):
+            pass
+    return "\n".join(rec.json_lines()) + "\n"
+
+
+class TestTruncatedFinalLine:
+    def test_full_file_has_no_warning(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(make_trace_text())
+        events = read_jsonl(path)
+        assert events.warning is None
+        assert len(events) == 3
+
+    def test_truncated_final_line_returns_prefix(self, tmp_path):
+        text = make_trace_text()
+        # Cut the file mid-way through its final record.
+        cut = text.rstrip("\n")
+        truncated = cut[: len(cut) - 17]
+        path = tmp_path / "trace.jsonl"
+        path.write_text(truncated)
+        events = read_jsonl(path)
+        assert events.warning is not None
+        assert "truncated" in events.warning
+        assert len(events) == 2  # complete prefix only
+
+    def test_truncation_down_to_meta_line(self, tmp_path):
+        text = make_trace_text()
+        first_line_end = text.index("\n")
+        path = tmp_path / "trace.jsonl"
+        # Keep the meta line and half of the first span record.
+        path.write_text(text[: first_line_end + 20])
+        events = read_jsonl(path)
+        assert events == []
+        assert events.warning is not None
+
+    def test_midstream_corruption_still_raises(self, tmp_path):
+        lines = make_trace_text().splitlines()
+        lines[1] = lines[1][:-10]  # corrupt a NON-final line
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="mid-stream"):
+            read_jsonl(path)
+
+    def test_empty_file_is_empty_and_clean(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        events = read_jsonl(path)
+        assert events == []
+        assert events.warning is None
+
+
+class TestThreadedRecorder:
+    def test_span_stacks_are_thread_local(self):
+        rec = Recorder()
+        barrier = threading.Barrier(4)
+
+        def work(tag: int) -> None:
+            barrier.wait(10.0)
+            for i in range(25):
+                with rec.span(f"outer-{tag}"):
+                    with rec.span(f"inner-{tag}", i=i):
+                        rec.counter(f"count-{tag}")
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+
+        spans = [e for e in rec.events if isinstance(e, SpanEvent)]
+        counters = [e for e in rec.events if isinstance(e, CounterEvent)]
+        assert len(spans) == 4 * 25 * 2
+        assert len(counters) == 4 * 25
+        # Ids are unique despite concurrent allocation.
+        ids = [s.id for s in spans]
+        assert len(set(ids)) == len(ids)
+        # Every inner span's parent is an outer span of the SAME thread,
+        # and every counter is attached to its own thread's inner span.
+        by_id = {s.id: s for s in spans}
+        for span in spans:
+            tag = span.name.split("-")[1]
+            if span.name.startswith("inner"):
+                parent = by_id[span.parent]
+                assert parent.name == f"outer-{tag}"
+        for counter in counters:
+            tag = counter.name.split("-")[1]
+            assert by_id[counter.span].name == f"inner-{tag}"
+
+    def test_single_thread_ids_remain_deterministic(self):
+        import itertools
+
+        clock = itertools.count().__next__
+        rec = Recorder(clock=lambda: float(clock()))
+        with rec.span("a") as a:
+            with rec.span("b") as b:
+                pass
+        assert (a.id, b.id) == (1, 2)
+        assert [e.id for e in rec.spans()] == [2, 1]  # close order

@@ -1,0 +1,122 @@
+"""ResultCache and cache-key semantics: content addressing, LRU, disk."""
+
+import json
+
+import pytest
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.service.cache import (
+    CACHE_KEY_VERSION,
+    ResultCache,
+    cache_key,
+    canonical_params,
+)
+
+
+class TestDigest:
+    def test_equal_matrices_share_digest(self, tiny_matrix):
+        twin = DistanceMatrix(
+            [[0, 2, 8], [2, 0, 8], [8, 8, 0]], labels=["a", "b", "c"]
+        )
+        assert tiny_matrix.digest() == twin.digest()
+
+    def test_value_changes_digest(self, tiny_matrix):
+        other = DistanceMatrix(
+            [[0, 2, 9], [2, 0, 9], [9, 9, 0]], labels=["a", "b", "c"]
+        )
+        assert tiny_matrix.digest() != other.digest()
+
+    def test_label_changes_digest(self, tiny_matrix):
+        other = DistanceMatrix(
+            [[0, 2, 8], [2, 0, 8], [8, 8, 0]], labels=["a", "b", "z"]
+        )
+        assert tiny_matrix.digest() != other.digest()
+
+    def test_label_boundaries_matter(self):
+        # Length-prefixing keeps ["ab","c"] distinct from ["a","bc"].
+        a = DistanceMatrix([[0, 1], [1, 0]], labels=["ab", "c"])
+        b = DistanceMatrix([[0, 1], [1, 0]], labels=["a", "bc"])
+        assert a.digest() != b.digest()
+
+    def test_digest_is_hex_sha256(self, tiny_matrix):
+        digest = tiny_matrix.digest()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+    def test_digest_memoised(self, tiny_matrix):
+        assert tiny_matrix.digest() is tiny_matrix.digest()
+
+
+class TestCacheKey:
+    def test_option_order_is_canonical(self, tiny_matrix):
+        a = cache_key(tiny_matrix, "compact", {"a": 1, "b": 2})
+        b = cache_key(tiny_matrix, "compact", {"b": 2, "a": 1})
+        assert a == b
+
+    def test_method_and_options_distinguish(self, tiny_matrix):
+        base = cache_key(tiny_matrix, "compact", {})
+        assert base != cache_key(tiny_matrix, "upgmm", {})
+        assert base != cache_key(tiny_matrix, "compact", {"reduction": "minimum"})
+
+    def test_canonical_params_sorted(self):
+        assert canonical_params("m", {"b": 1, "a": 2}) == canonical_params(
+            "m", {"a": 2, "b": 1}
+        )
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k1", {"newick": "(a,b);"})
+        assert cache.get("k1") == {"newick": "(a,b);"}
+        assert cache.get("nope") is None
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refresh "a"
+        cache.put("c", {"v": 3})  # evicts "b", the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("c") == {"v": 3}
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+    def test_stats_counters(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        first = ResultCache(capacity=4, directory=tmp_path)
+        first.put("deadbeef", {"newick": "(a,b);", "cost": 3.0})
+        # A fresh instance (fresh process in real life) warms from disk.
+        second = ResultCache(capacity=4, directory=tmp_path)
+        assert len(second) == 0
+        assert second.get("deadbeef") == {"newick": "(a,b);", "cost": 3.0}
+        assert len(second) == 1  # promoted into memory
+
+    def test_disk_corruption_is_a_miss(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=tmp_path)
+        (tmp_path / "bad.json").write_text("{ not json")
+        assert cache.get("bad") is None
+
+    def test_disk_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=tmp_path)
+        (tmp_path / "old.json").write_text(
+            json.dumps({
+                "version": CACHE_KEY_VERSION + 1,
+                "key": "old",
+                "payload": {"v": 1},
+            })
+        )
+        assert cache.get("old") is None

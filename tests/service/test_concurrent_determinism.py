@@ -1,0 +1,81 @@
+"""Satellite: concurrent submissions of one matrix are deterministic.
+
+The same matrix submitted N times concurrently through the scheduler
+must yield byte-identical Newick output for every caller, with the
+solve executed exactly once (one ``cache.miss``; everything else is a
+dedup share or a cache hit).
+"""
+
+import threading
+
+from repro.matrix.generators import clustered_matrix
+from repro.obs import Recorder
+from repro.service.scheduler import Scheduler
+
+
+def test_concurrent_identical_submissions_are_deterministic():
+    matrix = clustered_matrix([4, 3, 3], seed=7)
+    rec = Recorder()
+    n_callers = 24
+    results = [None] * n_callers
+    errors = []
+    barrier = threading.Barrier(n_callers)
+
+    def caller(slot: int) -> None:
+        try:
+            barrier.wait(10.0)
+            results[slot] = sched.solve(matrix, "compact", timeout=60.0)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    with Scheduler(workers=4, queue_size=n_callers, recorder=rec) as sched:
+        threads = [
+            threading.Thread(target=caller, args=(i,)) for i in range(n_callers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+
+    assert not errors
+    newicks = {r["newick"] for r in results}
+    assert len(newicks) == 1, f"non-deterministic output: {newicks}"
+    assert all(r["cost"] == results[0]["cost"] for r in results)
+    # Exactly one execution: one miss, and every other caller either
+    # shared the in-flight job (dedup) or hit the cache.
+    assert rec.counter_total("cache.miss") == 1
+    executed = len(rec.spans("service.job"))
+    deduped = rec.counter_total("queue.deduped")
+    hits = rec.counter_total("cache.hit")
+    assert executed == 1 + hits
+    assert deduped + executed == n_callers
+
+
+def test_concurrent_mixed_matrices_do_not_cross_talk():
+    """Distinct matrices solved concurrently never swap results."""
+    matrices = [clustered_matrix([3, 3], seed=s) for s in range(6)]
+    expected = {}
+    with Scheduler(workers=1) as warmup:
+        for i, m in enumerate(matrices):
+            expected[i] = warmup.solve(m, "upgmm", timeout=60.0)["newick"]
+
+    results = {}
+    lock = threading.Lock()
+
+    def caller(slot: int) -> None:
+        payload = sched.solve(matrices[slot % len(matrices)], "upgmm",
+                              timeout=60.0)
+        with lock:
+            results[slot] = payload["newick"]
+
+    with Scheduler(workers=4, queue_size=64) as sched:
+        threads = [
+            threading.Thread(target=caller, args=(i,)) for i in range(18)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+
+    for slot, newick in results.items():
+        assert newick == expected[slot % len(matrices)]

@@ -1,0 +1,272 @@
+"""Scheduler behaviour: admission control, dedup, timeout, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.matrix.generators import clustered_matrix
+from repro.obs import Recorder
+from repro.service.cache import ResultCache
+from repro.service.errors import QueueFull, SchedulerClosed, ServiceError
+from repro.service.jobs import JobState
+from repro.service.scheduler import Scheduler
+
+
+@pytest.fixture
+def matrix():
+    return clustered_matrix([3, 3], seed=1)
+
+
+def blocking_runner(gate: threading.Event, started: threading.Event = None):
+    """A runner that parks until ``gate`` is set (for queue-shape tests)."""
+
+    def run(matrix, method, options, recorder):
+        if started is not None:
+            started.set()
+        if not gate.wait(10.0):
+            raise RuntimeError("test gate never opened")
+        return {"method": method, "n_species": matrix.n, "cost": 0.0,
+                "newick": "(gated);"}
+
+    return run
+
+
+class TestBasicExecution:
+    def test_solve_roundtrip(self, matrix):
+        with Scheduler(workers=2) as sched:
+            payload = sched.solve(matrix, "upgmm", timeout=30.0)
+            assert payload["newick"].endswith(";")
+            assert payload["n_species"] == 6
+            assert payload["method"] == "upgmm"
+
+    def test_job_record_fields(self, matrix):
+        with Scheduler(workers=1) as sched:
+            job = sched.submit(matrix, "upgmm")
+            job.result(30.0)
+            record = job.to_json()
+            assert record["state"] == "done"
+            assert record["cache"] == "miss"
+            assert record["result"]["newick"].endswith(";")
+            assert sched.job(job.id) is job
+
+    def test_repeat_hits_cache(self, matrix):
+        rec = Recorder()
+        with Scheduler(workers=2, recorder=rec) as sched:
+            first = sched.submit(matrix, "upgmm")
+            first.result(30.0)
+            second = sched.submit(matrix, "upgmm")
+            second.result(30.0)
+            assert first.payload == second.payload
+            assert second.cache_status == "hit"
+        assert rec.counter_total("cache.miss") == 1
+        assert rec.counter_total("cache.hit") == 1
+        assert len(rec.spans("service.job")) == 2
+
+    def test_different_options_do_not_collide(self, matrix):
+        with Scheduler(workers=2) as sched:
+            a = sched.submit(matrix, "compact", {"reduction": "maximum"})
+            b = sched.submit(matrix, "compact", {"reduction": "minimum"})
+            a.result(30.0)
+            b.result(30.0)
+            assert a.key != b.key
+
+    def test_failed_job_raises_typed_error(self, matrix):
+        def explode(matrix, method, options, recorder):
+            raise ValueError("boom")
+
+        with Scheduler(workers=1, runner=explode) as sched:
+            job = sched.submit(matrix, "upgmm")
+            job.wait(10.0)
+            assert job.state == JobState.FAILED
+            assert "boom" in job.error
+            with pytest.raises(ServiceError, match="boom"):
+                job.result(1.0)
+            assert sched.stats()["failed"] == 1
+
+
+class TestAdmissionControl:
+    def test_queue_full_typed_rejection(self, matrix):
+        gate = threading.Event()
+        started = threading.Event()
+        sched = Scheduler(
+            workers=1, queue_size=1, runner=blocking_runner(gate, started)
+        )
+        try:
+            running = sched.submit(matrix, "upgmm", {"tag": 0})
+            assert started.wait(10.0)  # occupies the single worker
+            queued = sched.submit(matrix, "upgmm", {"tag": 1})
+            with pytest.raises(QueueFull):
+                sched.submit(matrix, "upgmm", {"tag": 2})
+            assert sched.stats()["rejected"] == 1
+            gate.set()
+            assert running.result(10.0)["newick"] == "(gated);"
+            assert queued.result(10.0)
+        finally:
+            gate.set()
+            sched.shutdown()
+
+    def test_rejection_emits_counter(self, matrix):
+        gate = threading.Event()
+        started = threading.Event()
+        rec = Recorder()
+        sched = Scheduler(
+            workers=1, queue_size=1, recorder=rec,
+            runner=blocking_runner(gate, started),
+        )
+        try:
+            sched.submit(matrix, "upgmm", {"tag": 0})
+            assert started.wait(10.0)
+            sched.submit(matrix, "upgmm", {"tag": 1})
+            with pytest.raises(QueueFull):
+                sched.submit(matrix, "upgmm", {"tag": 2})
+            assert rec.counter_total("queue.rejected") == 1
+        finally:
+            gate.set()
+            sched.shutdown()
+
+
+class TestDeduplication:
+    def test_identical_inflight_submissions_share_a_job(self, matrix):
+        gate = threading.Event()
+        started = threading.Event()
+        rec = Recorder()
+        sched = Scheduler(
+            workers=1, recorder=rec, runner=blocking_runner(gate, started)
+        )
+        try:
+            first = sched.submit(matrix, "upgmm")
+            assert started.wait(10.0)
+            second = sched.submit(matrix, "upgmm")
+            assert second is first
+            assert sched.stats()["deduped"] == 1
+            assert rec.counter_total("queue.deduped") == 1
+            gate.set()
+            assert first.result(10.0) == second.result(10.0)
+        finally:
+            gate.set()
+            sched.shutdown()
+
+    def test_finished_job_is_not_dedup_target(self, matrix):
+        with Scheduler(workers=1) as sched:
+            first = sched.submit(matrix, "upgmm")
+            first.result(30.0)
+            second = sched.submit(matrix, "upgmm")
+            assert second is not first
+            second.result(30.0)
+            assert second.cache_status == "hit"
+
+
+class TestCancellationAndTimeout:
+    def test_cancel_pending_job(self, matrix):
+        gate = threading.Event()
+        started = threading.Event()
+        sched = Scheduler(
+            workers=1, runner=blocking_runner(gate, started)
+        )
+        try:
+            sched.submit(matrix, "upgmm", {"tag": 0})
+            assert started.wait(10.0)
+            queued = sched.submit(matrix, "upgmm", {"tag": 1})
+            assert queued.cancel()
+            assert queued.state == JobState.CANCELLED
+            gate.set()
+        finally:
+            gate.set()
+            sched.shutdown()
+        assert sched.stats()["cancelled"] == 1
+
+    def test_cancel_finished_job_is_noop(self, matrix):
+        with Scheduler(workers=1) as sched:
+            job = sched.submit(matrix, "upgmm")
+            job.result(30.0)
+            assert not job.cancel()
+            assert job.state == JobState.DONE
+
+    def test_deadline_expires_while_queued(self, matrix):
+        gate = threading.Event()
+        started = threading.Event()
+        sched = Scheduler(
+            workers=1, runner=blocking_runner(gate, started)
+        )
+        try:
+            sched.submit(matrix, "upgmm", {"tag": 0})
+            assert started.wait(10.0)
+            doomed = sched.submit(matrix, "upgmm", {"tag": 1}, timeout=0.01)
+            time.sleep(0.05)
+            gate.set()
+            doomed.wait(10.0)
+            assert doomed.state == JobState.TIMEOUT
+            assert "deadline" in doomed.error
+        finally:
+            gate.set()
+            sched.shutdown()
+        assert sched.stats()["timed_out"] == 1
+
+    def test_result_wait_timeout_raises(self, matrix):
+        from repro.service.errors import JobTimeout
+
+        gate = threading.Event()
+        started = threading.Event()
+        sched = Scheduler(workers=1, runner=blocking_runner(gate, started))
+        try:
+            job = sched.submit(matrix, "upgmm")
+            with pytest.raises(JobTimeout):
+                job.result(0.05)
+        finally:
+            gate.set()
+            sched.shutdown()
+
+
+class TestShutdown:
+    def test_drain_finishes_queued_jobs(self, matrix):
+        sched = Scheduler(workers=2)
+        jobs = [
+            sched.submit(matrix, "upgmm", {"tag": i}) for i in range(6)
+        ]
+        assert sched.shutdown(drain=True, timeout=30.0)
+        for job in jobs:
+            assert job.state == JobState.DONE
+        # No orphaned worker threads.
+        assert not any(t.is_alive() for t in sched._workers)
+
+    def test_submit_after_shutdown_raises(self, matrix):
+        sched = Scheduler(workers=1)
+        sched.shutdown()
+        with pytest.raises(SchedulerClosed):
+            sched.submit(matrix, "upgmm")
+
+    def test_shutdown_without_drain_cancels_pending(self, matrix):
+        gate = threading.Event()
+        started = threading.Event()
+        sched = Scheduler(workers=1, runner=blocking_runner(gate, started))
+        running = sched.submit(matrix, "upgmm", {"tag": 0})
+        assert started.wait(10.0)
+        queued = sched.submit(matrix, "upgmm", {"tag": 1})
+        gate.set()
+        assert sched.shutdown(drain=False, timeout=30.0)
+        assert queued.state == JobState.CANCELLED
+        assert running.state == JobState.DONE  # running jobs complete
+
+    def test_shutdown_is_idempotent(self, matrix):
+        sched = Scheduler(workers=1)
+        assert sched.shutdown()
+        assert sched.shutdown()
+
+
+class TestDiskBackedScheduler:
+    def test_restart_warms_from_disk(self, matrix, tmp_path):
+        rec = Recorder()
+        with Scheduler(
+            workers=1, cache=ResultCache(directory=tmp_path)
+        ) as sched:
+            first = sched.submit(matrix, "upgmm").result(30.0)
+        # "Restarted" scheduler: new cache instance, same directory.
+        with Scheduler(
+            workers=1, cache=ResultCache(directory=tmp_path), recorder=rec
+        ) as sched:
+            job = sched.submit(matrix, "upgmm")
+            assert job.result(30.0) == first
+            assert job.cache_status == "hit"
+        assert rec.counter_total("cache.hit") == 1
+        assert rec.counter_total("cache.miss") == 0

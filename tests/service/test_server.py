@@ -1,0 +1,165 @@
+"""In-process HTTP API tests: ServiceServer + ServiceClient."""
+
+import threading
+
+import pytest
+
+from repro.matrix.generators import clustered_matrix
+from repro.matrix.io import write_phylip
+from repro.service.client import ServiceClient
+from repro.service.errors import (
+    BadRequest,
+    JobNotFound,
+    QueueFull,
+    ServiceError,
+)
+from repro.service.scheduler import Scheduler
+from repro.service.server import ServiceServer
+
+
+@pytest.fixture
+def matrix():
+    return clustered_matrix([3, 3], seed=1)
+
+
+@pytest.fixture
+def server():
+    with ServiceServer(Scheduler(workers=2), port=0) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout=30.0)
+
+
+class TestSolve:
+    def test_solve_matrix_payload(self, client, matrix):
+        record = client.solve(matrix, method="upgmm")
+        assert record["state"] == "done"
+        assert record["cache"] == "miss"
+        assert record["result"]["newick"].endswith(";")
+        assert record["result"]["n_species"] == 6
+
+    def test_solve_phylip_payload(self, client, matrix, tmp_path):
+        import io
+
+        buffer = io.StringIO()
+        write_phylip(matrix, buffer)
+        record = client.solve(phylip=buffer.getvalue(), method="upgmm")
+        assert record["state"] == "done"
+
+    def test_phylip_and_matrix_agree(self, client, matrix):
+        import io
+
+        buffer = io.StringIO()
+        write_phylip(matrix, buffer)
+        a = client.solve(matrix, method="upgmm")
+        b = client.solve(phylip=buffer.getvalue(), method="upgmm")
+        assert a["result"]["newick"] == b["result"]["newick"]
+        assert b["cache"] == "hit"  # identical content, identical key
+
+    def test_default_method_applies(self, client, matrix):
+        record = client.solve(matrix)
+        assert record["result"]["method"] == "compact"
+
+    def test_async_submit_and_poll(self, client, matrix):
+        record = client.solve(matrix, method="upgmm", wait=False)
+        assert record["state"] in ("pending", "running", "done")
+        job_id = record["id"]
+        for _ in range(200):
+            polled = client.job(job_id)
+            if polled["state"] == "done":
+                break
+            import time
+
+            time.sleep(0.01)
+        assert polled["state"] == "done"
+        assert polled["result"]["newick"].endswith(";")
+
+    def test_nj_method_served(self, client, matrix):
+        record = client.solve(matrix, method="nj")
+        assert record["state"] == "done"
+        assert record["result"]["newick"].endswith(";")
+
+
+class TestErrors:
+    def test_unknown_job_404(self, client):
+        with pytest.raises(JobNotFound):
+            client.job("job-999999")
+
+    def test_bad_option_is_failed_job(self, client, matrix):
+        record = client.solve(matrix, method="bnb", options={"bogus": 1})
+        assert record["state"] == "failed"
+        assert "bogus" in record["error"]
+
+    def test_malformed_body_400(self, client):
+        with pytest.raises(BadRequest):
+            client._request("POST", "/solve", {"method": "upgmm"})
+
+    def test_both_matrix_and_phylip_400(self, client, matrix):
+        with pytest.raises(BadRequest):
+            client._request(
+                "POST", "/solve",
+                {"matrix": [[0, 1], [1, 0]], "phylip": "2\na 0 1\nb 1 0"},
+            )
+
+    def test_invalid_matrix_400(self, client):
+        with pytest.raises(BadRequest):
+            client._request(
+                "POST", "/solve", {"matrix": [[0, 1], [2, 0]]}
+            )
+
+    def test_unknown_path_404(self, client):
+        with pytest.raises(ServiceError):
+            client._request("GET", "/nope")
+
+    def test_queue_full_maps_to_429(self, matrix):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def gated(matrix, method, options, recorder):
+            started.set()
+            gate.wait(10.0)
+            return {"method": method, "n_species": matrix.n,
+                    "cost": 0.0, "newick": "(x);"}
+
+        sched = Scheduler(workers=1, queue_size=1, runner=gated)
+        try:
+            with ServiceServer(sched, port=0) as srv:
+                client = ServiceClient(srv.url, timeout=30.0)
+                client.solve(matrix, options={"tag": 0}, wait=False)
+                assert started.wait(10.0)
+                client.solve(matrix, options={"tag": 1}, wait=False)
+                with pytest.raises(QueueFull):
+                    client.solve(matrix, options={"tag": 2}, wait=False)
+                gate.set()
+        finally:
+            gate.set()
+
+
+class TestIntrospection:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"]
+        assert health["uptime_seconds"] >= 0
+
+    def test_stats_counts_requests(self, client, matrix):
+        client.solve(matrix, method="upgmm")
+        client.solve(matrix, method="upgmm")
+        stats = client.stats()
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 2
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["version"]
+
+    def test_healthz_reports_draining_after_close(self, matrix):
+        srv = ServiceServer(Scheduler(workers=1), port=0).start()
+        client = ServiceClient(srv.url, timeout=30.0)
+        assert client.healthz()["status"] == "ok"
+        srv.scheduler.shutdown()
+        health = client.healthz()
+        assert health["status"] == "draining"
+        srv.close()

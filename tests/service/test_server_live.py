@@ -1,0 +1,146 @@
+"""Acceptance test against a live ``repro-mut serve`` subprocess.
+
+Covers the PR's acceptance criterion end to end:
+
+* >= 32 concurrent ``POST /solve`` requests all succeed or are cleanly
+  rejected with the typed queue-full error;
+* warm-cache repeats answer from the scheduler in well under 10 ms,
+  with ``cache.hit`` counters visible in the exported trace;
+* SIGTERM drains in-flight jobs before exit (exit code 0, no orphaned
+  worker threads keeping the process alive).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.matrix.generators import clustered_matrix
+from repro.matrix.io import write_phylip
+from repro.obs import CounterEvent, read_jsonl
+from repro.service.client import ServiceClient
+from repro.service.errors import QueueFull
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+N_CONCURRENT = 32
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """A ``repro-mut serve`` subprocess; yields (process, client, trace)."""
+    trace_path = tmp_path / "service_trace.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--workers", "4",
+            "--queue-size", str(N_CONCURRENT * 2),
+            "--trace-out", str(trace_path),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        ready = proc.stdout.readline()
+        assert "listening on" in ready, f"server never came up: {ready!r}"
+        url = ready.strip().split()[-1]
+        yield proc, ServiceClient(url, timeout=60.0), trace_path
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+def test_live_concurrent_load_warm_cache_and_sigterm_drain(live_server):
+    proc, client, trace_path = live_server
+    matrix = clustered_matrix([4, 3], seed=3)
+
+    assert client.healthz()["status"] == "ok"
+
+    # --- >= 32 concurrent POST /solve: all succeed or typed-reject ----
+    outcomes = [None] * N_CONCURRENT
+    barrier = threading.Barrier(N_CONCURRENT)
+
+    def fire(slot: int) -> None:
+        barrier.wait(30.0)
+        try:
+            outcomes[slot] = client.solve(matrix, method="compact",
+                                          wait_seconds=60.0)
+        except QueueFull as exc:
+            outcomes[slot] = exc
+
+    threads = [
+        threading.Thread(target=fire, args=(i,)) for i in range(N_CONCURRENT)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120.0)
+
+    completed = [o for o in outcomes if isinstance(o, dict)]
+    rejected = [o for o in outcomes if isinstance(o, QueueFull)]
+    assert len(completed) + len(rejected) == N_CONCURRENT
+    assert completed, "every request was rejected"
+    newicks = {o["result"]["newick"] for o in completed}
+    assert len(newicks) == 1, "concurrent solves disagreed"
+
+    # --- warm-cache repeats: scheduler answers in < 10 ms -------------
+    durations = []
+    for _ in range(20):
+        t0 = time.perf_counter()
+        record = client.solve(matrix, method="compact")
+        durations.append(time.perf_counter() - t0)
+        assert record["cache"] == "hit"
+    durations.sort()
+    median = durations[len(durations) // 2]
+    assert median < 0.010, f"warm-cache median {median * 1e3:.2f} ms >= 10 ms"
+
+    stats = client.stats()
+    assert stats["cache"]["hits"] >= 20
+
+    # --- SIGTERM drains and exits cleanly -----------------------------
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0
+    stderr = proc.stderr.read()
+    assert "draining" in stderr
+    assert "drained; bye" in stderr
+
+    # --- cache.hit counters landed in the exported schema-v1 trace ----
+    events = read_jsonl(trace_path)
+    counters = [e for e in events if isinstance(e, CounterEvent)]
+    hits = sum(e.value for e in counters if e.name == "cache.hit")
+    misses = sum(e.value for e in counters if e.name == "cache.miss")
+    assert hits >= 20
+    assert misses >= 1
+
+
+def test_live_phylip_solve_and_version(live_server):
+    proc, client, _ = live_server
+    import io
+
+    matrix = clustered_matrix([3, 3], seed=5)
+    buffer = io.StringIO()
+    write_phylip(matrix, buffer)
+    record = client.solve(phylip=buffer.getvalue(), method="upgmm")
+    assert record["state"] == "done"
+
+    health = client.healthz()
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "--version"],
+        capture_output=True,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src")),
+    )
+    assert out.returncode == 0
+    assert health["version"] in out.stdout

@@ -320,3 +320,78 @@ class TestBootstrapCommand:
     def test_missing_fasta(self):
         with pytest.raises(SystemExit, match="no such FASTA"):
             main(["bootstrap", "/nope.fasta"])
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro-mut {__version__}" in capsys.readouterr().out
+
+
+class TestProfileFromTrace:
+    @pytest.fixture
+    def trace_file(self, matrix_file, tmp_path):
+        trace = tmp_path / "build.jsonl"
+        assert main([
+            "profile", matrix_file, "--trace-out", str(trace)
+        ]) == 0
+        return trace
+
+    def test_profiles_recorded_trace(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["profile", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.build" in out
+        assert str(trace_file) in out
+
+    def test_from_trace_flag_overrides_suffix(self, trace_file, tmp_path, capsys):
+        renamed = tmp_path / "trace.dat"
+        renamed.write_text(trace_file.read_text())
+        capsys.readouterr()
+        assert main(["profile", str(renamed), "--from-trace"]) == 0
+        assert "pipeline.build" in capsys.readouterr().out
+
+    def test_empty_trace_prints_no_spans_message(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["profile", str(empty)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+    def test_span_free_trace_prints_no_spans_message(self, tmp_path, capsys):
+        span_free = tmp_path / "counters_only.jsonl"
+        span_free.write_text(
+            '{"event": "meta", "schema": 1}\n'
+            '{"event": "counter", "name": "c", "value": 1, "time": 0.0}\n'
+        )
+        assert main(["profile", str(span_free)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+    def test_truncated_trace_warns_but_profiles(self, trace_file, capsys):
+        text = trace_file.read_text().rstrip("\n")
+        trace_file.write_text(text[:-15])
+        capsys.readouterr()
+        assert main(["profile", str(trace_file)]) == 0
+        captured = capsys.readouterr()
+        assert "warning" in captured.err
+        assert "pipeline." in captured.out
+
+    def test_missing_trace_file_errors(self):
+        with pytest.raises(SystemExit, match="no such trace"):
+            main(["profile", "/nope/trace.jsonl"])
+
+
+class TestServeParser:
+    def test_serve_registered_with_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8533
+        assert args.workers == 4
+        assert args.queue_size == 64
+        assert args.cache_size == 256
+        assert args.cache_dir is None
