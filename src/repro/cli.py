@@ -123,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hide spans below this percentage of total time")
     profile.add_argument("--trace-out", default=None,
                          help="also write the raw events as JSON lines")
+    profile.add_argument("--trace-id", default=None,
+                         help="only profile events belonging to this request "
+                              "trace id (trace-file input only)")
 
     compact = sub.add_parser("compact-sets", help="list compact sets of a matrix")
     compact.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
@@ -207,9 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--job-timeout", type=float, default=None,
                        help="default per-job deadline in seconds")
     serve.add_argument("--trace-out", default=None,
-                       help="write the service trace (service.job spans, "
-                            "cache.hit/miss counters) as JSON lines on "
-                            "shutdown")
+                       help="stream the service trace (service.job spans, "
+                            "cache.hit/miss counters) as JSON lines to this "
+                            "file while serving")
+    serve.add_argument("--trace-max-mb", type=float, default=None,
+                       help="rotate the trace file past this size (previous "
+                            "generation kept as <file>.1)")
+    serve.add_argument("--trace-ring", type=int, default=4096,
+                       help="most-recent trace events kept in memory for "
+                            "queries (default: 4096)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     return parser
@@ -272,7 +281,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     path = Path(args.matrix)
     if args.from_trace or path.suffix.lower() in (".jsonl", ".ndjson"):
-        return _profile_trace_file(path, min_percent=args.min_percent)
+        return _profile_trace_file(
+            path, min_percent=args.min_percent, trace_id=args.trace_id
+        )
+    if args.trace_id:
+        raise SystemExit(
+            "error: --trace-id filters a recorded trace; pass a .jsonl "
+            "file (or --from-trace)"
+        )
     matrix = _load_matrix(args.matrix)
     options = _engine_options(args)
     cluster = ClusterConfig(n_workers=args.workers)
@@ -292,9 +308,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _profile_trace_file(path: Path, *, min_percent: float = 0.0) -> int:
+def _profile_trace_file(
+    path: Path,
+    *,
+    min_percent: float = 0.0,
+    trace_id: Optional[str] = None,
+) -> int:
     """Profile a previously recorded JSON-lines trace without re-running."""
-    from repro.obs import SpanEvent, read_jsonl
+    from repro.obs import SpanEvent, filter_by_trace_id, read_jsonl
 
     if not path.exists():
         raise SystemExit(f"error: no such trace file: {path}")
@@ -304,12 +325,20 @@ def _profile_trace_file(path: Path, *, min_percent: float = 0.0) -> int:
         raise SystemExit(f"error: unreadable trace file {path}: {exc}")
     if events.warning:
         print(f"warning: {events.warning}", file=sys.stderr)
-    if not any(isinstance(e, SpanEvent) for e in events):
+    shown = list(events)
+    if trace_id:
+        shown = filter_by_trace_id(shown, trace_id)
+        if not shown:
+            print(f"no events with trace_id {trace_id!r} in {path}")
+            return 0
+    if not any(isinstance(e, SpanEvent) for e in shown):
         print(f"no spans recorded in {path}")
         return 0
     print(f"trace  : {path}")
+    if trace_id:
+        print(f"trace_id: {trace_id}")
     print()
-    print(render_profile(events, min_fraction=min_percent / 100.0))
+    print(render_profile(shown, min_fraction=min_percent / 100.0))
     return 0
 
 
@@ -485,6 +514,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_method=args.method,
         default_timeout=args.job_timeout,
         trace_out=args.trace_out,
+        trace_max_mb=args.trace_max_mb,
+        trace_ring=args.trace_ring,
         verbose=args.verbose,
     )
 

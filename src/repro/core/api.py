@@ -9,6 +9,7 @@ the repository implements is reachable by name:
 ``"compact-parallel"``  compact-set decomposition + simulated-cluster B&B
 ``"bnb"``          plain sequential Algorithm BBU (exact)
 ``"parallel-bnb"`` plain simulated-cluster Algorithm BBU (exact)
+``"multiprocess"`` real multi-core Algorithm BBU (exact, worker processes)
 ``"upgma"``        UPGMA heuristic
 ``"upgmm"``        UPGMM heuristic (feasible upper bound)
 ``"greedy"``       sequential-addition heuristic (feasible, cheaper)
@@ -27,6 +28,7 @@ from repro.heuristics.nj import neighbor_joining
 from repro.heuristics.greedy import greedy_insertion
 from repro.heuristics.upgma import upgma, upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
+from repro.obs.metrics import MetricsRegistry, as_metrics
 from repro.obs.recorder import NullRecorder, as_recorder
 from repro.parallel.config import ClusterConfig
 from repro.parallel.simulator import ParallelBranchAndBound
@@ -43,6 +45,7 @@ METHODS = (
     "compact-parallel",
     "bnb",
     "parallel-bnb",
+    "multiprocess",
     "upgma",
     "upgmm",
     "greedy",
@@ -73,6 +76,7 @@ def construct_tree(
     *,
     cluster: Optional[ClusterConfig] = None,
     recorder: Optional[NullRecorder] = None,
+    metrics: Optional[MetricsRegistry] = None,
     **options,
 ) -> ConstructionResult:
     """Construct an evolutionary tree for ``matrix`` with ``method``.
@@ -82,7 +86,37 @@ def construct_tree(
     ``recorder`` threads a :class:`repro.obs.Recorder` through whichever
     engine runs; heuristic methods execute inside a single
     ``heuristic.<method>`` span.
+
+    Every call -- whatever the method -- records its wall-clock latency
+    into the ``solve.seconds`` histogram (labelled by method) on
+    ``metrics``, defaulting to the process-wide
+    :data:`repro.obs.metrics.REGISTRY`; that is how ``GET /metrics`` on
+    a serving process sees per-method engine latency without any
+    per-request wiring.
     """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    registry = as_metrics(metrics)
+    import time as _time
+
+    t0 = _time.perf_counter()
+    try:
+        return _dispatch(matrix, method, cluster, recorder, options)
+    finally:
+        registry.histogram(
+            "solve.seconds",
+            "Engine latency of construct_tree, per method.",
+            labelnames=("method",),
+        ).observe(_time.perf_counter() - t0, method=method)
+
+
+def _dispatch(
+    matrix: DistanceMatrix,
+    method: str,
+    cluster: Optional[ClusterConfig],
+    recorder: Optional[NullRecorder],
+    options: dict,
+) -> ConstructionResult:
     if method == "compact":
         builder = CompactSetTreeBuilder(
             solver="bnb", recorder=recorder, **options
@@ -102,6 +136,16 @@ def construct_tree(
         solver = ParallelBranchAndBound(cluster, recorder=recorder, **options)
         result = solver.solve(matrix)
         return ConstructionResult(result.tree, result.cost, method, result)
+    if method == "multiprocess":
+        from repro.parallel.multiprocess import multiprocess_mut
+
+        n_workers = cluster.n_workers if cluster is not None else 4
+        mp_result = multiprocess_mut(
+            matrix, n_workers=n_workers, recorder=recorder, **options
+        )
+        return ConstructionResult(
+            mp_result.tree, mp_result.cost, method, mp_result
+        )
     rec = as_recorder(recorder)
     if method == "upgma":
         with rec.span("heuristic.upgma", n=matrix.n):
@@ -119,7 +163,9 @@ def construct_tree(
         with rec.span("heuristic.nj", n=matrix.n):
             tree = neighbor_joining(matrix)
         return ConstructionResult(tree, tree.cost(), method)
-    raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    raise ValueError(
+        f"unknown method {method!r}; choose from {METHODS}"
+    )  # pragma: no cover - construct_tree validates first
 
 
 def construct_tree_cached(
@@ -129,6 +175,7 @@ def construct_tree_cached(
     cache,
     cluster: Optional[ClusterConfig] = None,
     recorder: Optional[NullRecorder] = None,
+    metrics: Optional[MetricsRegistry] = None,
     **options,
 ) -> ConstructionResult:
     """:func:`construct_tree` behind a content-addressed result cache.
@@ -150,9 +197,11 @@ def construct_tree_cached(
 
     if method == "nj":
         return construct_tree(
-            matrix, method, cluster=cluster, recorder=recorder, **options
+            matrix, method, cluster=cluster, recorder=recorder,
+            metrics=metrics, **options
         )
     rec = as_recorder(recorder)
+    registry = as_metrics(metrics)
     key_options = dict(options)
     if cluster is not None:
         key_options["workers"] = cluster.n_workers
@@ -160,6 +209,9 @@ def construct_tree_cached(
     payload = cache.get(key)
     if payload is not None:
         rec.counter("cache.hit", key=key[:12])
+        registry.counter(
+            "cache.hit", "Content-addressed result-cache hits."
+        ).inc()
         return ConstructionResult(
             tree=parse_newick(payload["newick"]),
             cost=payload["cost"],
@@ -167,8 +219,12 @@ def construct_tree_cached(
             details=payload,
         )
     rec.counter("cache.miss", key=key[:12])
+    registry.counter(
+        "cache.miss", "Content-addressed result-cache misses."
+    ).inc()
     result = construct_tree(
-        matrix, method, cluster=cluster, recorder=recorder, **options
+        matrix, method, cluster=cluster, recorder=recorder,
+        metrics=metrics, **options
     )
     cache.put(key, {
         "method": result.method,

@@ -28,19 +28,34 @@ from repro.obs.recorder import (
     SpanEvent,
     TraceEvents,
     as_recorder,
+    current_trace_id,
     read_jsonl,
+    trace_context,
+)
+from repro.obs.streaming import StreamingRecorder
+from repro.obs.metrics import (
+    NULL_METRICS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    as_metrics,
 )
 from repro.obs.profile import (
     ProfileNode,
     aggregate_spans,
     build_span_tree,
     counter_totals,
+    filter_by_trace_id,
     render_profile,
     render_span_tree,
 )
 
 __all__ = [
     "Recorder",
+    "StreamingRecorder",
     "NullRecorder",
     "NULL_RECORDER",
     "Span",
@@ -50,10 +65,21 @@ __all__ = [
     "TraceEvents",
     "as_recorder",
     "read_jsonl",
+    "current_trace_id",
+    "trace_context",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "as_metrics",
     "ProfileNode",
     "build_span_tree",
     "aggregate_spans",
     "counter_totals",
+    "filter_by_trace_id",
     "render_span_tree",
     "render_profile",
 ]

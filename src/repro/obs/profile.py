@@ -89,6 +89,46 @@ def counter_totals(events: Iterable[Event]) -> Dict[str, float]:
     return totals
 
 
+def filter_by_trace_id(
+    events: Iterable[Event], trace_id: str
+) -> List[Event]:
+    """Events belonging to one request's trace.
+
+    Keeps every event whose ``attrs["trace_id"]`` matches, every span
+    *descended* from a matching span (children inherit the trace even if
+    their own attrs lack the id -- e.g. deeply nested engine spans
+    recorded before the stamp existed), and every counter attached to a
+    kept span.  Order is preserved, so the result profiles and exports
+    exactly like a full trace.
+    """
+    events = list(events)
+    spans = [e for e in events if isinstance(e, SpanEvent)]
+    parent_of = {s.id: s.parent for s in spans}
+    directly = {
+        s.id for s in spans if s.attrs.get("trace_id") == trace_id
+    }
+
+    def in_trace(span_id: Optional[int]) -> bool:
+        seen = set()
+        while span_id is not None and span_id not in seen:
+            if span_id in directly:
+                return True
+            seen.add(span_id)
+            span_id = parent_of.get(span_id)
+        return False
+
+    kept: List[Event] = []
+    for event in events:
+        if isinstance(event, SpanEvent):
+            if in_trace(event.id):
+                kept.append(event)
+        elif (
+            event.attrs.get("trace_id") == trace_id or in_trace(event.span)
+        ):
+            kept.append(event)
+    return kept
+
+
 def _attr_suffix(span: SpanEvent) -> str:
     shown = {
         k: v for k, v in span.attrs.items()

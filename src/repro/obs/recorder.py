@@ -26,8 +26,10 @@ Event schema (JSON lines, one object per line; see
 
 from __future__ import annotations
 
+import contextvars
 import io as _io
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -46,12 +48,55 @@ __all__ = [
     "as_recorder",
     "read_jsonl",
     "TraceEvents",
+    "current_trace_id",
+    "trace_context",
 ]
 
 #: Version stamped into the ``meta`` line of every JSON-lines export.
 SCHEMA_VERSION = 1
 
 Event = Union["SpanEvent", "CounterEvent"]
+
+#: The ambient trace id (request correlation).  A ``contextvars`` var so
+#: each scheduler worker thread -- and any task it spawns -- sees the id
+#: of the job it is currently executing, with zero signature churn in
+#: the engines.
+_TRACE_ID: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id of the enclosing :func:`trace_context`, or ``None``."""
+    return _TRACE_ID.get()
+
+
+@contextmanager
+def trace_context(trace_id: Optional[str]) -> Iterator[Optional[str]]:
+    """Bind ``trace_id`` as the ambient trace id for the block.
+
+    Every span and counter recorded inside the block (on the same thread
+    or context) automatically carries ``attrs["trace_id"]``, which is
+    how one HTTP request's id reaches the ``pipeline.*`` / ``bnb.*`` /
+    ``mp.worker`` events it causes.  ``None`` is a no-op, so call sites
+    can pass an optional id unconditionally.
+    """
+    if trace_id is None:
+        yield None
+        return
+    token = _TRACE_ID.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)
+
+
+def _stamp_trace_id(attrs: Dict[str, object]) -> Dict[str, object]:
+    """Add the ambient trace id to ``attrs`` unless already present."""
+    trace_id = _TRACE_ID.get()
+    if trace_id is not None and "trace_id" not in attrs:
+        attrs["trace_id"] = trace_id
+    return attrs
 
 
 @dataclass(frozen=True)
@@ -235,9 +280,16 @@ class Recorder(NullRecorder):
         with self._lock:
             return list(self._events)
 
+    def _record(self, event: Event) -> None:
+        """Land one closed event.  Every recording path funnels through
+        here, so sinks (the streaming recorder) override a single spot."""
+        with self._lock:
+            self._events.append(event)
+
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
         """Open a nested, timed span around a ``with`` block."""
+        _stamp_trace_id(attrs)
         stack = self._stack_for_thread()
         parent = stack[-1].id if stack else None
         handle = Span(self._allocate_id(), parent, name, self.clock(), attrs)
@@ -247,16 +299,14 @@ class Recorder(NullRecorder):
         finally:
             handle.end = self.clock()
             stack.pop()
-            event = SpanEvent(
+            self._record(SpanEvent(
                 id=handle.id,
                 parent=handle.parent,
                 name=name,
                 start=handle.start,
                 end=handle.end,
                 attrs=attrs,
-            )
-            with self._lock:
-                self._events.append(event)
+            ))
 
     def add_span(
         self, name: str, start: float, end: float, **attrs
@@ -264,25 +314,25 @@ class Recorder(NullRecorder):
         """Record an externally timed span (e.g. a simulated worker's busy
         interval, or a worker process timed by the master).  It is parented
         to whatever span is currently open on the calling thread."""
+        _stamp_trace_id(attrs)
         stack = self._stack_for_thread()
         parent = stack[-1].id if stack else None
         event = SpanEvent(
             id=self._allocate_id(), parent=parent, name=name,
             start=start, end=end, attrs=attrs,
         )
-        with self._lock:
-            self._events.append(event)
+        self._record(event)
         return event
 
     def counter(self, name: str, value: float = 1, **attrs) -> CounterEvent:
         """Record a named tally, attached to the calling thread's open span."""
+        _stamp_trace_id(attrs)
         stack = self._stack_for_thread()
         span_id = stack[-1].id if stack else None
         event = CounterEvent(
             name=name, value=value, time=self.clock(), span=span_id, attrs=attrs
         )
-        with self._lock:
-            self._events.append(event)
+        self._record(event)
         return event
 
     # ------------------------------------------------------------------
@@ -318,12 +368,28 @@ class Recorder(NullRecorder):
     def write_jsonl(
         self, destination: Union[str, Path, _io.TextIOBase]
     ) -> None:
-        """Write the event stream as JSON lines to a path or open file."""
+        """Write the event stream as JSON lines to a path or open file.
+
+        Path destinations are written *atomically* (a sibling temp file
+        then ``os.replace``), so a crash mid-export can never leave a
+        half-written trace that :func:`read_jsonl` rejects as mid-stream
+        corruption -- the destination either keeps its old content or
+        gains the complete new one.
+        """
         text = "\n".join(self.json_lines()) + "\n"
         if hasattr(destination, "write"):
             destination.write(text)  # type: ignore[union-attr]
-        else:
-            Path(destination).write_text(text)
+            return
+        path = Path(destination)
+        tmp = path.with_name(
+            f".{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # replace failed; don't litter
+                tmp.unlink()
 
 
 def as_recorder(recorder: Optional[NullRecorder]) -> NullRecorder:
@@ -355,12 +421,19 @@ def read_jsonl(
     result's ``warning`` attribute describes what was dropped.  Malformed
     JSON anywhere *before* the final line still raises, since that is
     corruption, not interruption.
+
+    A *repeated* ``meta`` line mid-stream is skipped with a warning
+    rather than rejected: rotation and ``cat``-concatenated trace files
+    legitimately produce one meta line per segment.  Each is still
+    schema-validated.
     """
     if hasattr(source, "read"):
         text = source.read()  # type: ignore[union-attr]
     else:
         text = Path(source).read_text()
     events = TraceEvents()
+    warnings: List[str] = []
+    seen_meta = False
     lines = text.splitlines()
     last_content_line = max(
         (i for i, line in enumerate(lines) if line.strip()), default=-1
@@ -372,7 +445,7 @@ def read_jsonl(
             record = json.loads(line)
         except json.JSONDecodeError as exc:
             if line_no == last_content_line:
-                events.warning = (
+                warnings.append(
                     f"line {line_no}: truncated record dropped "
                     f"({exc.msg}); trace was interrupted mid-write"
                 )
@@ -388,6 +461,12 @@ def read_jsonl(
                     f"unsupported trace schema {schema!r} "
                     f"(this reader understands {SCHEMA_VERSION})"
                 )
+            if seen_meta:
+                warnings.append(
+                    f"line {line_no}: repeated meta line skipped "
+                    f"(rotated or concatenated trace)"
+                )
+            seen_meta = True
         elif kind == "span":
             events.append(
                 SpanEvent(
@@ -413,4 +492,6 @@ def read_jsonl(
             raise ValueError(
                 f"line {line_no}: unknown event kind {kind!r}"
             )
+    if warnings:
+        events.warning = "; ".join(warnings)
     return events

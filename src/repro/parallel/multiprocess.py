@@ -49,7 +49,12 @@ from repro.bnb.sequential import BranchAndBoundSolver
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.maxmin import apply_maxmin
-from repro.obs.recorder import NullRecorder, as_recorder
+from repro.obs.recorder import (
+    NullRecorder,
+    as_recorder,
+    current_trace_id,
+    trace_context,
+)
 from repro.tree.ultrametric import UltrametricTree
 
 __all__ = ["MultiprocessResult", "multiprocess_mut", "select_start_method"]
@@ -109,6 +114,7 @@ def _worker_main(
     shared_ub,
     result_queue,
     poll_interval: int,
+    trace_id: Optional[str] = None,
 ) -> None:
     """DFS-complete a share of the frontier (runs in a child process).
 
@@ -116,6 +122,10 @@ def _worker_main(
     ``fork`` and ``spawn`` start methods.  Results (or a formatted
     traceback on failure) are reported through ``result_queue`` as
     ``(kind, worker_id, cost_or_traceback, payload, counters)`` tuples.
+    ``trace_id`` is the originating request's correlation id; the worker
+    echoes it back inside ``counters`` so the master stamps each
+    ``mp.worker`` span with an id that genuinely crossed the process
+    boundary (not one re-read from master-side state).
     """
     expanded = 0
     pruned = 0
@@ -160,7 +170,9 @@ def _worker_main(
                 children.sort(key=lambda c: -c.lower_bound)
                 stack.extend(children)
 
-        counters = {"expanded": expanded, "pruned": pruned}
+        counters = {
+            "expanded": expanded, "pruned": pruned, "trace_id": trace_id,
+        }
         if best is None:
             result_queue.put(("result", worker_id, None, None, counters))
         else:
@@ -174,7 +186,7 @@ def _worker_main(
                 worker_id,
                 traceback.format_exc(),
                 None,
-                {"expanded": expanded, "pruned": pruned},
+                {"expanded": expanded, "pruned": pruned, "trace_id": trace_id},
             )
         )
 
@@ -243,6 +255,7 @@ def multiprocess_mut(
     poll_interval: int = 64,
     start_method: Optional[str] = None,
     recorder: Optional[NullRecorder] = None,
+    trace_id: Optional[str] = None,
 ) -> MultiprocessResult:
     """Exact minimum ultrametric tree using real worker processes.
 
@@ -255,12 +268,20 @@ def multiprocess_mut(
     wall clock, process start to result arrival -- the same per-worker
     interval model as the simulator's trace) and its expand/prune
     counters.
+
+    ``trace_id`` correlates the run with an originating request; it
+    defaults to the ambient :func:`~repro.obs.recorder.current_trace_id`
+    (set by the serving layer around each job), is shipped to every
+    worker process, and comes back stamped on that worker's ``mp.worker``
+    span -- end-to-end request-to-worker correlation.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be positive")
     rec = as_recorder(recorder)
     method = select_start_method(start_method)
-    with rec.span(
+    if trace_id is None:
+        trace_id = current_trace_id()
+    with trace_context(trace_id), rec.span(
         "mp.solve", n=matrix.n, workers=n_workers, start_method=method
     ):
         return _multiprocess_impl(
@@ -273,6 +294,7 @@ def multiprocess_mut(
             poll_interval,
             method,
             rec,
+            trace_id,
         )
 
 
@@ -286,6 +308,7 @@ def _multiprocess_impl(
     poll_interval: int,
     method: str,
     rec: NullRecorder,
+    trace_id: Optional[str] = None,
 ) -> MultiprocessResult:
     if matrix.n < 4 or n_workers == 1:
         seq = BranchAndBoundSolver(
@@ -394,6 +417,7 @@ def _multiprocess_impl(
                     shared_ub,
                     result_queue,
                     poll_interval,
+                    trace_id,
                 ),
                 daemon=True,
             )
@@ -408,11 +432,16 @@ def _multiprocess_impl(
             expanded += counters["expanded"]
             pruned += counters["pruned"]
             if rec.enabled:
+                # Stamp the trace id that round-tripped through the
+                # worker process, not the master-side ambient one.
+                span_attrs = {"worker": worker_id}
+                if counters.get("trace_id") is not None:
+                    span_attrs["trace_id"] = counters["trace_id"]
                 rec.add_span(
                     "mp.worker",
                     starts[worker_id],
                     arrivals.get(worker_id, rec.clock()),
-                    worker=worker_id,
+                    **span_attrs,
                 )
                 rec.counter(
                     "mp.nodes_expanded", counters["expanded"], worker=worker_id

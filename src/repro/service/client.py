@@ -55,7 +55,11 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ) -> dict:
         data = (
             json.dumps(body).encode("utf-8") if body is not None else None
@@ -64,7 +68,7 @@ class ServiceClient:
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
@@ -95,12 +99,15 @@ class ServiceClient:
         wait: bool = True,
         wait_seconds: Optional[float] = None,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> dict:
         """``POST /solve``; returns the job record (see ``Job.to_json``).
 
         Pass either a :class:`DistanceMatrix` or ``phylip=`` text.  With
         ``wait=False`` the record comes back immediately in ``pending``
-        state; poll it with :meth:`job`.
+        state; poll it with :meth:`job`.  ``trace_id`` is sent as the
+        ``X-Trace-Id`` header; the server honours it (when sane) and
+        stamps it on every event the request causes.
         """
         if (matrix is None) == (phylip is None):
             raise ValueError("provide exactly one of matrix or phylip")
@@ -120,7 +127,8 @@ class ServiceClient:
             body["wait_seconds"] = wait_seconds
         if timeout is not None:
             body["timeout"] = timeout
-        return self._request("POST", "/solve", body)
+        headers = {"X-Trace-Id": trace_id} if trace_id else None
+        return self._request("POST", "/solve", body, headers)
 
     def job(self, job_id: str) -> dict:
         """``GET /jobs/<id>``."""
@@ -133,3 +141,11 @@ class ServiceClient:
     def stats(self) -> dict:
         """``GET /stats``."""
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` -- the Prometheus text exposition, verbatim."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics", method="GET"
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")

@@ -56,6 +56,7 @@ class Job:
         method: str,
         options: Dict[str, object],
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.id = job_id
         self.key = key
@@ -63,6 +64,7 @@ class Job:
         self.method = method
         self.options = options
         self.timeout = timeout
+        self.trace_id = trace_id
         self.state = JobState.PENDING
         self.payload: Optional[dict] = None
         self.error: Optional[str] = None
@@ -163,6 +165,7 @@ class Job:
             "method": self.method,
             "n_species": self.matrix.n,
             "cache": self.cache_status,
+            "trace_id": self.trace_id,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,

@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import queue as _queue
 import threading
+import time
 from typing import Callable, Dict, List, Optional
 
 from repro.matrix.distance_matrix import DistanceMatrix
-from repro.obs.recorder import NullRecorder, as_recorder
+from repro.obs.metrics import MetricsRegistry, as_metrics
+from repro.obs.recorder import NullRecorder, as_recorder, trace_context
 from repro.service.cache import ResultCache, cache_key
 from repro.service.errors import QueueFull, SchedulerClosed
 from repro.service.jobs import Job, JobState
@@ -92,6 +94,13 @@ class Scheduler:
     recorder:
         Shared :class:`repro.obs.Recorder` for spans and counters
         (defaults to the no-op recorder).
+    metrics:
+        :class:`repro.obs.metrics.MetricsRegistry` for the always-on
+        aggregates -- ``service.job.seconds`` latency histogram,
+        ``service.queue.depth`` / ``service.inflight`` gauges (computed
+        at scrape time), cache and queue counters.  Defaults to the
+        process-wide registry, so metrics are live even when tracing is
+        off; pass :data:`repro.obs.metrics.NULL_METRICS` to disable.
     default_timeout:
         Deadline in seconds applied to jobs submitted without their own
         ``timeout``.  ``None`` means no deadline.
@@ -111,6 +120,7 @@ class Scheduler:
         queue_size: int = 64,
         cache: Optional[ResultCache] = None,
         recorder: Optional[NullRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
         default_timeout: Optional[float] = None,
         runner: Optional[Callable] = None,
         max_jobs_retained: int = 1024,
@@ -121,6 +131,7 @@ class Scheduler:
             raise ValueError(f"queue size must be >= 1, got {queue_size}")
         self.cache = cache if cache is not None else ResultCache()
         self.recorder = as_recorder(recorder)
+        self.metrics = as_metrics(metrics)
         self.default_timeout = default_timeout
         self.queue_size = queue_size
         self._runner = runner or solve_payload
@@ -142,6 +153,40 @@ class Scheduler:
             "rejected": 0,
             "deduped": 0,
         }
+        m = self.metrics
+        self._m_job_seconds = m.histogram(
+            "service.job.seconds",
+            "End-to-end job execution latency, per method and cache outcome.",
+            labelnames=("method", "cache"),
+        )
+        self._m_cache_hit = m.counter(
+            "cache.hit", "Content-addressed result-cache hits."
+        )
+        self._m_cache_miss = m.counter(
+            "cache.miss", "Content-addressed result-cache misses."
+        )
+        self._m_rejected = m.counter(
+            "queue.rejected", "Submissions shed by queue admission control."
+        )
+        self._m_deduped = m.counter(
+            "queue.deduped", "Submissions merged into an in-flight job."
+        )
+        self._m_jobs = m.counter(
+            "service.jobs", "Jobs settled, by terminal state.",
+            labelnames=("state",),
+        )
+        # Scrape-time gauges can never go stale; the last-constructed
+        # scheduler on a shared registry owns them, which matches the
+        # one-scheduler-per-process serving reality.
+        m.gauge(
+            "service.queue.depth", "Jobs queued but not yet running."
+        ).set_function(self._queue.qsize)
+        m.gauge(
+            "service.inflight", "Jobs queued or running (dedup map size)."
+        ).set_function(lambda: len(self._inflight))
+        m.gauge(
+            "service.workers", "Worker threads serving the job queue."
+        ).set_function(lambda: len(self._workers))
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -163,6 +208,7 @@ class Scheduler:
         options: Optional[dict] = None,
         *,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Job:
         """Queue one construction; returns a :class:`Job` handle.
 
@@ -170,7 +216,8 @@ class Scheduler:
         :class:`QueueFull` when the bounded queue is saturated.  A
         submission identical (same cache key) to a queued or running job
         returns that job -- note the shared job keeps the *first*
-        submission's deadline.
+        submission's deadline and the first submission's ``trace_id``
+        (the events it causes can only carry one id).
         """
         options = dict(options or {})
         key = cache_key(matrix, method, options)
@@ -183,9 +230,11 @@ class Scheduler:
             if existing is not None and not existing.done:
                 self._stats["deduped"] += 1
                 self.recorder.counter("queue.deduped", key=key[:12])
+                self._m_deduped.inc()
                 return existing
             job = Job(
-                f"job-{self._next_job}", key, matrix, method, options, timeout
+                f"job-{self._next_job}", key, matrix, method, options,
+                timeout, trace_id,
             )
             self._next_job += 1
             try:
@@ -193,6 +242,7 @@ class Scheduler:
             except _queue.Full:
                 self._stats["rejected"] += 1
                 self.recorder.counter("queue.rejected", key=key[:12])
+                self._m_rejected.inc()
                 raise QueueFull(self.queue_size) from None
             self._stats["submitted"] += 1
             self._jobs[job.id] = job
@@ -248,8 +298,10 @@ class Scheduler:
             # Cancelled (or otherwise finished) while queued.
             self._settle(job, "cancelled")
             return
+        cache_status = "error"
+        t0 = time.perf_counter()
         try:
-            with rec.span(
+            with trace_context(job.trace_id), rec.span(
                 "service.job",
                 job=job.id,
                 method=job.method,
@@ -260,20 +312,24 @@ class Scheduler:
                 if payload is not None:
                     cache_status = "hit"
                     rec.counter("cache.hit", key=job.key[:12])
+                    self._m_cache_hit.inc()
                 else:
                     cache_status = "miss"
                     rec.counter("cache.miss", key=job.key[:12])
+                    self._m_cache_miss.inc()
                     payload = self._runner(
                         job.matrix, job.method, job.options, rec
                     )
                     self.cache.put(job.key, payload)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             rec.counter("job.failed", job=job.id)
+            self._observe_job(job, "error", t0)
             job._finish(
                 JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
             )
             self._settle(job, "failed")
             return
+        self._observe_job(job, cache_status, t0)
         if job._expired():
             # The result is cached for future callers, but this caller's
             # deadline has passed; report the timeout honestly.
@@ -287,8 +343,14 @@ class Scheduler:
         job._finish(JobState.DONE, payload=payload, cache_status=cache_status)
         self._settle(job, "completed")
 
+    def _observe_job(self, job: Job, cache_status: str, t0: float) -> None:
+        self._m_job_seconds.observe(
+            time.perf_counter() - t0, method=job.method, cache=cache_status
+        )
+
     def _settle(self, job: Job, stat: str) -> None:
         """Post-terminal bookkeeping: statistics, dedup map, retention."""
+        self._m_jobs.inc(state=stat)
         with self._lock:
             self._stats[stat] += 1
             if self._inflight.get(job.key) is job:
@@ -313,6 +375,7 @@ class Scheduler:
                 closed=self._closed,
             )
         snapshot["cache"] = self.cache.stats()
+        snapshot["metrics"] = self.metrics.snapshot()
         return snapshot
 
     @property

@@ -6,7 +6,8 @@ framework, per the repository's no-new-dependencies rule.  Endpoints::
     POST /solve      submit a matrix; waits for the result by default
     GET  /jobs/<id>  poll a job submitted with {"wait": false}
     GET  /healthz    liveness + version (503 once draining)
-    GET  /stats      scheduler, queue and cache statistics
+    GET  /stats      scheduler, queue, cache and metrics statistics
+    GET  /metrics    Prometheus text exposition of the live registry
 
 ``POST /solve`` accepts a JSON body with either ``"phylip"`` (the PHYLIP
 square text) or ``"matrix"`` (a list of rows, or ``{"values": ...,
@@ -15,16 +16,24 @@ square text) or ``"matrix"`` (a list of rows, or ``{"values": ...,
 ``"wait_seconds"`` (response-wait budget).  Errors come back as
 ``{"error": <code>, "detail": <message>}`` with the status of the typed
 :class:`~repro.service.errors.ServiceError` they correspond to.
+
+Trace correlation: every request gets a ``trace_id`` -- the inbound
+``X-Trace-Id`` header when it looks sane, a fresh id otherwise -- which
+is returned in the ``X-Trace-Id`` response header and the job record,
+and stamped on every span/counter the job causes (down to ``mp.worker``
+spans in worker processes; see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import io
 import json
+import re
 import signal
 import sys
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -39,6 +48,22 @@ from repro.service.jobs import JobState
 from repro.service.scheduler import Scheduler
 
 __all__ = ["ServiceServer", "serve"]
+
+#: Inbound ``X-Trace-Id`` values must match this to be honoured;
+#: anything else (empty, huge, control characters) gets a fresh id.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request correlation id."""
+    return uuid.uuid4().hex[:16]
+
+
+def resolve_trace_id(header_value: Optional[str]) -> str:
+    """Honour a sane inbound ``X-Trace-Id``; otherwise mint one."""
+    if header_value and _TRACE_ID_RE.match(header_value):
+        return header_value
+    return new_trace_id()
 
 #: Default budget a synchronous ``POST /solve`` waits for its job.
 DEFAULT_WAIT_SECONDS = 30.0
@@ -95,10 +120,24 @@ class _Handler(BaseHTTPRequestHandler):
                 f"[{self.address_string()}] {format % args}\n"
             )
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, trace_id: Optional[str] = None
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(
+        self, status: int, text: str, content_type: str = "text/plain"
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -150,13 +189,22 @@ class _Handler(BaseHTTPRequestHandler):
                 stats["version"] = _version()
                 stats["uptime_seconds"] = time.time() - service.started_at
                 self._send_json(200, stats)
+            elif path == "/metrics":
+                self._send_text(
+                    200,
+                    service.scheduler.metrics.render_prometheus(),
+                    content_type=(
+                        "text/plain; version=0.0.4; charset=utf-8"
+                    ),
+                )
             elif path.startswith("/jobs/"):
                 job_id = path[len("/jobs/"):]
                 job = service.scheduler.job(job_id)
                 if job is None:
                     raise JobNotFound(job_id)
                 self._send_json(
-                    _STATE_STATUS.get(job.state, 200), job.to_json()
+                    _STATE_STATUS.get(job.state, 200), job.to_json(),
+                    trace_id=job.trace_id,
                 )
             else:
                 raise JobNotFound(path)
@@ -166,6 +214,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _solve(self) -> None:
         service = self.server.service
+        trace_id = resolve_trace_id(self.headers.get("X-Trace-Id"))
         body = self._read_body()
         matrix = _matrix_from_request(body)
         method = body.get("method", service.default_method)
@@ -176,16 +225,22 @@ class _Handler(BaseHTTPRequestHandler):
         job = service.scheduler.submit(
             matrix, method, options,
             timeout=float(timeout) if timeout is not None else None,
+            trace_id=trace_id,
         )
         wait = body.get("wait", True)
         if wait:
             budget = float(body.get("wait_seconds", service.wait_seconds))
             job.wait(budget)
         record = job.to_json()
+        # A deduplicated submission shares the first caller's job -- and
+        # therefore the first caller's trace id; echo the job's.
         if job.done:
-            self._send_json(_STATE_STATUS.get(job.state, 200), record)
+            self._send_json(
+                _STATE_STATUS.get(job.state, 200), record,
+                trace_id=job.trace_id,
+            )
         else:
-            self._send_json(202, record)
+            self._send_json(202, record, trace_id=job.trace_id)
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -271,20 +326,41 @@ def serve(
     default_method: str = "compact",
     default_timeout: Optional[float] = None,
     trace_out: Optional[str] = None,
+    trace_max_mb: Optional[float] = None,
+    trace_ring: int = 4096,
     verbose: bool = False,
     ready_line: bool = True,
 ) -> int:
     """Blocking server loop with SIGTERM/SIGINT graceful drain.
 
+    Metrics are always on: the scheduler records into the process-wide
+    registry, served at ``GET /metrics`` (Prometheus text) and inside
+    ``GET /stats`` (JSON) whether or not tracing is enabled.
+
+    Tracing (``--trace-out``) streams: every closed span/counter is
+    appended to the JSONL file as it happens (so a crash loses at most
+    one torn final line), memory holds only the most recent
+    ``trace_ring`` events, and ``--trace-max-mb`` rotates the file in
+    place (previous generation kept as ``<name>.1``) -- the server can
+    trace indefinitely in bounded memory and bounded disk.
+
     On the first signal the server stops accepting, drains queued and
-    running jobs, writes the trace file (when ``--trace-out`` was
-    given), and exits 0.  The "listening on ..." line goes to stdout so
-    wrappers (tests, CI smoke) can scrape the bound port.
+    running jobs, closes the trace sink, and exits 0.  The "listening
+    on ..." line goes to stdout so wrappers (tests, CI smoke) can scrape
+    the bound port.
     """
-    from repro.obs.recorder import Recorder
+    from repro.obs.streaming import StreamingRecorder
     from repro.service.cache import ResultCache
 
-    recorder = Recorder() if trace_out else None
+    recorder = None
+    if trace_out:
+        recorder = StreamingRecorder(
+            trace_out,
+            max_events=trace_ring,
+            max_bytes=(
+                int(trace_max_mb * 1024 * 1024) if trace_max_mb else None
+            ),
+        )
     scheduler = Scheduler(
         workers=workers,
         queue_size=queue_size,
@@ -322,10 +398,15 @@ def serve(
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
-    if recorder is not None and trace_out:
-        recorder.write_jsonl(trace_out)
+    if recorder is not None:
+        recorder.close()
+        rotated = (
+            f" ({recorder.rotations} rotation(s))" if recorder.rotations
+            else ""
+        )
         print(
-            f"wrote {len(recorder.events)} trace event(s) to {trace_out}",
+            f"streamed {recorder.events_streamed} trace event(s) to "
+            f"{trace_out}{rotated}",
             file=sys.stderr,
         )
     print("drained; bye", file=sys.stderr, flush=True)

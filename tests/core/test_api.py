@@ -71,3 +71,45 @@ class TestConstructTree:
         matrix = random_metric_matrix(5, seed=9)
         with pytest.raises(ValueError, match="unknown method"):
             construct_tree(matrix, "magic")
+
+
+class TestConstructTreeMetrics:
+    def test_solve_latency_recorded_per_method(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        matrix = clustered_matrix([3, 3], seed=10)
+        construct_tree(matrix, "upgmm", metrics=registry)
+        construct_tree(matrix, "upgmm", metrics=registry)
+        construct_tree(matrix, "compact", metrics=registry)
+        hist = registry.histogram("solve.seconds", labelnames=("method",))
+        assert hist.count(method="upgmm") == 2
+        assert hist.count(method="compact") == 1
+        assert hist.sum(method="upgmm") > 0
+
+    def test_default_registry_used_when_omitted(self):
+        from repro.obs.metrics import REGISTRY
+
+        matrix = clustered_matrix([3, 3], seed=11)
+        hist = REGISTRY.histogram("solve.seconds", labelnames=("method",))
+        before = hist.count(method="upgmm")
+        construct_tree(matrix, "upgmm")
+        assert hist.count(method="upgmm") == before + 1
+
+    def test_invalid_method_not_timed(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        matrix = random_metric_matrix(5, seed=12)
+        with pytest.raises(ValueError, match="unknown method"):
+            construct_tree(matrix, "magic", metrics=registry)
+        assert registry.snapshot() == {}
+
+    def test_multiprocess_method_matches_bnb(self):
+        matrix = random_metric_matrix(8, seed=13)
+        bnb = construct_tree(matrix, "bnb")
+        mp = construct_tree(
+            matrix, "multiprocess", cluster=ClusterConfig(n_workers=2)
+        )
+        assert mp.cost == pytest.approx(bnb.cost)
+        assert mp.details.n_workers == 2

@@ -60,3 +60,20 @@ class TestConstructTreeCached:
             square5, "compact", cache=cache, reduction="minimum"
         )
         assert len(cache) == 2
+
+    def test_metrics_counters_track_hits_and_misses(self, square5):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ResultCache()
+        construct_tree_cached(
+            square5, "compact", cache=cache, metrics=registry
+        )
+        construct_tree_cached(
+            square5, "compact", cache=cache, metrics=registry
+        )
+        assert registry.counter("cache.miss").value() == 1
+        assert registry.counter("cache.hit").value() == 1
+        # The miss also timed the underlying solve.
+        hist = registry.histogram("solve.seconds", labelnames=("method",))
+        assert hist.count(method="compact") == 1

@@ -1,0 +1,176 @@
+"""Tests for the streaming trace sink (`repro.obs.streaming`)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CounterEvent,
+    SpanEvent,
+    StreamingRecorder,
+    read_jsonl,
+)
+
+
+def fake_clock():
+    """Deterministic strictly increasing clock."""
+    t = [0.0]
+
+    def tick():
+        t[0] += 1.0
+        return t[0]
+
+    return tick
+
+
+@pytest.fixture
+def sink(tmp_path):
+    return tmp_path / "trace.jsonl"
+
+
+class TestIncrementalFlush:
+    def test_event_hits_the_file_before_close(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock())
+        with rec.span("work", n=3):
+            pass
+        rec.counter("hits", 2)
+        # No flush/close: line buffering already pushed whole lines out.
+        events = read_jsonl(sink)
+        assert [type(e) for e in events] == [SpanEvent, CounterEvent]
+        assert events[0].name == "work"
+        assert events[1].value == 2
+        rec.close()
+
+    def test_meta_line_first(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock())
+        rec.counter("x")
+        first = sink.read_text().splitlines()[0]
+        assert json.loads(first) == {"event": "meta", "schema": 1}
+        rec.close()
+
+    def test_file_order_matches_memory_order(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock())
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+            rec.counter("c")
+        rec.close()
+        from_file = read_jsonl(sink)
+        assert [e.to_json() for e in from_file] == [
+            e.to_json() for e in rec.events
+        ]
+
+
+class TestRingBuffer:
+    def test_ring_keeps_most_recent(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock(), max_events=4)
+        for i in range(10):
+            rec.counter("tick", i)
+        assert len(rec.events) == 4
+        assert [e.value for e in rec.counters("tick")] == [6, 7, 8, 9]
+        assert rec.events_streamed == 10
+        # The file still has all ten.
+        rec.close()
+        assert len(read_jsonl(sink)) == 10
+
+    def test_max_events_validated(self, sink):
+        with pytest.raises(ValueError, match="max_events"):
+            StreamingRecorder(sink, max_events=0)
+
+    def test_memory_stays_bounded_over_many_events(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock(), max_events=64)
+        for _ in range(5000):
+            rec.counter("n")
+        assert len(rec._events) == 64
+        assert rec.events_streamed == 5000
+        rec.close()
+
+
+class TestRotation:
+    def test_max_bytes_validated(self, sink):
+        with pytest.raises(ValueError, match="max_bytes"):
+            StreamingRecorder(sink, max_bytes=100)
+
+    def test_rotation_produces_previous_generation(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock(), max_bytes=1024)
+        while rec.rotations == 0:
+            rec.counter("fill", attrs_pad="x" * 80)
+        rec.counter("after-rotate")
+        rec.close()
+        rotated = sink.with_name(sink.name + ".1")
+        assert rotated.exists()
+        # Each generation is independently a valid schema-v1 trace.
+        old = read_jsonl(rotated)
+        new = read_jsonl(sink)
+        assert old.warning is None and new.warning is None
+        names = [e.name for e in new]
+        assert "after-rotate" in names
+        # Nothing was lost across the boundary.
+        total = rec.events_streamed
+        assert len(old) + len(new) == total
+        assert sink.stat().st_size <= 1024
+
+    def test_second_rotation_replaces_first_generation(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock(), max_bytes=1024)
+        while rec.rotations < 2:
+            rec.counter("fill", attrs_pad="y" * 80)
+        rec.close()
+        generations = sorted(
+            p.name for p in sink.parent.iterdir() if p.name.startswith(sink.name)
+        )
+        # Exactly two files ever: live + one previous generation.
+        assert generations == [sink.name, sink.name + ".1"]
+
+    def test_concatenated_generations_read_back(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock(), max_bytes=1024)
+        while rec.rotations == 0:
+            rec.counter("fill", attrs_pad="z" * 80)
+        rec.close()
+        rotated = sink.with_name(sink.name + ".1")
+        merged = sink.parent / "merged.jsonl"
+        merged.write_text(rotated.read_text() + sink.read_text())
+        events = read_jsonl(merged)
+        assert len(events) == rec.events_streamed
+        assert events.warning is not None
+        assert "repeated meta" in events.warning
+
+    def test_no_rotation_without_max_bytes(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock())
+        for _ in range(200):
+            rec.counter("fill", attrs_pad="w" * 80)
+        rec.close()
+        assert rec.rotations == 0
+        assert not sink.with_name(sink.name + ".1").exists()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock())
+        rec.close()
+        rec.close()
+        assert rec.closed
+
+    def test_events_after_close_stay_in_ring_only(self, sink):
+        rec = StreamingRecorder(sink, clock=fake_clock())
+        rec.counter("before")
+        rec.close()
+        rec.counter("after")
+        assert [e.name for e in rec.counters()] == ["before", "after"]
+        assert [e.name for e in read_jsonl(sink)] == ["before"]
+
+    def test_context_manager_closes(self, sink):
+        with StreamingRecorder(sink, clock=fake_clock()) as rec:
+            rec.counter("x")
+        assert rec.closed
+
+    def test_write_jsonl_exports_ring_snapshot(self, sink, tmp_path):
+        rec = StreamingRecorder(sink, clock=fake_clock(), max_events=3)
+        for i in range(6):
+            rec.counter("tick", i)
+        out = tmp_path / "snapshot.jsonl"
+        rec.write_jsonl(out)
+        rec.close()
+        snap = read_jsonl(out)
+        assert [e.value for e in snap] == [3, 4, 5]
+        # Atomic export left no temp litter behind.
+        assert [p.name for p in tmp_path.iterdir() if p.name.startswith(".")] == []

@@ -1,0 +1,153 @@
+"""Ambient trace-id propagation and trace filtering."""
+
+import itertools
+import threading
+
+from repro.obs import (
+    Recorder,
+    current_trace_id,
+    filter_by_trace_id,
+    trace_context,
+)
+
+
+def make_recorder():
+    clock = itertools.count().__next__
+    return Recorder(clock=lambda: float(clock()))
+
+
+class TestTraceContext:
+    def test_spans_and_counters_are_stamped(self):
+        rec = make_recorder()
+        with trace_context("req-1"):
+            with rec.span("work"):
+                rec.counter("hits")
+            rec.add_span("external", 0.0, 1.0)
+        for event in rec.events:
+            assert event.attrs["trace_id"] == "req-1"
+
+    def test_no_context_means_no_stamp(self):
+        rec = make_recorder()
+        with rec.span("work"):
+            rec.counter("hits")
+        for event in rec.events:
+            assert "trace_id" not in event.attrs
+
+    def test_explicit_attr_wins_over_ambient(self):
+        rec = make_recorder()
+        with trace_context("ambient"):
+            rec.add_span("w", 0.0, 1.0, trace_id="explicit")
+        assert rec.spans()[0].attrs["trace_id"] == "explicit"
+
+    def test_none_is_a_no_op(self):
+        with trace_context("outer"):
+            with trace_context(None):
+                assert current_trace_id() == "outer"
+
+    def test_nesting_restores_previous_id(self):
+        assert current_trace_id() is None
+        with trace_context("a"):
+            assert current_trace_id() == "a"
+            with trace_context("b"):
+                assert current_trace_id() == "b"
+            assert current_trace_id() == "a"
+        assert current_trace_id() is None
+
+    def test_context_is_per_thread(self):
+        seen = {}
+
+        def work(tag):
+            with trace_context(tag):
+                seen[tag] = current_trace_id()
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+        ]
+        with trace_context("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert current_trace_id() == "main"
+        assert seen == {f"t{i}": f"t{i}" for i in range(4)}
+
+    def test_restores_even_on_exception(self):
+        try:
+            with trace_context("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace_id() is None
+
+
+class TestFilterByTraceId:
+    def test_keeps_only_the_requested_trace(self):
+        rec = make_recorder()
+        with trace_context("a"):
+            with rec.span("job-a"):
+                rec.counter("hits")
+        with trace_context("b"):
+            with rec.span("job-b"):
+                pass
+        kept = filter_by_trace_id(rec.events, "a")
+        assert [e.name for e in kept] == ["hits", "job-a"]
+
+    def test_descendants_of_stamped_span_are_included(self):
+        # A child whose attrs lack the id but whose parent chain reaches
+        # the stamped root span still belongs to the trace.
+        rec2 = make_recorder()
+        with rec2.span("root", trace_id="a"):
+            with trace_context(None):
+                with rec2.span("child"):
+                    rec2.counter("c")
+        kept = filter_by_trace_id(rec2.events, "a")
+        assert {e.name for e in kept} == {"root", "child", "c"}
+
+    def test_counters_attached_to_trace_spans_are_kept(self):
+        rec = make_recorder()
+        with rec.span("root", trace_id="a"):
+            rec.counter("inside")
+        rec.counter("outside")
+        kept = filter_by_trace_id(rec.events, "a")
+        assert {e.name for e in kept} == {"root", "inside"}
+
+    def test_no_match_returns_empty(self):
+        rec = make_recorder()
+        with rec.span("x", trace_id="a"):
+            pass
+        assert filter_by_trace_id(rec.events, "nope") == []
+
+    def test_order_preserved(self):
+        rec = make_recorder()
+        with trace_context("a"):
+            with rec.span("s1"):
+                pass
+            rec.counter("c1")
+            with rec.span("s2"):
+                pass
+        kept = filter_by_trace_id(rec.events, "a")
+        assert [e.name for e in kept] == ["s1", "c1", "s2"]
+
+
+class TestAtomicWriteJsonl:
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        rec = make_recorder()
+        with rec.span("w"):
+            pass
+        out = tmp_path / "trace.jsonl"
+        rec.write_jsonl(out)
+        rec.write_jsonl(out)  # overwrite is fine too
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+
+    def test_written_trace_reads_back(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        rec = make_recorder()
+        with trace_context("r"):
+            with rec.span("w", n=2):
+                rec.counter("c", 3)
+        out = tmp_path / "trace.jsonl"
+        rec.write_jsonl(out)
+        events = read_jsonl(out)
+        assert len(events) == 2
+        assert all(e.attrs["trace_id"] == "r" for e in events)

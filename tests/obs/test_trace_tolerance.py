@@ -62,6 +62,42 @@ class TestTruncatedFinalLine:
         assert events.warning is None
 
 
+class TestRepeatedMeta:
+    def test_concatenated_traces_read_with_warning(self, tmp_path):
+        text = make_trace_text()
+        path = tmp_path / "trace.jsonl"
+        path.write_text(text + text)  # cat a.jsonl b.jsonl
+        events = read_jsonl(path)
+        assert len(events) == 6
+        assert events.warning is not None
+        assert "repeated meta" in events.warning
+
+    def test_repeated_meta_is_still_schema_validated(self, tmp_path):
+        text = make_trace_text()
+        path = tmp_path / "trace.jsonl"
+        path.write_text(text + '{"event": "meta", "schema": 99}\n')
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            read_jsonl(path)
+
+    def test_three_generations(self, tmp_path):
+        text = make_trace_text()
+        path = tmp_path / "trace.jsonl"
+        path.write_text(text * 3)
+        events = read_jsonl(path)
+        assert len(events) == 9
+        assert events.warning.count("repeated meta") == 2
+
+    def test_truncation_and_repeated_meta_warnings_combine(self, tmp_path):
+        text = make_trace_text()
+        doubled = (text + text).rstrip("\n")
+        path = tmp_path / "trace.jsonl"
+        path.write_text(doubled[:-17])  # cut the final record mid-way
+        events = read_jsonl(path)
+        assert "repeated meta" in events.warning
+        assert "truncated" in events.warning
+        assert len(events) == 5
+
+
 class TestThreadedRecorder:
     def test_span_stacks_are_thread_local(self):
         rec = Recorder()

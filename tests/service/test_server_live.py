@@ -125,6 +125,73 @@ def test_live_concurrent_load_warm_cache_and_sigterm_drain(live_server):
     assert misses >= 1
 
 
+def test_live_metrics_under_concurrent_load_and_trace_ids(live_server):
+    proc, client, trace_path = live_server
+    n_solvers = 8
+
+    # Distinct matrices so nothing dedupes: one job (and one trace id)
+    # per request.
+    matrices = [clustered_matrix([3, 3], seed=100 + i) for i in range(n_solvers)]
+    outcomes = [None] * n_solvers
+    scrapes = []
+    stop_scraping = threading.Event()
+    barrier = threading.Barrier(n_solvers + 2)
+
+    def solve(slot: int) -> None:
+        barrier.wait(30.0)
+        outcomes[slot] = client.solve(
+            matrices[slot],
+            method="compact",
+            wait_seconds=60.0,
+            trace_id=f"live-{slot}",
+        )
+
+    def scrape() -> None:
+        barrier.wait(30.0)
+        while not stop_scraping.is_set():
+            scrapes.append(client.metrics())
+
+    solvers = [
+        threading.Thread(target=solve, args=(i,)) for i in range(n_solvers)
+    ]
+    scrapers = [threading.Thread(target=scrape) for _ in range(2)]
+    for t in solvers + scrapers:
+        t.start()
+    for t in solvers:
+        t.join(120.0)
+    stop_scraping.set()
+    for t in scrapers:
+        t.join(30.0)
+
+    # Every request completed and echoed its trace id.
+    for slot, record in enumerate(outcomes):
+        assert record["state"] == "done"
+        assert record["trace_id"] == f"live-{slot}"
+
+    # Scraping raced the solves without ever breaking the exposition.
+    assert scrapes
+    for text in scrapes:
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or " " in line.strip()
+    final = client.metrics()
+    assert "service_job_seconds_bucket" in final
+    assert "cache_miss_total" in final
+    assert "service_queue_depth" in final
+
+    # The exported trace carries every request's id end to end.
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0
+    stderr = proc.stderr.read()
+    assert "streamed" in stderr and "trace event(s)" in stderr
+    events = read_jsonl(trace_path)
+    job_spans = [
+        e for e in events
+        if not isinstance(e, CounterEvent) and e.name == "service.job"
+    ]
+    seen_ids = {s.attrs.get("trace_id") for s in job_spans}
+    assert {f"live-{i}" for i in range(n_solvers)} <= seen_ids
+
+
 def test_live_phylip_solve_and_version(live_server):
     proc, client, _ = live_server
     import io

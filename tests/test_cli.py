@@ -395,3 +395,58 @@ class TestServeParser:
         assert args.queue_size == 64
         assert args.cache_size == 256
         assert args.cache_dir is None
+
+
+class TestProfileTraceId:
+    @pytest.fixture
+    def two_trace_file(self, tmp_path):
+        """A trace holding two requests' worth of stamped spans."""
+        import itertools
+
+        from repro.obs import Recorder, trace_context
+
+        clock = itertools.count().__next__
+        rec = Recorder(clock=lambda: float(clock()))
+        with trace_context("req-a"):
+            with rec.span("job.a"):
+                rec.counter("hits")
+        with trace_context("req-b"):
+            with rec.span("job.b"):
+                pass
+        trace = tmp_path / "two.jsonl"
+        rec.write_jsonl(trace)
+        return trace
+
+    def test_filters_to_one_request(self, two_trace_file, capsys):
+        assert main([
+            "profile", str(two_trace_file), "--trace-id", "req-a"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace_id: req-a" in out
+        assert "job.a" in out
+        assert "job.b" not in out
+
+    def test_unmatched_id_reports_cleanly(self, two_trace_file, capsys):
+        assert main([
+            "profile", str(two_trace_file), "--trace-id", "nope"
+        ]) == 0
+        assert "no events with trace_id" in capsys.readouterr().out
+
+    def test_trace_id_requires_trace_input(self, matrix_file):
+        with pytest.raises(SystemExit, match="--trace-id"):
+            main(["profile", matrix_file, "--trace-id", "x"])
+
+
+class TestServeTraceArgs:
+    def test_streaming_args_registered(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.trace_max_mb is None
+        assert args.trace_ring == 4096
+        args = build_parser().parse_args([
+            "serve", "--trace-out", "t.jsonl",
+            "--trace-max-mb", "64", "--trace-ring", "512",
+        ])
+        assert args.trace_max_mb == 64.0
+        assert args.trace_ring == 512
