@@ -23,6 +23,10 @@ this CLI is that surface.  Examples::
     repro-mut validate matrix.phy --method compact
     repro-mut compare tree_a.nwk tree_b.nwk
 
+    # cross-engine verification and seeded fuzzing (docs/verification.md)
+    repro-mut verify matrix.phy
+    repro-mut fuzz --seed 0 --budget 200 --corpus corpus
+
     # run the serving layer (see docs/service.md)
     repro-mut serve --port 8533 --workers 4 --cache-dir .repro-cache
 """
@@ -149,6 +153,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--distance", choices=("p", "p-count", "jukes-cantor", "edit"),
         default="p-count", help="pairwise distance (default: p-count)",
     )
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential + metamorphic verification of a matrix "
+             "(exit 0 clean, 1 violations, 2 usage error)",
+    )
+    verify.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
+    verify.add_argument(
+        "--methods", default=None,
+        help="comma-separated construction methods to cross-check "
+             "(default: bnb,parallel-bnb,multiprocess,compact,upgmm)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the metamorphic transformations (default: 0)",
+    )
+    verify.add_argument(
+        "--skip-metamorphic", action="store_true",
+        help="run only the oracles and the differential cross-checks",
+    )
+    verify.add_argument("--json", action="store_true",
+                        help="emit the full machine-readable report")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded fuzzing over matrix families with corpus shrinking "
+             "(exit 0 clean, 1 failures, 2 usage error)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; the whole campaign is "
+                           "deterministic given it (default: 0)")
+    fuzz.add_argument("--budget", type=int, default=100,
+                      help="number of verification cases (default: 100)")
+    fuzz.add_argument(
+        "--methods", default=None,
+        help="comma-separated methods to cross-check per case "
+             "(default: bnb,parallel-bnb,multiprocess,compact,upgmm)",
+    )
+    fuzz.add_argument("--corpus", default="corpus",
+                      help="directory for shrunk failing matrices "
+                           "(created on demand; default: corpus)")
+    fuzz.add_argument("--min-species", type=int, default=4)
+    fuzz.add_argument("--max-species", type=int, default=9,
+                      help="largest matrix size to draw (default: 9; the "
+                           "exact engines are exponential)")
+    fuzz.add_argument("--max-failures", type=int, default=5,
+                      help="stop the campaign after this many distinct "
+                           "failures (default: 5)")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the full machine-readable report")
 
     render = sub.add_parser("render", help="draw a constructed tree as ASCII")
     render.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
@@ -420,6 +474,140 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _usage_error(message: str) -> SystemExit:
+    """Exit code 2 (usage), matching argparse's own convention."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load_matrix_or_usage_error(path: str) -> DistanceMatrix:
+    """Like :func:`_load_matrix` but usage problems exit 2, not 1.
+
+    ``verify``/``fuzz`` reserve exit 1 for *verification failures* so CI
+    can tell "the engines are broken" from "the command line is broken".
+    """
+    file = Path(path)
+    if not file.exists():
+        raise _usage_error(f"no such matrix file: {path}")
+    try:
+        if file.suffix.lower() == ".csv":
+            return read_csv_matrix(file)
+        return read_phylip(file)
+    except (ValueError, OSError) as exc:
+        raise _usage_error(f"unreadable matrix file {path}: {exc}")
+
+
+def _parse_method_list(spec: Optional[str]) -> tuple:
+    from repro.verify.differential import DEFAULT_DIFFERENTIAL_METHODS
+
+    if spec is None:
+        return tuple(DEFAULT_DIFFERENTIAL_METHODS)
+    methods = tuple(m.strip() for m in spec.split(",") if m.strip())
+    if not methods:
+        raise _usage_error("--methods must name at least one method")
+    unknown = [m for m in methods if m not in METHODS]
+    if unknown:
+        raise _usage_error(
+            f"unknown methods {unknown}; choose from {METHODS}"
+        )
+    return methods
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import verify_matrix
+
+    methods = _parse_method_list(args.methods)
+    matrix = _load_matrix_or_usage_error(args.matrix)
+    violations = verify_matrix(
+        matrix,
+        methods,
+        seed=args.seed,
+        metamorphic=not args.skip_metamorphic,
+    )
+    if args.json:
+        print(json.dumps({
+            "matrix": args.matrix,
+            "n_species": matrix.n,
+            "methods": list(methods),
+            "seed": args.seed,
+            "ok": not violations,
+            "violations": [v.to_json() for v in violations],
+        }, indent=2))
+    else:
+        print(f"matrix : {args.matrix} ({matrix.n} species)")
+        print(f"methods: {', '.join(methods)}")
+        if not violations:
+            print("verdict: OK -- all oracles, differential and "
+                  "metamorphic checks passed")
+    if violations:
+        for violation in violations:
+            print(f"VIOLATION {violation}", file=sys.stderr)
+        print(
+            f"repro-mut verify: {len(violations)} violation(s); reproduce "
+            f"with: repro-mut verify {args.matrix} "
+            f"--methods {','.join(methods)} --seed {args.seed}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import run_fuzz
+
+    methods = _parse_method_list(args.methods)
+    if args.budget < 1:
+        raise _usage_error(f"--budget must be >= 1, got {args.budget}")
+    if not 3 <= args.min_species <= args.max_species:
+        raise _usage_error(
+            "need 3 <= --min-species <= --max-species, got "
+            f"{args.min_species}..{args.max_species}"
+        )
+
+    def progress(iteration: int, family: str) -> None:
+        if iteration and iteration % 50 == 0:
+            print(f"... case {iteration}/{args.budget}", file=sys.stderr)
+
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        methods=methods,
+        min_species=args.min_species,
+        max_species=args.max_species,
+        corpus_dir=args.corpus,
+        max_failures=args.max_failures,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(f"seed    : {report.seed}")
+        print(f"cases   : {report.cases_run}/{report.budget}")
+        print("families: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(report.families.items())
+        ))
+        print(f"verdict : {'OK' if report.ok else 'FAILURES FOUND'}")
+    if not report.ok:
+        for failure in report.failures:
+            print(
+                f"FUZZ FAILURE seed={report.seed} case={failure.iteration} "
+                f"family={failure.family} corpus={failure.corpus_path}",
+                file=sys.stderr,
+            )
+            for violation in failure.violations[:3]:
+                print(f"  {violation}", file=sys.stderr)
+            if failure.repro_command:
+                print(f"  reproduce: {failure.repro_command}", file=sys.stderr)
+        print(
+            f"repro-mut fuzz: {len(report.failures)} failing case(s); "
+            f"replay the campaign with: repro-mut fuzz --seed {report.seed} "
+            f"--budget {report.budget} --methods {','.join(methods)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from dataclasses import asdict
 
@@ -530,6 +718,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "distances": _cmd_distances,
         "render": _cmd_render,
         "validate": _cmd_validate,
+        "verify": _cmd_verify,
+        "fuzz": _cmd_fuzz,
         "inspect": _cmd_inspect,
         "compare": _cmd_compare,
         "bootstrap": _cmd_bootstrap,

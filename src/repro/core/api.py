@@ -62,12 +62,24 @@ class ConstructionResult:
     :class:`~repro.heuristics.nj.AdditiveTree`.  ``details`` holds the
     method-specific result object (``BBUResult``, ``CompactResult``,
     ``ParallelResult`` or ``None``) for callers who want the statistics.
+    ``verification`` is populated only by ``construct_tree(...,
+    verify=True)``: the list of :class:`repro.verify.oracles.Violation`
+    records the result oracles found (empty means the result checked
+    out; ``None`` means verification was not requested).
     """
 
     tree: Any
     cost: float
     method: str
     details: Any = None
+    verification: Optional[list] = None
+
+    @property
+    def verified_ok(self) -> Optional[bool]:
+        """True/False once verified; ``None`` when not verified."""
+        if self.verification is None:
+            return None
+        return not self.verification
 
 
 def construct_tree(
@@ -77,6 +89,7 @@ def construct_tree(
     cluster: Optional[ClusterConfig] = None,
     recorder: Optional[NullRecorder] = None,
     metrics: Optional[MetricsRegistry] = None,
+    verify: bool = False,
     **options,
 ) -> ConstructionResult:
     """Construct an evolutionary tree for ``matrix`` with ``method``.
@@ -86,6 +99,14 @@ def construct_tree(
     ``recorder`` threads a :class:`repro.obs.Recorder` through whichever
     engine runs; heuristic methods execute inside a single
     ``heuristic.<method>`` span.
+
+    With ``verify=True`` the result is checked by every verification
+    oracle (:mod:`repro.verify.oracles`: structure, feasibility, cost
+    consistency, Newick round trip, label preservation) before being
+    returned; violations land in ``result.verification`` (and on the
+    ``verify.violations`` metric) rather than raising, so callers decide
+    the failure policy.  ``"nj"`` results are additive, not ultrametric,
+    and skip verification.
 
     Every call -- whatever the method -- records its wall-clock latency
     into the ``solve.seconds`` histogram (labelled by method) on
@@ -101,13 +122,25 @@ def construct_tree(
 
     t0 = _time.perf_counter()
     try:
-        return _dispatch(matrix, method, cluster, recorder, options)
+        result = _dispatch(matrix, method, cluster, recorder, options)
     finally:
         registry.histogram(
             "solve.seconds",
             "Engine latency of construct_tree, per method.",
             labelnames=("method",),
         ).observe(_time.perf_counter() - t0, method=method)
+    if verify and method != "nj":
+        from repro.verify.oracles import run_oracles
+
+        result.verification = run_oracles(
+            result.tree,
+            matrix,
+            reported_cost=result.cost,
+            method=method,
+            recorder=recorder,
+            metrics=registry,
+        )
+    return result
 
 
 def _dispatch(

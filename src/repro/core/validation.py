@@ -19,13 +19,15 @@ from typing import List, Optional
 
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
-from repro.tree.checks import (
-    count_33_contradictions,
-    dominates_matrix,
-    is_valid_ultrametric_tree,
-)
+from repro.tree.checks import count_33_contradictions
 from repro.tree.compare import cophenetic_correlation
 from repro.tree.ultrametric import UltrametricTree
+from repro.verify.oracles import (
+    FeasibilityOracle,
+    StructureOracle,
+    VerificationContext,
+    Violation,
+)
 
 __all__ = ["TreeReport", "validate_tree"]
 
@@ -43,6 +45,9 @@ class TreeReport:
     cophenetic: float
     optimal_cost: Optional[float] = None
     problems: List[str] = field(default_factory=list)
+    #: The structured oracle findings behind ``problems`` (see
+    #: :mod:`repro.verify.oracles`); empty when the tree is clean.
+    violations: List[Violation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -96,17 +101,27 @@ def validate_tree(
 
     With ``compare_optimal`` and ``matrix.n <= optimal_limit`` the exact
     minimum is computed too (exponential -- hence the cap).
+
+    The structural and feasibility checks are delegated to the
+    verification oracles (:mod:`repro.verify.oracles`), so this report,
+    the differential harness, the fuzz loop and the serving layer's
+    ``verify: true`` all enforce the exact same invariants; the
+    structured findings are kept on ``report.violations``.
     """
     if set(tree.leaf_labels) != set(matrix.labels):
         raise ValueError("tree leaves and matrix labels differ")
 
     problems: List[str] = []
-    valid = is_valid_ultrametric_tree(tree)
+    ctx = VerificationContext(tree=tree, matrix=matrix)
+    structure_violations = StructureOracle()(ctx)
+    valid = not structure_violations
     if not valid:
         problems.append("tree is not a valid ultrametric tree")
-    feasible = dominates_matrix(tree, matrix)
+    feasibility_violations = FeasibilityOracle()(ctx)
+    feasible = not feasibility_violations
     if not feasible:
         problems.append("tree violates d_T >= M")
+    violations = structure_violations + feasibility_violations
 
     cost = tree.cost()
     upper = upgmm(matrix).cost()
@@ -131,5 +146,6 @@ def validate_tree(
         cophenetic=cophenetic_correlation(tree, matrix),
         optimal_cost=optimal_cost,
         problems=problems,
+        violations=violations,
     )
     return report

@@ -35,7 +35,9 @@ __all__ = ["CACHE_KEY_VERSION", "canonical_params", "cache_key", "ResultCache"]
 
 #: Bumped whenever the key derivation or payload layout changes, so a
 #: stale on-disk store from an older scheme can never serve wrong data.
-CACHE_KEY_VERSION = 1
+#: v2: payload Newick precision went 6 -> 12 decimals (the ``verify``
+#: cost oracle checks the reported cost against the reconstruction).
+CACHE_KEY_VERSION = 2
 
 
 def canonical_params(method: str, options: Optional[Mapping] = None) -> str:

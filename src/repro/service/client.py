@@ -100,6 +100,7 @@ class ServiceClient:
         wait_seconds: Optional[float] = None,
         timeout: Optional[float] = None,
         trace_id: Optional[str] = None,
+        verify: bool = False,
     ) -> dict:
         """``POST /solve``; returns the job record (see ``Job.to_json``).
 
@@ -107,7 +108,9 @@ class ServiceClient:
         ``wait=False`` the record comes back immediately in ``pending``
         state; poll it with :meth:`job`.  ``trace_id`` is sent as the
         ``X-Trace-Id`` header; the server honours it (when sane) and
-        stamps it on every event the request causes.
+        stamps it on every event the request causes.  ``verify=True``
+        asks the server to run the result oracles on the payload; their
+        findings come back under ``record["verification"]``.
         """
         if (matrix is None) == (phylip is None):
             raise ValueError("provide exactly one of matrix or phylip")
@@ -127,6 +130,8 @@ class ServiceClient:
             body["wait_seconds"] = wait_seconds
         if timeout is not None:
             body["timeout"] = timeout
+        if verify:
+            body["verify"] = True
         headers = {"X-Trace-Id": trace_id} if trace_id else None
         return self._request("POST", "/solve", body, headers)
 

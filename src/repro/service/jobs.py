@@ -57,6 +57,7 @@ class Job:
         options: Dict[str, object],
         timeout: Optional[float] = None,
         trace_id: Optional[str] = None,
+        verify: bool = False,
     ) -> None:
         self.id = job_id
         self.key = key
@@ -65,10 +66,14 @@ class Job:
         self.options = options
         self.timeout = timeout
         self.trace_id = trace_id
+        self.verify = verify
         self.state = JobState.PENDING
         self.payload: Optional[dict] = None
         self.error: Optional[str] = None
         self.cache_status: Optional[str] = None  # "hit" | "miss" once run
+        #: Oracle outcome when the job ran with ``verify``; see
+        #: ``Scheduler._verify_payload`` for the shape.
+        self.verification: Optional[dict] = None
         self.submitted_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -174,4 +179,6 @@ class Job:
             record["result"] = self.payload
         if self.error is not None:
             record["error"] = self.error
+        if self.verification is not None:
+            record["verification"] = self.verification
         return record

@@ -69,7 +69,10 @@ def solve_payload(
     if method == "nj":
         newick = result.tree.newick()
     else:
-        newick = to_newick(result.tree)
+        # 12 fixed decimals: the payload is what ``verify: true`` checks
+        # the reported cost against, so serialization must not round the
+        # reconstruction outside the cost oracle's 1e-9 tolerance.
+        newick = to_newick(result.tree, precision=12)
     return {
         "method": result.method,
         "n_species": matrix.n,
@@ -209,15 +212,19 @@ class Scheduler:
         *,
         timeout: Optional[float] = None,
         trace_id: Optional[str] = None,
+        verify: bool = False,
     ) -> Job:
         """Queue one construction; returns a :class:`Job` handle.
 
         Raises :class:`SchedulerClosed` after shutdown began and
         :class:`QueueFull` when the bounded queue is saturated.  A
-        submission identical (same cache key) to a queued or running job
-        returns that job -- note the shared job keeps the *first*
-        submission's deadline and the first submission's ``trace_id``
-        (the events it causes can only carry one id).
+        submission identical (same cache key *and* same ``verify``
+        flag) to a queued or running job returns that job -- note the
+        shared job keeps the *first* submission's deadline and the first
+        submission's ``trace_id`` (the events it causes can only carry
+        one id).  ``verify`` does not change the cache key (the solved
+        payload is identical either way); it only asks the worker to run
+        the result oracles on whatever the cache or engine produced.
         """
         options = dict(options or {})
         key = cache_key(matrix, method, options)
@@ -226,7 +233,7 @@ class Scheduler:
         with self._lock:
             if self._closed:
                 raise SchedulerClosed()
-            existing = self._inflight.get(key)
+            existing = self._inflight.get((key, verify))
             if existing is not None and not existing.done:
                 self._stats["deduped"] += 1
                 self.recorder.counter("queue.deduped", key=key[:12])
@@ -234,7 +241,7 @@ class Scheduler:
                 return existing
             job = Job(
                 f"job-{self._next_job}", key, matrix, method, options,
-                timeout, trace_id,
+                timeout, trace_id, verify,
             )
             self._next_job += 1
             try:
@@ -246,7 +253,7 @@ class Scheduler:
                 raise QueueFull(self.queue_size) from None
             self._stats["submitted"] += 1
             self._jobs[job.id] = job
-            self._inflight[key] = job
+            self._inflight[(key, verify)] = job
         return job
 
     def solve(
@@ -321,6 +328,8 @@ class Scheduler:
                         job.matrix, job.method, job.options, rec
                     )
                     self.cache.put(job.key, payload)
+                if job.verify:
+                    job.verification = self._verify_payload(job, payload)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             rec.counter("job.failed", job=job.id)
             self._observe_job(job, "error", t0)
@@ -343,6 +352,40 @@ class Scheduler:
         job._finish(JobState.DONE, payload=payload, cache_status=cache_status)
         self._settle(job, "completed")
 
+    def _verify_payload(self, job: Job, payload: dict) -> dict:
+        """Run the result oracles on a solved (or cached) payload.
+
+        The tree is reconstructed from the payload's Newick string --
+        deliberately: the oracles then cover exactly what a client
+        receives, including cache corruption and serialization drift.
+        Each oracle runs inside a ``verify.oracle`` span on the shared
+        recorder and every violation bumps the
+        ``verify.violations{oracle}`` metric.  Verification never fails
+        the job; the findings ride along in the job record.
+        """
+        from repro.tree.newick import parse_newick
+        from repro.verify.oracles import ORACLE_NAMES, run_oracles
+
+        if job.method == "nj":
+            return {
+                "skipped": "nj trees are additive; the ultrametric "
+                           "oracles do not apply",
+            }
+        tree = parse_newick(payload["newick"])
+        violations = run_oracles(
+            tree,
+            job.matrix,
+            reported_cost=payload.get("cost"),
+            method=job.method,
+            recorder=self.recorder,
+            metrics=self.metrics,
+        )
+        return {
+            "ok": not violations,
+            "oracles": list(ORACLE_NAMES),
+            "violations": [v.to_json() for v in violations],
+        }
+
     def _observe_job(self, job: Job, cache_status: str, t0: float) -> None:
         self._m_job_seconds.observe(
             time.perf_counter() - t0, method=job.method, cache=cache_status
@@ -353,8 +396,8 @@ class Scheduler:
         self._m_jobs.inc(state=stat)
         with self._lock:
             self._stats[stat] += 1
-            if self._inflight.get(job.key) is job:
-                del self._inflight[job.key]
+            if self._inflight.get((job.key, job.verify)) is job:
+                del self._inflight[(job.key, job.verify)]
             self._finished_order.append(job.id)
             while len(self._finished_order) > self._max_jobs_retained:
                 stale = self._finished_order.pop(0)

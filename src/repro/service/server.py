@@ -12,8 +12,11 @@ framework, per the repository's no-new-dependencies rule.  Endpoints::
 ``POST /solve`` accepts a JSON body with either ``"phylip"`` (the PHYLIP
 square text) or ``"matrix"`` (a list of rows, or ``{"values": ...,
 "labels": ...}``), plus optional ``"method"``, ``"options"``,
-``"timeout"`` (job deadline, seconds), ``"wait"`` (default true) and
-``"wait_seconds"`` (response-wait budget).  Errors come back as
+``"timeout"`` (job deadline, seconds), ``"wait"`` (default true),
+``"wait_seconds"`` (response-wait budget) and ``"verify"`` (default
+false: run the result oracles on the payload and attach their findings
+as ``"verification"`` in the job record -- see ``docs/verification.md``).
+Errors come back as
 ``{"error": <code>, "detail": <message>}`` with the status of the typed
 :class:`~repro.service.errors.ServiceError` they correspond to.
 
@@ -222,10 +225,14 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(options, dict):
             raise BadRequest("'options' must be a JSON object")
         timeout = body.get("timeout")
+        verify = body.get("verify", False)
+        if not isinstance(verify, bool):
+            raise BadRequest("'verify' must be a boolean")
         job = service.scheduler.submit(
             matrix, method, options,
             timeout=float(timeout) if timeout is not None else None,
             trace_id=trace_id,
+            verify=verify,
         )
         wait = body.get("wait", True)
         if wait:

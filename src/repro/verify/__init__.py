@@ -1,0 +1,77 @@
+"""Differential & metamorphic verification of tree construction.
+
+The paper's claims rest on machine-checkable invariants: every returned
+tree is ultrametric and dominates the input matrix, every exact engine
+agrees on the optimal cost, and the compact-set pipeline's cost lands
+between the exact optimum and the UPGMM upper bound.  This package turns
+those invariants into a first-class subsystem:
+
+* :mod:`repro.verify.oracles` -- a uniform :class:`Oracle` protocol over
+  the single-tree invariants (structure, feasibility, cost consistency,
+  Newick round-trip, label preservation), producing structured
+  :class:`Violation` records;
+* :mod:`repro.verify.differential` -- the cross-engine harness (exact
+  engines agree; compact lands in ``[exact, upgmm]``; every tree passes
+  every oracle);
+* :mod:`repro.verify.metamorphic` -- input transformations with known
+  expected effects (permutation, scaling, leaf subsets);
+* :mod:`repro.verify.fuzz` -- a seeded, reproducible fuzz loop over the
+  matrix families with a greedy corpus shrinker.
+
+Surfaces: ``repro-mut verify`` / ``repro-mut fuzz`` on the CLI,
+``verify: true`` on ``POST /solve``, ``verify.oracle`` spans in the
+trace stream and ``verify.violations{oracle}`` in the metrics registry.
+See ``docs/verification.md``.
+"""
+
+from repro.verify.oracles import (
+    DEFAULT_ORACLES,
+    Oracle,
+    VerificationContext,
+    Violation,
+    run_oracles,
+)
+from repro.verify.differential import (
+    BRACKET_METHODS,
+    DEFAULT_DIFFERENTIAL_METHODS,
+    EXACT_METHODS,
+    DifferentialReport,
+    MethodOutcome,
+    run_differential,
+)
+from repro.verify.metamorphic import (
+    DEFAULT_RELATIONS,
+    MetamorphicRelation,
+    run_metamorphic,
+)
+from repro.verify.fuzz import (
+    FAMILIES,
+    FuzzFailure,
+    FuzzReport,
+    run_fuzz,
+    shrink_matrix,
+    verify_matrix,
+)
+
+__all__ = [
+    "Violation",
+    "Oracle",
+    "VerificationContext",
+    "DEFAULT_ORACLES",
+    "run_oracles",
+    "EXACT_METHODS",
+    "BRACKET_METHODS",
+    "DEFAULT_DIFFERENTIAL_METHODS",
+    "MethodOutcome",
+    "DifferentialReport",
+    "run_differential",
+    "MetamorphicRelation",
+    "DEFAULT_RELATIONS",
+    "run_metamorphic",
+    "FAMILIES",
+    "FuzzReport",
+    "FuzzFailure",
+    "run_fuzz",
+    "shrink_matrix",
+    "verify_matrix",
+]

@@ -1,0 +1,117 @@
+"""Property tests backing the verification subsystem (PR satellite).
+
+Two guarantees the oracles lean on are pinned here as properties:
+
+* :func:`repro.matrix.repair.metric_closure` is idempotent and always
+  produces a metric -- the fuzz families rely on it to turn raw noise
+  into legal inputs;
+* the Newick serialize -> parse round trip preserves the topology and
+  the merge heights of randomly generated ultrametric trees -- the
+  ``newick`` oracle and the service payload path both assume it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.repair import metric_closure
+from repro.tree.compare import robinson_foulds
+from repro.tree.newick import parse_newick, to_newick
+from repro.tree.ultrametric import UltrametricTree
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def raw_symmetric_matrices(draw, min_n=3, max_n=8):
+    """Symmetric, zero-diagonal, positive matrices -- not yet metric."""
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(1.0, 100.0, size=(n, n))
+    values = np.triu(values, k=1)
+    values = values + values.T
+    return DistanceMatrix(values, validate=False)
+
+
+@st.composite
+def random_ultrametric_trees(draw, min_n=3, max_n=10):
+    """A random binary ultrametric tree via seeded agglomeration."""
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    forest = [UltrametricTree.leaf(f"s{i}") for i in range(n)]
+    height = 0.0
+    while len(forest) > 1:
+        i, j = sorted(rng.choice(len(forest), size=2, replace=False))
+        height = height + float(rng.uniform(0.1, 5.0))
+        joined = UltrametricTree.join(forest[int(i)], forest[int(j)], height)
+        forest = [
+            t for k, t in enumerate(forest) if k not in (int(i), int(j))
+        ] + [joined]
+    return forest[0]
+
+
+class TestMetricClosureProperties:
+    @RELAXED
+    @given(raw_symmetric_matrices())
+    def test_output_is_metric(self, matrix):
+        closed = metric_closure(matrix)
+        assert closed.is_metric()
+
+    @RELAXED
+    @given(raw_symmetric_matrices())
+    def test_idempotent(self, matrix):
+        # Idempotent up to float associativity: re-closing a closed
+        # matrix re-derives the same shortest paths, but summing a path
+        # in a different order can move the last bits.
+        once = metric_closure(matrix)
+        twice = metric_closure(once)
+        assert np.allclose(once.values, twice.values, rtol=0, atol=1e-9)
+        assert twice.labels == once.labels
+
+    @RELAXED
+    @given(raw_symmetric_matrices())
+    def test_never_increases_distances(self, matrix):
+        closed = metric_closure(matrix)
+        assert (closed.values <= matrix.values + 1e-12).all()
+
+
+class TestNewickRoundTripProperties:
+    @RELAXED
+    @given(random_ultrametric_trees())
+    def test_topology_preserved(self, tree):
+        parsed = parse_newick(to_newick(tree, precision=12))
+        assert sorted(parsed.leaf_labels) == sorted(tree.leaf_labels)
+        assert robinson_foulds(tree, parsed) == 0
+
+    @RELAXED
+    @given(random_ultrametric_trees())
+    def test_heights_preserved(self, tree):
+        parsed = parse_newick(to_newick(tree, precision=12))
+
+        def merge_heights(t):
+            return sorted(
+                node.height
+                for node in t.root.walk()
+                if not node.is_leaf
+            )
+
+        assert merge_heights(parsed) == pytest.approx(
+            merge_heights(tree), abs=1e-9
+        )
+        original = tree.distance_matrix(tree.leaf_labels)
+        reparsed = parsed.distance_matrix(tree.leaf_labels)
+        assert np.abs(original.values - reparsed.values).max() < 1e-9
+
+    @RELAXED
+    @given(random_ultrametric_trees())
+    def test_cost_preserved(self, tree):
+        parsed = parse_newick(to_newick(tree, precision=12))
+        assert parsed.cost() == pytest.approx(tree.cost(), rel=1e-9)

@@ -177,6 +177,7 @@ class TestTraceIdRoundTrip:
 
 
 class TestBoundedMemoryUnderLoad:
+    @pytest.mark.slow
     def test_thousand_requests_hold_ring_and_metrics_bounded(self, tmp_path):
         """Acceptance: 1000 sequential solves, O(ring) recorder memory."""
         sink = tmp_path / "trace.jsonl"

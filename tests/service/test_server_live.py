@@ -29,6 +29,9 @@ from repro.service.errors import QueueFull
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 N_CONCURRENT = 32
 
+# Every test here boots a real subprocess server; deselect with -m "not slow".
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture
 def live_server(tmp_path):

@@ -1,0 +1,156 @@
+"""Service-side result verification: ``POST /solve`` with ``verify: true``.
+
+Covers the scheduler's oracle pass, the HTTP surface, the metrics
+signal, and the dedup semantics (a verified request never silently
+shares a non-verified in-flight job).
+"""
+
+import threading
+
+import pytest
+
+from repro.matrix.generators import clustered_matrix, random_metric_matrix
+from repro.obs import Recorder
+from repro.obs.metrics import MetricsRegistry
+from repro.service.client import ServiceClient
+from repro.service.errors import BadRequest
+from repro.service.scheduler import Scheduler, solve_payload
+from repro.service.server import ServiceServer
+from repro.verify.oracles import ORACLE_NAMES
+
+
+@pytest.fixture
+def matrix():
+    return clustered_matrix([3, 3], seed=1)
+
+
+def _run_verified(scheduler, matrix, method="bnb"):
+    job = scheduler.submit(matrix, method=method, verify=True)
+    assert job.wait(60.0)
+    return job
+
+
+class TestSchedulerVerify:
+    def test_verified_job_attaches_clean_report(self, matrix):
+        with Scheduler(workers=1) as scheduler:
+            job = _run_verified(scheduler, matrix)
+        assert job.verification["ok"] is True
+        assert job.verification["violations"] == []
+        assert job.verification["oracles"] == list(ORACLE_NAMES)
+        assert job.to_json()["verification"] == job.verification
+
+    def test_without_verify_no_report(self, matrix):
+        with Scheduler(workers=1) as scheduler:
+            job = scheduler.submit(matrix, method="bnb")
+            assert job.wait(60.0)
+        assert job.verification is None
+        assert "verification" not in job.to_json()
+
+    def test_cache_hit_is_verified_too(self, matrix):
+        # The oracle pass runs on the payload, so a warm hit is checked
+        # exactly like a miss -- that is what catches cache corruption.
+        with Scheduler(workers=1) as scheduler:
+            first = scheduler.submit(matrix, method="upgmm")
+            assert first.wait(60.0)
+            second = _run_verified(scheduler, matrix, method="upgmm")
+        assert first.cache_status == "miss"
+        assert second.cache_status == "hit"
+        assert second.verification["ok"] is True
+
+    def test_nj_skips_ultrametric_oracles(self, matrix):
+        with Scheduler(workers=1) as scheduler:
+            job = _run_verified(scheduler, matrix, method="nj")
+        assert "skipped" in job.verification
+
+    def test_verify_emits_spans_and_clean_counters(self, matrix):
+        recorder = Recorder()
+        registry = MetricsRegistry()
+        with Scheduler(
+            workers=1, recorder=recorder, metrics=registry
+        ) as scheduler:
+            _run_verified(scheduler, matrix)
+        spans = recorder.spans("verify.oracle")
+        assert sorted(s.attrs["oracle"] for s in spans) == sorted(ORACLE_NAMES)
+        counter = registry.counter(
+            "verify.violations", labelnames=("oracle",)
+        )
+        assert all(
+            counter.value(oracle=name) == 0 for name in ORACLE_NAMES
+        )
+
+    def test_corrupted_payload_is_flagged_and_counted(self, matrix):
+        registry = MetricsRegistry()
+        with Scheduler(workers=1, metrics=registry) as scheduler:
+            job = _run_verified(scheduler, matrix)
+            # Corrupt the completed payload the way a buggy engine or a
+            # poisoned cache would, then re-run the oracle pass on it.
+            corrupted = dict(job.payload)
+            corrupted["cost"] = corrupted["cost"] * 1.5
+            verification = scheduler._verify_payload(job, corrupted)
+        assert verification["ok"] is False
+        assert any(
+            v["oracle"] == "cost" for v in verification["violations"]
+        )
+        counter = registry.counter(
+            "verify.violations", labelnames=("oracle",)
+        )
+        assert counter.value(oracle="cost") >= 1
+
+    def test_inflight_dedup_key_includes_verify(self, matrix):
+        # While the single worker is parked on the first job, identical
+        # (key, verify) submissions share it; flipping verify must not.
+        release = threading.Event()
+
+        def gated_runner(m, method, options, recorder):
+            release.wait(30.0)
+            return solve_payload(m, method, options, recorder)
+
+        with Scheduler(workers=1, runner=gated_runner) as scheduler:
+            a = scheduler.submit(matrix, method="upgmm", verify=False)
+            b = scheduler.submit(matrix, method="upgmm", verify=False)
+            c = scheduler.submit(matrix, method="upgmm", verify=True)
+            release.set()
+            for job in (a, b, c):
+                assert job.wait(60.0)
+        assert a is b
+        assert c is not a
+        assert c.verification is not None
+        assert a.verification is None
+
+
+class TestHttpSurface:
+    @pytest.fixture
+    def client(self):
+        with ServiceServer(Scheduler(workers=2), port=0) as srv:
+            yield ServiceClient(srv.url, timeout=30.0)
+
+    def test_verify_true_round_trip(self, client, matrix):
+        record = client.solve(matrix, method="bnb", verify=True)
+        assert record["state"] == "done"
+        assert record["verification"]["ok"] is True
+        assert record["verification"]["oracles"] == list(ORACLE_NAMES)
+
+    def test_verify_defaults_off(self, client, matrix):
+        record = client.solve(matrix, method="bnb")
+        assert "verification" not in record
+
+    def test_non_boolean_verify_rejected(self, client, matrix):
+        with pytest.raises(BadRequest, match="verify"):
+            client._request(
+                "POST",
+                "/solve",
+                {
+                    "matrix": {
+                        "values": [
+                            list(map(float, row)) for row in matrix.values
+                        ],
+                        "labels": matrix.labels,
+                    },
+                    "verify": "yes please",
+                },
+            )
+
+    def test_verified_multiprocess_result(self, client):
+        matrix = random_metric_matrix(6, seed=44)
+        record = client.solve(matrix, method="multiprocess", verify=True)
+        assert record["verification"]["ok"] is True

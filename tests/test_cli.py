@@ -450,3 +450,117 @@ class TestServeTraceArgs:
         ])
         assert args.trace_max_mb == 64.0
         assert args.trace_ring == 512
+
+
+def _break_bnb(monkeypatch):
+    """Patch the construction entry point so bnb lies about its cost."""
+    import repro.core.api as api
+
+    real = api.construct_tree
+
+    def broken(matrix, method, **kwargs):
+        result = real(matrix, method, **kwargs)
+        if method == "bnb":
+            result.cost = result.cost * 1.001
+        return result
+
+    monkeypatch.setattr(api, "construct_tree", broken)
+
+
+class TestVerify:
+    def test_clean_matrix_exits_zero(self, matrix_file, capsys):
+        assert main([
+            "verify", matrix_file, "--methods", "bnb,parallel-bnb,upgmm"
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "verdict: OK" in captured.out
+        assert captured.err == ""
+
+    def test_json_output(self, matrix_file, capsys):
+        assert main([
+            "verify", matrix_file, "--methods", "bnb,upgmm", "--json"
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert payload["methods"] == ["bnb", "upgmm"]
+
+    def test_missing_file_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "/nonexistent/matrix.phy"])
+        assert excinfo.value.code == 2
+        assert "no such matrix file" in capsys.readouterr().err
+
+    def test_unknown_method_is_usage_error(self, matrix_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", matrix_file, "--methods", "bnb,astrology"])
+        assert excinfo.value.code == 2
+        assert "unknown methods" in capsys.readouterr().err
+
+    def test_broken_engine_exits_one_with_repro_line(
+        self, matrix_file, monkeypatch, capsys
+    ):
+        _break_bnb(monkeypatch)
+        code = main([
+            "verify", matrix_file,
+            "--methods", "bnb,parallel-bnb,upgmm", "--seed", "3",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "VIOLATION [" in err
+        assert (
+            f"reproduce with: repro-mut verify {matrix_file} "
+            "--methods bnb,parallel-bnb,upgmm --seed 3"
+        ) in err
+
+
+class TestFuzz:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main([
+            "fuzz", "--seed", "0", "--budget", "8",
+            "--methods", "bnb,upgmm", "--corpus", str(corpus),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "verdict : OK" in captured.out
+        assert not corpus.exists()
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--seed", "1", "--budget", "4",
+            "--methods", "upgmm", "--corpus", str(tmp_path / "c"), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["cases_run"] == 4
+
+    def test_bad_budget_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--budget", "0"])
+        assert excinfo.value.code == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_bad_species_range_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--min-species", "9", "--max-species", "5"])
+        assert excinfo.value.code == 2
+
+    def test_broken_engine_exits_one_and_writes_corpus(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        _break_bnb(monkeypatch)
+        corpus = tmp_path / "corpus"
+        code = main([
+            "fuzz", "--seed", "0", "--budget", "8",
+            "--methods", "bnb,parallel-bnb,upgmm",
+            "--corpus", str(corpus), "--max-failures", "2",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "FUZZ FAILURE seed=0" in err
+        assert f"corpus={corpus}" in err
+        assert "reproduce: repro-mut verify" in err
+        assert "replay the campaign with: repro-mut fuzz --seed 0" in err
+        phy_files = sorted(corpus.glob("fail-seed0-case*.phy"))
+        assert phy_files
+        assert all(p.with_suffix(".json").exists() for p in phy_files)

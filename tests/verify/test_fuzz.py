@@ -1,0 +1,210 @@
+"""Fuzz-loop tests: families, determinism, shrinking, corpus output.
+
+``TestMutationAcceptance`` is the PR's acceptance criterion: a
+deliberately broken engine must be caught by the fuzz loop, shrunk, and
+written to the corpus with a working repro command.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.api import construct_tree
+from repro.matrix.generators import random_metric_matrix
+from repro.matrix.io import read_phylip
+from repro.verify.fuzz import (
+    FAMILIES,
+    FuzzReport,
+    run_fuzz,
+    shrink_matrix,
+    verify_matrix,
+)
+
+FAST_METHODS = ("bnb", "parallel-bnb", "upgmm")
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_every_family_yields_a_metric(self, family):
+        rng = np.random.default_rng(42)
+        matrix = FAMILIES[family](rng, 6)
+        assert matrix.n >= 3
+        assert matrix.is_metric()
+
+    def test_degenerate_families_present(self):
+        # The two families the generators module cannot produce.
+        assert "all-ties" in FAMILIES
+        assert "near-ultrametric-noise" in FAMILIES
+
+    def test_all_ties_is_constant_off_diagonal(self):
+        matrix = FAMILIES["all-ties"](np.random.default_rng(1), 5)
+        off = matrix.values[~np.eye(5, dtype=bool)]
+        assert len(set(off.tolist())) == 1
+
+
+class TestVerifyMatrix:
+    def test_clean_matrix(self):
+        matrix = random_metric_matrix(6, seed=31)
+        assert verify_matrix(matrix, FAST_METHODS, seed=0) == []
+
+    def test_metamorphic_can_be_skipped(self):
+        matrix = random_metric_matrix(5, seed=32)
+        calls = []
+
+        def build(m, method, **kwargs):
+            calls.append(method)
+            return construct_tree(m, method, **kwargs)
+
+        verify_matrix(
+            matrix, ("bnb",), seed=0, metamorphic=False, build_fn=build
+        )
+        without = len(calls)
+        calls.clear()
+        verify_matrix(
+            matrix, ("bnb",), seed=0, metamorphic=True, build_fn=build
+        )
+        assert len(calls) > without  # relations re-solve the instance
+
+
+class TestShrinker:
+    def test_drops_leaves_to_the_floor(self):
+        matrix = random_metric_matrix(8, seed=33)
+        shrunk = shrink_matrix(matrix, lambda m: True, min_species=3)
+        assert shrunk.n == 3
+        assert shrunk.is_metric()
+
+    def test_respects_predicate(self):
+        matrix = random_metric_matrix(8, seed=34)
+        shrunk = shrink_matrix(matrix, lambda m: m.n >= 5, min_species=3)
+        assert shrunk.n == 5
+
+    def test_rounds_float_entries(self):
+        matrix = random_metric_matrix(6, seed=35, integer=False)
+        shrunk = shrink_matrix(matrix, lambda m: True, min_species=3)
+        # Coarsest legal rounding is integral for this family.
+        assert np.array_equal(shrunk.values, np.round(shrunk.values))
+
+    def test_never_returns_a_non_metric(self):
+        matrix = random_metric_matrix(7, seed=36, integer=False)
+        shrunk = shrink_matrix(matrix, lambda m: True)
+        assert shrunk.is_metric()
+
+
+class TestCleanCampaign:
+    def test_smoke_budget_runs_clean(self, tmp_path):
+        report = run_fuzz(
+            seed=0,
+            budget=16,
+            methods=FAST_METHODS,
+            corpus_dir=str(tmp_path / "corpus"),
+        )
+        assert report.ok
+        assert report.cases_run == 16
+        assert sum(report.families.values()) == 16
+        assert set(report.families) == set(FAMILIES)  # 16 = 2 full cycles
+        assert not (tmp_path / "corpus").exists()  # nothing written
+
+    def test_deterministic_replay(self, tmp_path):
+        kwargs = dict(
+            seed=7, budget=8, methods=("bnb", "upgmm"), corpus_dir=None
+        )
+        assert run_fuzz(**kwargs).to_json() == run_fuzz(**kwargs).to_json()
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError, match="budget"):
+            run_fuzz(seed=0, budget=0)
+        with pytest.raises(ValueError, match="min_species"):
+            run_fuzz(seed=0, budget=1, min_species=2)
+        with pytest.raises(ValueError, match="min_species"):
+            run_fuzz(seed=0, budget=1, min_species=8, max_species=5)
+
+    def test_progress_callback(self):
+        seen = []
+        run_fuzz(
+            seed=0,
+            budget=4,
+            methods=("upgmm",),
+            corpus_dir=None,
+            progress=lambda i, family: seen.append((i, family)),
+        )
+        assert [i for i, _ in seen] == [0, 1, 2, 3]
+
+
+def _broken_bnb_builder(matrix, method, **kwargs):
+    """The acceptance-criterion mutant: bnb lies about its cost."""
+    result = construct_tree(matrix, method, **kwargs)
+    if method == "bnb":
+        result.cost = result.cost * 1.001
+    return result
+
+
+class TestMutationAcceptance:
+    """A deliberately broken engine is caught, shrunk and archived."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        corpus = tmp_path_factory.mktemp("corpus")
+        report = run_fuzz(
+            seed=0,
+            budget=24,
+            methods=("bnb", "parallel-bnb", "upgmm"),
+            corpus_dir=str(corpus),
+            max_failures=3,
+            build_fn=_broken_bnb_builder,
+        )
+        return report
+
+    def test_failures_found_and_capped(self, report):
+        assert not report.ok
+        assert 1 <= len(report.failures) <= 3  # max_failures early stop
+
+    def test_failures_are_shrunk(self, report):
+        for failure in report.failures:
+            assert failure.shrunk_n_species <= failure.n_species
+            assert failure.shrunk_n_species >= 3
+            oracles = {v.oracle for v in failure.violations}
+            assert oracles & {"cost", "differential.exact_agreement"}
+
+    def test_corpus_entries_written(self, report):
+        for failure in report.failures:
+            matrix = read_phylip(failure.corpus_path)
+            assert matrix.n == failure.shrunk_n_species
+            with open(failure.meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+            assert meta["master_seed"] == 0
+            assert meta["iteration"] == failure.iteration
+            assert meta["violations"]
+            assert meta["repro_command"].startswith("repro-mut verify ")
+            assert failure.corpus_path in meta["repro_command"]
+
+    def test_shrunk_case_still_fails_via_repro_path(self, report):
+        # Replaying the corpus entry with the same mutant reproduces the
+        # failure; with the healthy engine it passes (the bug was in the
+        # engine, not the matrix).
+        failure = report.failures[0]
+        matrix = read_phylip(failure.corpus_path)
+        case_seed = 0 + failure.iteration
+        assert verify_matrix(
+            matrix,
+            ("bnb", "parallel-bnb", "upgmm"),
+            seed=case_seed,
+            build_fn=_broken_bnb_builder,
+        )
+        assert verify_matrix(
+            matrix, ("bnb", "parallel-bnb", "upgmm"), seed=case_seed
+        ) == []
+
+
+class TestReportModel:
+    def test_to_json_shape(self):
+        report = FuzzReport(seed=3, budget=10, cases_run=10)
+        payload = report.to_json()
+        assert payload == {
+            "seed": 3,
+            "budget": 10,
+            "cases_run": 10,
+            "families": {},
+            "ok": True,
+            "failures": [],
+        }

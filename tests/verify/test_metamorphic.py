@@ -1,0 +1,132 @@
+"""Metamorphic relation tests: clean engines pass, broken ones are caught."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.api import construct_tree
+from repro.matrix.generators import clustered_matrix, random_metric_matrix
+from repro.verify.metamorphic import (
+    DEFAULT_RELATIONS,
+    PermutationRelation,
+    ScalingRelation,
+    SubsetRelation,
+    run_metamorphic,
+)
+
+
+class TestCleanEngine:
+    @pytest.mark.parametrize("method", ["bnb", "multiprocess"])
+    def test_exact_methods_satisfy_all_relations(self, method):
+        matrix = random_metric_matrix(6, seed=21)
+        assert run_metamorphic(matrix, method, seed=0) == []
+
+    def test_heuristics_only_get_scaling(self):
+        # Permutation and subset need the optimum's invariances; for a
+        # heuristic only linear scaling applies.
+        applicable = [
+            r for r in DEFAULT_RELATIONS if r.applies_to("upgmm")
+        ]
+        assert [type(r) for r in applicable] == [ScalingRelation]
+        matrix = clustered_matrix([3, 3], seed=22)
+        assert run_metamorphic(matrix, "upgmm", seed=0) == []
+
+    def test_compact_excluded_from_permutation(self):
+        # Tie-breaking in the compact decomposition is order-dependent.
+        assert not PermutationRelation().applies_to("compact")
+        assert PermutationRelation().applies_to("bnb")
+
+
+class TestDeterminism:
+    def test_same_seed_same_transformations(self):
+        matrix = random_metric_matrix(6, seed=23)
+        calls_a, calls_b = [], []
+
+        def spying_build(calls):
+            def build(m, method, **kwargs):
+                calls.append(m.digest())
+                return construct_tree(m, method, **kwargs)
+
+            return build
+
+        run_metamorphic(matrix, "bnb", seed=7, build_fn=spying_build(calls_a))
+        run_metamorphic(matrix, "bnb", seed=7, build_fn=spying_build(calls_b))
+        assert calls_a == calls_b
+
+
+class TestMutationDetection:
+    def test_permutation_sensitivity_caught(self):
+        # A builder whose cost depends on the label *order* is exactly
+        # the bug class this relation exists for.
+        matrix = random_metric_matrix(6, seed=24)
+
+        def build(m, method, **kwargs):
+            result = construct_tree(m, method, **kwargs)
+            if m.labels[0] != "s0":
+                result.cost = result.cost + 1.0
+            return result
+
+        found = run_metamorphic(
+            matrix,
+            "bnb",
+            seed=0,
+            relations=[PermutationRelation()],
+            build_fn=build,
+        )
+        assert len(found) == 1
+        assert found[0].oracle == "metamorphic.permutation"
+        assert "permutation" in found[0].details
+
+    def test_nonlinear_scaling_caught(self):
+        matrix = random_metric_matrix(5, seed=25)
+
+        def build(m, method, **kwargs):
+            result = construct_tree(m, method, **kwargs)
+            result.cost = result.cost + 1.0  # affine, not linear
+            return result
+
+        found = run_metamorphic(
+            matrix, "bnb", seed=0, relations=[ScalingRelation()], build_fn=build
+        )
+        assert len(found) == 1
+        assert found[0].oracle == "metamorphic.scaling"
+
+    def test_subset_monotonicity_breach_caught(self):
+        matrix = random_metric_matrix(7, seed=26)
+
+        def build(m, method, **kwargs):
+            # Cost grows as species are removed: opt(M|S) > opt(M).
+            return SimpleNamespace(cost=100.0 - m.n)
+
+        found = run_metamorphic(
+            matrix,
+            "bnb",
+            seed=0,
+            relations=[SubsetRelation()],
+            build_fn=build,
+        )
+        assert len(found) == 1
+        assert found[0].oracle == "metamorphic.subset"
+        assert found[0].details["subset_cost"] > found[0].details["full_cost"]
+
+    def test_crashing_builder_isolated(self):
+        matrix = random_metric_matrix(5, seed=27)
+
+        def build(m, method, **kwargs):
+            raise RuntimeError("engine on fire")
+
+        found = run_metamorphic(matrix, "bnb", seed=0, build_fn=build)
+        assert found
+        assert all("crashed: RuntimeError" in v.message for v in found)
+
+
+class TestRelationConfig:
+    def test_scaling_factor_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ScalingRelation(factor=0.0)
+
+    def test_subset_skips_tiny_matrices(self):
+        matrix = random_metric_matrix(3, seed=28)
+        assert run_metamorphic(
+            matrix, "bnb", seed=0, relations=[SubsetRelation()]
+        ) == []
