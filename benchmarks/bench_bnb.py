@@ -1,0 +1,158 @@
+"""B&B branching benchmark: batched kernel vs the scalar reference loop.
+
+Times a full sequential Algorithm-BBU solve with the batched branching
+kernel (:class:`repro.bnb.kernel.BranchKernel`, the production path)
+against the same solve with ``use_kernel=False`` (the original per-child
+scalar loop, kept as the differential oracle), verifies the two searches
+are *bit-identical* (same cost, same node counts), and writes a
+machine-readable ``BENCH_bnb.json``.
+
+Workloads are the papers' shapes, not the pipeline's: hierarchical
+matrices *decompose* into tiny subproblems under the compact-set
+pipeline, so the branching hot loop is exercised by solving the full
+matrix with plain ``exact_mut``.
+
+* 26 species (the HMDNA-26 scale), solved to optimality;
+* 38 species (the HMDNA-38 scale) with a 20k node-expansion cap -- the
+  full solve is infeasible in pure Python, and because both paths make
+  bit-identical decisions they expand the *same* 20k nodes, so the
+  wall-clock ratio is a fair branching-speed measure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_bnb.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_bnb.py --smoke   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_bnb.py --out path.json
+
+The acceptance gate for the branching overhaul is a >= 5x speedup on the
+26-species full solve; ``acceptance.speedup_26`` records the measured
+value (absent in ``--smoke`` mode, which caps every workload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.bnb.sequential import exact_mut
+from repro.matrix.generators import hierarchical_matrix
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_bnb.json"
+
+#: (name, generator groups, seed, node_limit) -- node_limit None means
+#: solve to proven optimality.
+FULL_WORKLOADS = (
+    ("hmdna26-full", [[7, 6], [7, 6]], 126, None),
+    ("hmdna38-capped", [[7, 6], [6, 6], [7, 6]], 38, 20000),
+)
+SMOKE_WORKLOADS = (
+    ("hmdna26-smoke", [[7, 6], [7, 6]], 126, 1500),
+)
+
+
+def _timed_solve(matrix, *, use_kernel, node_limit):
+    t0 = time.perf_counter()
+    result = exact_mut(matrix, use_kernel=use_kernel, node_limit=node_limit)
+    return time.perf_counter() - t0, result
+
+
+def run(workloads) -> dict:
+    results = []
+    for name, groups, seed, node_limit in workloads:
+        matrix = hierarchical_matrix(groups, seed=seed, jitter=0.3)
+        fast_s, fast = _timed_solve(
+            matrix, use_kernel=True, node_limit=node_limit
+        )
+        ref_s, ref = _timed_solve(
+            matrix, use_kernel=False, node_limit=node_limit
+        )
+        # Bit-identical, not approximately equal: the kernel's contract
+        # is that no search decision changes.
+        if fast.cost != ref.cost:
+            raise AssertionError(
+                f"cost mismatch on {name}: "
+                f"kernel={fast.cost!r} scalar={ref.cost!r}"
+            )
+        for stat in ("nodes_expanded", "nodes_created", "nodes_pruned"):
+            if getattr(fast.stats, stat) != getattr(ref.stats, stat):
+                raise AssertionError(
+                    f"search divergence on {name}: {stat} "
+                    f"kernel={getattr(fast.stats, stat)} "
+                    f"scalar={getattr(ref.stats, stat)}"
+                )
+        row = {
+            "workload": name,
+            "n": matrix.n,
+            "node_limit": node_limit,
+            "optimal": fast.optimal,
+            "cost": fast.cost,
+            "nodes_expanded": fast.stats.nodes_expanded,
+            "nodes_created": fast.stats.nodes_created,
+            "prune_fraction": (
+                fast.stats.nodes_pruned / fast.stats.nodes_created
+            ),
+            "kernel_seconds": fast_s,
+            "scalar_seconds": ref_s,
+            "speedup": ref_s / fast_s if fast_s > 0 else float("inf"),
+        }
+        results.append(row)
+        print(
+            f"{name:16s} n={matrix.n:3d}  kernel={fast_s:8.3f} s  "
+            f"scalar={ref_s:8.3f} s  speedup={row['speedup']:5.2f}x  "
+            f"expanded={fast.stats.nodes_expanded}"
+        )
+    report = {
+        "benchmark": "bnb-batched-branching-kernel",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+    by_name = {r["workload"]: r for r in results}
+    if "hmdna26-full" in by_name:
+        speedup = by_name["hmdna26-full"]["speedup"]
+        report["acceptance"] = {
+            "speedup_26": speedup,
+            "required_min_speedup": 5.0,
+            "passed": speedup >= 5.0,
+        }
+        if "hmdna38-capped" in by_name:
+            report["acceptance"]["speedup_38_capped"] = (
+                by_name["hmdna38-capped"]["speedup"]
+            )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one node-capped workload only (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    workloads = SMOKE_WORKLOADS if args.smoke else FULL_WORKLOADS
+    report = run(workloads)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    acceptance = report.get("acceptance")
+    if acceptance is not None and not acceptance["passed"]:
+        print(
+            "ACCEPTANCE FAILED: 26-species speedup below 5x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

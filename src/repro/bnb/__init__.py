@@ -9,6 +9,7 @@ bounds prune; the optional 3-3 relationship constraint prunes further.
 """
 
 from repro.bnb.topology import PartialTopology
+from repro.bnb.kernel import BranchEvaluation, BranchKernel, expand_positions
 from repro.bnb.bounds import (
     LOWER_BOUNDS,
     half_matrix,
@@ -31,6 +32,9 @@ from repro.bnb.enumeration import (
 
 __all__ = [
     "PartialTopology",
+    "BranchEvaluation",
+    "BranchKernel",
+    "expand_positions",
     "LOWER_BOUNDS",
     "half_matrix",
     "minfront_tails",

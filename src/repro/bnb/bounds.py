@@ -21,6 +21,7 @@ provided for the ablation study:
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -114,6 +115,13 @@ _CONTEXT_CACHE: "weakref.WeakKeyDictionary[DistanceMatrix, Dict]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: The pipeline solves independent subproblems from worker threads, so the
+#: cache itself needs guarding (WeakKeyDictionary mutation is not atomic).
+#: Computing inside the lock is fine: half/tail construction is a handful of
+#: numpy ops, and serialising it keeps the "same list objects on repeat
+#: calls" contract even under races.
+_CONTEXT_LOCK = threading.Lock()
+
 
 def search_context(
     matrix: DistanceMatrix, lower_bound: str = "minfront"
@@ -130,12 +138,13 @@ def search_context(
             f"unknown lower bound {lower_bound!r}; "
             f"choose from {sorted(LOWER_BOUNDS)}"
         )
-    entry = _CONTEXT_CACHE.get(matrix)
-    if entry is None:
-        entry = {"half": half_matrix(matrix), "tails": {}}
-        _CONTEXT_CACHE[matrix] = entry
-    tails = entry["tails"].get(lower_bound)
-    if tails is None:
-        tails = LOWER_BOUNDS[lower_bound](matrix)
-        entry["tails"][lower_bound] = tails
-    return entry["half"], tails
+    with _CONTEXT_LOCK:
+        entry = _CONTEXT_CACHE.get(matrix)
+        if entry is None:
+            entry = {"half": half_matrix(matrix), "tails": {}}
+            _CONTEXT_CACHE[matrix] = entry
+        tails = entry["tails"].get(lower_bound)
+        if tails is None:
+            tails = LOWER_BOUNDS[lower_bound](matrix)
+            entry["tails"][lower_bound] = tails
+        return entry["half"], tails

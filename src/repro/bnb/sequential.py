@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.bnb.bounds import LOWER_BOUNDS, search_context
+from repro.bnb.kernel import BranchKernel, expand_positions
 from repro.bnb.relationship import insertion_is_consistent
 from repro.bnb.topology import PartialTopology
 from repro.heuristics.upgma import upgmm
@@ -49,12 +50,20 @@ class SearchStats:
     node_limit_hit: bool = False
 
     def merge(self, other: "SearchStats") -> None:
-        """Accumulate another run's counters (used by the pipeline)."""
+        """Accumulate another run's counters (used by the pipeline).
+
+        ``best_cost`` folds as a minimum (the best tree any merged run
+        found) and ``initial_upper_bound`` as a sum over subproblems --
+        dropping them (the old behaviour) made pipeline-aggregated stats
+        report a ``0.0`` seed bound and an ``inf`` best cost.
+        """
         self.nodes_created += other.nodes_created
         self.nodes_expanded += other.nodes_expanded
         self.nodes_pruned += other.nodes_pruned
         self.nodes_filtered_33 += other.nodes_filtered_33
         self.ub_updates += other.ub_updates
+        self.initial_upper_bound += other.initial_upper_bound
+        self.best_cost = min(self.best_cost, other.best_cost)
         self.elapsed_seconds += other.elapsed_seconds
         self.max_open_size = max(self.max_open_size, other.max_open_size)
         self.node_limit_hit = self.node_limit_hit or other.node_limit_hit
@@ -92,6 +101,16 @@ class BranchAndBoundSolver:
     node_limit:
         Abort after expanding this many BBT nodes; the best tree found so
         far is returned with ``optimal=False``.
+    use_kernel:
+        Branch with the batched NumPy kernel
+        (:class:`repro.bnb.kernel.BranchKernel`): every insertion
+        position's cost and lower bound is evaluated as one array
+        operation and only survivors of the bound cut are materialised.
+        Decisions are bit-identical to the scalar path (the kernel
+        module documents the proof), so this is purely a speed knob;
+        ``False`` keeps the original per-child scalar loop, which also
+        serves as the differential-test reference.  Matrices beyond the
+        kernel's species limit fall back to the scalar path silently.
     collect_all:
         Also gather *every* optimal tree (within ``1e-9`` of the optimum),
         mirroring the papers' "results set".
@@ -115,6 +134,7 @@ class BranchAndBoundSolver:
         use_maxmin: bool = True,
         relationship_33: bool = False,
         enforce_all_33: bool = False,
+        use_kernel: bool = True,
         node_limit: Optional[int] = None,
         collect_all: bool = False,
         on_incumbent: Optional[
@@ -131,6 +151,7 @@ class BranchAndBoundSolver:
         self.use_maxmin = use_maxmin
         self.relationship_33 = relationship_33
         self.enforce_all_33 = enforce_all_33
+        self.use_kernel = use_kernel
         self.node_limit = node_limit
         self.collect_all = collect_all
         self.on_incumbent = on_incumbent
@@ -144,30 +165,32 @@ class BranchAndBoundSolver:
             raise ValueError("cannot build a tree over zero species")
         with rec.span(
             "bnb.solve", n=matrix.n, lower_bound=self.lower_bound
-        ):
+        ) as solve_span:
             result = self._solve(matrix)
-        if rec.enabled:
-            stats = result.stats
-            rec.counter("bnb.nodes_created", stats.nodes_created)
-            rec.counter("bnb.nodes_expanded", stats.nodes_expanded)
-            rec.counter("bnb.nodes_pruned", stats.nodes_pruned)
-            rec.counter("bnb.nodes_filtered_33", stats.nodes_filtered_33)
-            rec.counter("bnb.ub_updates", stats.ub_updates)
-            rec.counter("bnb.max_open_size", stats.max_open_size)
-            if stats.nodes_created > 0:
-                # Bound effectiveness: fraction of generated nodes the
-                # lower bound killed, and how far the UPGMM seed was from
-                # the final optimum (0 = seed already optimal).
-                rec.counter(
-                    "bnb.prune_fraction",
-                    stats.nodes_pruned / stats.nodes_created,
-                )
-            if stats.initial_upper_bound > 0:
-                rec.counter(
-                    "bnb.seed_gap_fraction",
-                    (stats.initial_upper_bound - result.cost)
-                    / stats.initial_upper_bound,
-                )
+            if rec.enabled:
+                stats = result.stats
+                rec.counter("bnb.nodes_created", stats.nodes_created)
+                rec.counter("bnb.nodes_expanded", stats.nodes_expanded)
+                rec.counter("bnb.nodes_pruned", stats.nodes_pruned)
+                rec.counter("bnb.nodes_filtered_33", stats.nodes_filtered_33)
+                rec.counter("bnb.ub_updates", stats.ub_updates)
+                # Non-additive statistics ride on the span as attributes
+                # (gauges), NOT as counters: emitted as counters, repeated
+                # solves summed a maximum and summed fractions, so any
+                # multi-solve profile reported nonsense.  The profile view
+                # aggregates these per span name (min/mean/max).
+                solve_span.attrs["bnb.max_open_size"] = stats.max_open_size
+                if stats.nodes_created > 0:
+                    # Bound effectiveness: fraction of generated nodes the
+                    # lower bound killed, and how far the UPGMM seed was
+                    # from the final optimum (0 = seed already optimal).
+                    solve_span.attrs["bnb.prune_fraction"] = (
+                        stats.nodes_pruned / stats.nodes_created
+                    )
+                if stats.initial_upper_bound > 0:
+                    solve_span.attrs["bnb.seed_gap_fraction"] = (
+                        stats.initial_upper_bound - result.cost
+                    ) / stats.initial_upper_bound
         return result
 
     def _solve(self, matrix: DistanceMatrix) -> BBUResult:
@@ -218,6 +241,9 @@ class BranchAndBoundSolver:
         keep_margin = _EPS if self.collect_all else -_EPS
 
         check_33 = self.relationship_33 or self.enforce_all_33
+        kernel = BranchKernel(half) if self.use_kernel else None
+        if kernel is not None and not kernel.supported:
+            kernel = None  # oversized matrix: scalar fallback
 
         while open_nodes:
             if self.node_limit is not None and stats.nodes_expanded >= self.node_limit:
@@ -230,19 +256,22 @@ class BranchAndBoundSolver:
             stats.nodes_expanded += 1
             s = node.next_species
             tail = tails[s + 1]
-            children: List[PartialTopology] = []
-            for position in range(len(node.parent)):
-                child = node.child(position, tail)
-                stats.nodes_created += 1
-                if child.lower_bound > upper_bound + keep_margin:
-                    stats.nodes_pruned += 1
-                    continue
-                if check_33 and not insertion_is_consistent(
-                    child, values, s, check_all_pairs=self.enforce_all_33
-                ):
-                    stats.nodes_filtered_33 += 1
-                    continue
-                children.append(child)
+            stats.nodes_created += node.num_positions()
+            survivors, pruned = expand_positions(
+                node, tail, upper_bound + keep_margin, kernel
+            )
+            stats.nodes_pruned += pruned
+            if check_33:
+                children: List[PartialTopology] = []
+                for child in survivors:
+                    if not insertion_is_consistent(
+                        child, values, s, check_all_pairs=self.enforce_all_33
+                    ):
+                        stats.nodes_filtered_33 += 1
+                        continue
+                    children.append(child)
+            else:
+                children = survivors
             if node.num_leaves + 1 == n:
                 for child in children:
                     cost = child.cost

@@ -78,7 +78,10 @@ class PartialTopology:
         if n < 2:
             raise ValueError("a partial topology needs at least two species")
         topo = cls()
-        topo.half = [list(row) for row in half]
+        # Shared by reference: ``half`` is read-only search-context state
+        # (see :func:`repro.bnb.bounds.search_context`); copying it here
+        # was O(n^2) waste per solve.
+        topo.half = half
         topo.n = n
         topo.num_leaves = 2
         h = float(half[0][1])
@@ -216,6 +219,90 @@ class PartialTopology:
         clone.lower_bound = clone.cost + lower_tail
         return clone
 
+    def child_via_tables(
+        self, position: int, g: Sequence[float], lower_tail: float = 0.0
+    ) -> "PartialTopology":
+        """Graft the next species at ``position`` using kernel tables.
+
+        ``g`` is the per-node propagation table from
+        :meth:`repro.bnb.kernel.BranchKernel.evaluate`:
+        ``g[v] = max(height[v], max(M[s, l] / 2 for leaf l below v))``
+        for the species ``s`` being inserted.  The result is field-for-
+        field identical to :meth:`child` (heights bit-exact; see the
+        kernel module docstring for the proof), but each ancestor step is
+        O(1) instead of a bitmask walk -- the table already holds every
+        max-half-distance the walk would recompute.
+        """
+        s = self.next_species
+        if s >= self.n:
+            raise ValueError("topology is already complete")
+        c = position
+        if not 0 <= c < len(self.parent):
+            raise ValueError(f"position {position} out of range")
+
+        clone = PartialTopology()
+        clone.half = self.half
+        clone.n = self.n
+        clone.num_leaves = self.num_leaves + 1
+        clone.parent = list(self.parent)
+        clone.child_a = list(self.child_a)
+        clone.child_b = list(self.child_b)
+        clone.height = list(self.height)
+        clone.leafset = list(self.leafset)
+        clone.species = list(self.species)
+        clone.leaf_of = list(self.leaf_of)
+        clone.root = self.root
+        clone.internal_sum = self.internal_sum
+
+        bit = 1 << s
+        leaf_idx = len(clone.parent)
+        internal_idx = leaf_idx + 1
+
+        clone.parent.append(internal_idx)
+        clone.child_a.append(_NO_NODE)
+        clone.child_b.append(_NO_NODE)
+        clone.height.append(0.0)
+        clone.leafset.append(bit)
+        clone.species.append(s)
+        clone.leaf_of[s] = leaf_idx
+
+        # h_u = max(height[c], maxhalf[c]) = g[c].
+        h_u = float(g[c])
+        clone.parent.append(clone.parent[c])
+        clone.child_a.append(c)
+        clone.child_b.append(leaf_idx)
+        clone.height.append(h_u)
+        clone.leafset.append(clone.leafset[c] | bit)
+        clone.species.append(_NO_NODE)
+        clone.internal_sum += h_u
+
+        p = clone.parent[c]
+        clone.parent[c] = internal_idx
+        if p == _NO_NODE:
+            clone.root = internal_idx
+        else:
+            if clone.child_a[p] == c:
+                clone.child_a[p] = internal_idx
+            else:
+                clone.child_b[p] = internal_idx
+            child_height = h_u
+            node = p
+            while node != _NO_NODE:
+                # max(old, child, required-over-other) == max(child, g)
+                # because child_height covers the leaves g's max adds.
+                new_height = float(g[node])
+                if child_height > new_height:
+                    new_height = child_height
+                if new_height != clone.height[node]:
+                    clone.internal_sum += new_height - clone.height[node]
+                    clone.height[node] = new_height
+                clone.leafset[node] |= bit
+                child_height = new_height
+                node = clone.parent[node]
+
+        clone.lower_bound = clone.cost + lower_tail
+        return clone
+
     # ------------------------------------------------------------------
     def to_payload(self) -> tuple:
         """Compact picklable state *excluding* the shared ``half`` matrix.
@@ -262,7 +349,11 @@ class PartialTopology:
             topo.internal_sum,
             topo.lower_bound,
         ) = payload
-        topo.half = [list(row) for row in half]
+        # Shared by reference, like :meth:`initial`: the multiprocess
+        # master re-materialises one payload per worker result, and each
+        # deep copy of ``half`` was O(n^2) for no benefit -- the matrix
+        # is read-only throughout the search.
+        topo.half = half
         return topo
 
     # ------------------------------------------------------------------

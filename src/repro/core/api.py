@@ -7,7 +7,8 @@ the repository implements is reachable by name:
 =================  =========================================================
 ``"compact"``      compact-set decomposition + sequential branch-and-bound
 ``"compact-parallel"``  compact-set decomposition + simulated-cluster B&B
-``"bnb"``          plain sequential Algorithm BBU (exact)
+``"bnb"``          plain sequential Algorithm BBU (exact, batched kernel)
+``"bnb-scalar"``   sequential BBU with the scalar branching reference
 ``"parallel-bnb"`` plain simulated-cluster Algorithm BBU (exact)
 ``"multiprocess"`` real multi-core Algorithm BBU (exact, worker processes)
 ``"upgma"``        UPGMA heuristic
@@ -44,6 +45,7 @@ METHODS = (
     "compact",
     "compact-parallel",
     "bnb",
+    "bnb-scalar",
     "parallel-bnb",
     "multiprocess",
     "upgma",
@@ -164,6 +166,13 @@ def _dispatch(
         return ConstructionResult(result.tree, result.cost, method, result)
     if method == "bnb":
         result = BranchAndBoundSolver(recorder=recorder, **options).solve(matrix)
+        return ConstructionResult(result.tree, result.cost, method, result)
+    if method == "bnb-scalar":
+        # The scalar branching loop kept as a live differential reference
+        # for the batched kernel: identical search, per-child clones.
+        result = BranchAndBoundSolver(
+            recorder=recorder, use_kernel=False, **options
+        ).solve(matrix)
         return ConstructionResult(result.tree, result.cost, method, result)
     if method == "parallel-bnb":
         solver = ParallelBranchAndBound(cluster, recorder=recorder, **options)

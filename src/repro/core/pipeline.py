@@ -7,14 +7,23 @@ merging.  The result records one :class:`SubproblemReport` per reduced
 matrix so the experiments can show *where* the time went -- the paper's
 headline claim is precisely that the largest reduced matrix is far
 smaller than the input.
+
+Independent subproblems can solve concurrently: sibling compact sets
+share no species, so their reduced matrices are disjoint and the
+``subproblem_workers`` thread pool fans the recursion out across them
+(threads, not processes -- the branch kernel's numpy work releases the
+GIL, and the multiprocess engine already covers process-level scaling).
 """
 
 from __future__ import annotations
 
+import contextvars
+import itertools
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.bnb.sequential import BranchAndBoundSolver
+from repro.bnb.sequential import BranchAndBoundSolver, SearchStats
 from repro.core.merge import merge_group_tree
 from repro.core.reduction import REDUCTIONS, reduce_matrix
 from repro.graph.hierarchy import CompactSetHierarchy, HierarchyNode
@@ -39,6 +48,9 @@ class SubproblemReport:
     solver: str
     nodes_expanded: int = 0
     simulated_makespan: float = 0.0
+    #: Full search statistics when the subproblem ran the exact solver
+    #: (``None`` for heuristic fallbacks and the simulated cluster).
+    stats: Optional[SearchStats] = None
 
 
 @dataclass
@@ -62,6 +74,19 @@ class CompactResult:
         """Sum of simulated cluster makespans over all subproblems."""
         return sum(r.simulated_makespan for r in self.reports)
 
+    @property
+    def aggregate_search_stats(self) -> Optional[SearchStats]:
+        """Every exact subproblem's :class:`SearchStats` merged, in report
+        order, or ``None`` when no subproblem ran the exact solver."""
+        merged: Optional[SearchStats] = None
+        for report in self.reports:
+            if report.stats is None:
+                continue
+            if merged is None:
+                merged = SearchStats()
+            merged.merge(report.stats)
+        return merged
+
 
 class CompactSetTreeBuilder:
     """Build a near-optimal ultrametric tree via compact-set decomposition.
@@ -81,6 +106,11 @@ class CompactSetTreeBuilder:
         Reduced matrices larger than this fall back to UPGMM instead of
         exact search (``None`` disables the fallback).  Pure-Python
         branch-and-bound is exponential, so benchmarks cap this.
+    subproblem_workers:
+        Number of threads used to solve independent sibling subproblems
+        concurrently (default 1 = fully sequential recursion).  Sibling
+        compact sets are disjoint, so any value produces the identical
+        tree, cost and report list; only wall-clock changes.
     solver_options:
         Extra keyword arguments for the branch-and-bound solver
         (``lower_bound``, ``relationship_33``...).
@@ -90,7 +120,12 @@ class CompactSetTreeBuilder:
         nested ``pipeline.reduce`` / ``pipeline.solve`` /
         ``pipeline.merge`` spans (plus ``pipeline.discover`` for the
         hierarchy scan), and the underlying solver emits its search
-        counters.  Defaults to the no-op recorder.
+        counters.  Defaults to the no-op recorder.  With
+        ``subproblem_workers > 1`` the spans of concurrently solved
+        subtrees are recorded from pool threads, so they parent to the
+        worker thread's own stack rather than the submitting node's span
+        (the :class:`~repro.obs.recorder.Recorder` is thread-safe and
+        span nesting is per-thread by design).
     """
 
     def __init__(
@@ -100,6 +135,7 @@ class CompactSetTreeBuilder:
         solver: str = "bnb",
         cluster: Optional[ClusterConfig] = None,
         max_exact_size: Optional[int] = None,
+        subproblem_workers: int = 1,
         recorder: Optional[NullRecorder] = None,
         **solver_options,
     ) -> None:
@@ -109,10 +145,15 @@ class CompactSetTreeBuilder:
             )
         if solver not in ("bnb", "parallel", "upgmm"):
             raise ValueError(f"unknown solver {solver!r}")
+        if subproblem_workers < 1:
+            raise ValueError(
+                f"subproblem_workers must be >= 1, got {subproblem_workers}"
+            )
         self.reduction = reduction
         self.solver = solver
         self.cluster = cluster or ClusterConfig()
         self.max_exact_size = max_exact_size
+        self.subproblem_workers = subproblem_workers
         self.solver_options = solver_options
         self.recorder = as_recorder(recorder)
         # Solver objects are stateless across solves; construct once here
@@ -128,6 +169,10 @@ class CompactSetTreeBuilder:
             self._parallel_solver = ParallelBranchAndBound(
                 self.cluster, recorder=self.recorder, **solver_options
             )
+        # Placeholder labels only need to be unique; itertools.count is
+        # atomic under the GIL, so concurrent subtree solves never mint
+        # the same name.
+        self._placeholder_ids = itertools.count()
 
     # ------------------------------------------------------------------
     def build(self, matrix: DistanceMatrix) -> CompactResult:
@@ -144,12 +189,12 @@ class CompactSetTreeBuilder:
         ) as build_span:
             with rec.span("pipeline.discover", n=matrix.n):
                 hierarchy = CompactSetHierarchy.from_matrix(matrix)
-            reports: List[SubproblemReport] = []
             if matrix.n == 1:
                 tree = UltrametricTree.leaf(matrix.labels[0])
+                reports: List[SubproblemReport] = []
             else:
-                self._placeholder_counter = 0
-                tree = self._solve_node(matrix, hierarchy.root, reports)
+                self._placeholder_ids = itertools.count()
+                tree, reports = self._solve_node(matrix, hierarchy.root)
         # When tracing, the result's elapsed time IS the build span's
         # duration; otherwise fall back to plain clock arithmetic.
         if build_span.end is not None:
@@ -171,13 +216,20 @@ class CompactSetTreeBuilder:
         self,
         matrix: DistanceMatrix,
         node: HierarchyNode,
-        reports: List[SubproblemReport],
-    ) -> UltrametricTree:
+    ) -> Tuple[UltrametricTree, List[SubproblemReport]]:
+        """Solve one hierarchy node; returns the subtree plus its reports.
+
+        Reports come back in deterministic pre-order -- this node's own
+        reduced matrix first, then each placeholder child's reports in
+        label order -- regardless of how many worker threads solved the
+        children, so ``CompactResult.reports`` never depends on thread
+        scheduling.
+        """
         if node.size == 1:
             (member,) = node.members
-            return UltrametricTree.leaf(matrix.labels[member])
+            return UltrametricTree.leaf(matrix.labels[member]), []
         if node.arity == 1:  # defensive; laminar construction avoids this
-            return self._solve_node(matrix, node.children[0], reports)
+            return self._solve_node(matrix, node.children[0])
 
         rec = self.recorder
         with rec.span("pipeline.node", size=node.size, arity=node.arity):
@@ -190,8 +242,7 @@ class CompactSetTreeBuilder:
                     (member,) = child.members
                     labels.append(matrix.labels[member])
                 else:
-                    name = f"__cs{self._placeholder_counter}__"
-                    self._placeholder_counter += 1
+                    name = f"__cs{next(self._placeholder_ids)}__"
                     labels.append(name)
                     placeholders[name] = child
             with rec.span("pipeline.reduce", size=len(groups)):
@@ -202,14 +253,42 @@ class CompactSetTreeBuilder:
             group_tree, report = self._solve_matrix(
                 reduced, tuple(sorted(node.members))
             )
-            reports.append(report)
+            reports = [report]
 
-            subtrees = {
-                name: self._solve_node(matrix, child, reports)
-                for name, child in placeholders.items()
-            }
+            names = list(placeholders)
+            if self.subproblem_workers > 1 and len(names) > 1:
+                # Sibling compact sets are disjoint, so their subtrees
+                # solve independently.  A fresh pool per node (rather
+                # than one shared bounded pool) means a recursive
+                # _solve_node call inside a worker can never deadlock
+                # waiting on its own pool's slots.  Each submission runs
+                # in its own copy of the ambient context (a Context can
+                # only be entered by one thread at a time), which keeps
+                # the trace id visible in pool threads.
+                workers = min(self.subproblem_workers, len(names))
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            contextvars.copy_context().run,
+                            self._solve_node,
+                            matrix,
+                            placeholders[name],
+                        )
+                        for name in names
+                    ]
+                    solved = [future.result() for future in futures]
+            else:
+                solved = [
+                    self._solve_node(matrix, placeholders[name])
+                    for name in names
+                ]
+
+            subtrees: Dict[str, UltrametricTree] = {}
+            for name, (subtree, sub_reports) in zip(names, solved):
+                subtrees[name] = subtree
+                reports.extend(sub_reports)
             with rec.span("pipeline.merge", size=node.size):
-                return merge_group_tree(group_tree, subtrees)
+                return merge_group_tree(group_tree, subtrees), reports
 
     def _solve_matrix(
         self, reduced: DistanceMatrix, members: Tuple[int, ...]
@@ -225,6 +304,7 @@ class CompactSetTreeBuilder:
 
         nodes_expanded = 0
         makespan = 0.0
+        stats: Optional[SearchStats] = None
         t0 = rec.clock()
         with rec.span(
             "pipeline.solve", solver=solver, size=reduced.n
@@ -234,6 +314,7 @@ class CompactSetTreeBuilder:
                 result = self._bnb_solver.solve(reduced)
                 tree, cost = result.tree, result.cost
                 nodes_expanded = result.stats.nodes_expanded
+                stats = result.stats
             elif solver == "parallel":
                 assert self._parallel_solver is not None
                 presult = self._parallel_solver.solve(reduced)
@@ -259,5 +340,6 @@ class CompactSetTreeBuilder:
             solver=solver,
             nodes_expanded=nodes_expanded,
             simulated_makespan=makespan,
+            stats=stats,
         )
         return tree, report

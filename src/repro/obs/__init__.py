@@ -51,6 +51,7 @@ from repro.obs.profile import (
     filter_by_trace_id,
     render_profile,
     render_span_tree,
+    span_gauges,
 )
 
 __all__ = [
@@ -79,6 +80,7 @@ __all__ = [
     "build_span_tree",
     "aggregate_spans",
     "counter_totals",
+    "span_gauges",
     "filter_by_trace_id",
     "render_span_tree",
     "render_profile",

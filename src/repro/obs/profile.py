@@ -22,6 +22,7 @@ __all__ = [
     "build_span_tree",
     "aggregate_spans",
     "counter_totals",
+    "span_gauges",
     "render_span_tree",
     "render_profile",
 ]
@@ -87,6 +88,42 @@ def counter_totals(events: Iterable[Event]) -> Dict[str, float]:
         if isinstance(event, CounterEvent):
             totals[event.name] = totals.get(event.name, 0.0) + event.value
     return totals
+
+
+def span_gauges(
+    events: Iterable[Event],
+) -> Dict[str, Tuple[int, float, float, float]]:
+    """``attr -> (count, min, mean, max)`` over metric-style span attrs.
+
+    Non-additive per-run statistics -- the solver's ``bnb.max_open_size``,
+    ``bnb.prune_fraction``, ``bnb.seed_gap_fraction`` -- ride on their
+    span as dotted-name attributes rather than being emitted as counters:
+    summing a maximum (or a fraction) over repeated solves produces a
+    meaningless total, which is exactly what the old counter emission did
+    to multi-solve profiles.  This rollup treats them as gauges and
+    reports the distribution instead.
+
+    Only attributes whose key contains a ``.`` (the metric-name
+    convention) and whose value is a plain number are collected, so
+    structural span attrs (``n``, ``size``, ``solver``...) stay out.
+    """
+    stats: Dict[str, Tuple[int, float, float, float]] = {}
+    for span in _wall_spans(events):
+        for key, value in span.attrs.items():
+            if "." not in key:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            count, low, total, high = stats.get(
+                key, (0, float("inf"), 0.0, float("-inf"))
+            )
+            stats[key] = (
+                count + 1, min(low, value), total + value, max(high, value)
+            )
+    return {
+        key: (count, low, total / count, high)
+        for key, (count, low, total, high) in stats.items()
+    }
 
 
 def filter_by_trace_id(
@@ -211,6 +248,21 @@ def render_profile(
                 + [
                     f"  {name:<{width}}  {value:g}"
                     for name, value in sorted(counters.items())
+                ]
+            )
+        )
+    gauges = span_gauges(events)
+    if gauges:
+        width = max(len(name) for name in gauges)
+        sections.append(
+            "\n".join(
+                ["", "span gauges (min/mean/max):"]
+                + [
+                    f"  {name:<{width}}  x{count:<5d} "
+                    f"{low:g} / {mean:g} / {high:g}"
+                    for name, (count, low, mean, high) in sorted(
+                        gauges.items()
+                    )
                 ]
             )
         )

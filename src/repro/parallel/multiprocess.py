@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.bnb.bounds import search_context
+from repro.bnb.kernel import BranchKernel, expand_positions
 from repro.bnb.relationship import insertion_is_consistent
 from repro.bnb.topology import PartialTopology
 from repro.bnb.sequential import BranchAndBoundSolver
@@ -115,6 +116,7 @@ def _worker_main(
     result_queue,
     poll_interval: int,
     trace_id: Optional[str] = None,
+    use_kernel: bool = True,
 ) -> None:
     """DFS-complete a share of the frontier (runs in a child process).
 
@@ -131,6 +133,9 @@ def _worker_main(
     pruned = 0
     try:
         topologies = [PartialTopology.from_payload(p, half) for p in payloads]
+        kernel = BranchKernel(half) if use_kernel else None
+        if kernel is not None and not kernel.supported:
+            kernel = None  # oversized matrix: scalar fallback
         local_ub = shared_ub.value
         best: Optional[PartialTopology] = None
         n = len(values)
@@ -147,17 +152,19 @@ def _worker_main(
             expanded += 1
             s = node.next_species
             tail = tails[s + 1]
-            children = []
-            for position in range(len(node.parent)):
-                child = node.child(position, tail)
-                if child.lower_bound > local_ub - _EPS:
-                    pruned += 1
-                    continue
-                if check_33 and not insertion_is_consistent(
-                    child, values, s, check_all_pairs=enforce_all_33
-                ):
-                    continue
-                children.append(child)
+            survivors, cut = expand_positions(
+                node, tail, local_ub - _EPS, kernel
+            )
+            pruned += cut
+            if check_33:
+                children = [
+                    child for child in survivors
+                    if insertion_is_consistent(
+                        child, values, s, check_all_pairs=enforce_all_33
+                    )
+                ]
+            else:
+                children = survivors
             if node.num_leaves + 1 == n:
                 for child in children:
                     if child.cost < local_ub - _EPS:
@@ -253,6 +260,7 @@ def multiprocess_mut(
     enforce_all_33: bool = False,
     prebranch_factor: int = 2,
     poll_interval: int = 64,
+    use_kernel: bool = True,
     start_method: Optional[str] = None,
     recorder: Optional[NullRecorder] = None,
     trace_id: Optional[str] = None,
@@ -295,6 +303,7 @@ def multiprocess_mut(
             method,
             rec,
             trace_id,
+            use_kernel,
         )
 
 
@@ -309,12 +318,14 @@ def _multiprocess_impl(
     method: str,
     rec: NullRecorder,
     trace_id: Optional[str] = None,
+    use_kernel: bool = True,
 ) -> MultiprocessResult:
     if matrix.n < 4 or n_workers == 1:
         seq = BranchAndBoundSolver(
             lower_bound=lower_bound,
             relationship_33=relationship_33,
             enforce_all_33=enforce_all_33,
+            use_kernel=use_kernel,
             recorder=rec,
         ).solve(matrix)
         return MultiprocessResult(
@@ -332,6 +343,9 @@ def _multiprocess_impl(
     values = [list(map(float, row)) for row in ordered.values]
     half, tails = search_context(ordered, lower_bound)
     check_33 = relationship_33 or enforce_all_33
+    kernel = BranchKernel(half) if use_kernel else None
+    if kernel is not None and not kernel.supported:
+        kernel = None  # oversized matrix: scalar fallback
 
     seed = upgmm(ordered)
     upper_bound = seed.cost()
@@ -359,11 +373,11 @@ def _multiprocess_impl(
         expanded += 1
         s = node.next_species
         tail = tails[s + 1]
-        for position in range(len(node.parent)):
-            child = node.child(position, tail)
-            if child.lower_bound > upper_bound - _EPS:
-                pruned += 1
-                continue
+        survivors, cut = expand_positions(
+            node, tail, upper_bound - _EPS, kernel
+        )
+        pruned += cut
+        for child in survivors:
             if check_33 and not insertion_is_consistent(
                 child, values, s, check_all_pairs=enforce_all_33
             ):
@@ -418,6 +432,7 @@ def _multiprocess_impl(
                     result_queue,
                     poll_interval,
                     trace_id,
+                    use_kernel,
                 ),
                 daemon=True,
             )

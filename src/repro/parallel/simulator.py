@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.bnb.bounds import LOWER_BOUNDS, search_context
+from repro.bnb.kernel import BranchKernel, expand_positions
 from repro.bnb.relationship import insertion_is_consistent
 from repro.bnb.topology import PartialTopology
 from repro.heuristics.upgma import upgmm
@@ -119,6 +120,7 @@ class ParallelBranchAndBound:
         use_maxmin: bool = True,
         relationship_33: bool = False,
         enforce_all_33: bool = False,
+        use_kernel: bool = True,
         recorder: Optional[NullRecorder] = None,
     ) -> None:
         self.config = config or ClusterConfig()
@@ -128,6 +130,7 @@ class ParallelBranchAndBound:
         self.use_maxmin = use_maxmin
         self.relationship_33 = relationship_33
         self.enforce_all_33 = enforce_all_33
+        self.use_kernel = use_kernel
         self.recorder = as_recorder(recorder)
 
     # ------------------------------------------------------------------
@@ -192,6 +195,9 @@ class ParallelBranchAndBound:
         values = [list(map(float, row)) for row in ordered.values]
         half, tails = search_context(ordered, self.lower_bound)
         check_33 = self.relationship_33 or self.enforce_all_33
+        kernel = BranchKernel(half) if self.use_kernel else None
+        if kernel is not None and not kernel.supported:
+            kernel = None  # oversized matrix: scalar fallback
 
         seed = upgmm(ordered)
         global_ub = seed.cost()
@@ -222,11 +228,11 @@ class ParallelBranchAndBound:
             expanded_in_prebranch += 1
             s = node.next_species
             tail = tails[s + 1]
-            for position in range(len(node.parent)):
-                child = node.child(position, tail)
-                if child.lower_bound > global_ub - _EPS:
-                    pruned_in_prebranch += 1
-                    continue
+            survivors, cut = expand_positions(
+                node, tail, global_ub - _EPS, kernel
+            )
+            pruned_in_prebranch += cut
+            for child in survivors:
                 if check_33 and not insertion_is_consistent(
                     child, values, s, check_all_pairs=self.enforce_all_33
                 ):
@@ -371,11 +377,11 @@ class ParallelBranchAndBound:
             s = node.next_species
             tail = tails[s + 1]
             improved = False
-            for position in range(len(node.parent)):
-                child = node.child(position, tail)
-                if child.lower_bound > worker.ub - _EPS:
-                    worker.stats.nodes_pruned += 1
-                    continue
+            survivors, cut = expand_positions(
+                node, tail, worker.ub - _EPS, kernel
+            )
+            worker.stats.nodes_pruned += cut
+            for child in survivors:
                 if check_33 and not insertion_is_consistent(
                     child, values, s, check_all_pairs=self.enforce_all_33
                 ):

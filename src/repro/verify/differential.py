@@ -1,11 +1,13 @@
 """Cross-engine differential verification.
 
-Four engines can answer the same question (three exactly, one within a
+Five engines can answer the same question (four exactly, one within a
 proven bracket), which makes the repository its own oracle:
 
-* the exact engines -- sequential Algorithm BBU (``bnb``), the
-  simulated cluster (``parallel-bnb``) and the real multi-core engine
-  (``multiprocess``) -- must agree on the optimal cost to 1e-9;
+* the exact engines -- sequential Algorithm BBU with the batched
+  branching kernel (``bnb``) and with the scalar reference loop
+  (``bnb-scalar``), the simulated cluster (``parallel-bnb``) and the
+  real multi-core engine (``multiprocess``) -- must agree on the
+  optimal cost to 1e-9;
 * the compact-set pipeline's cost must land in ``[exact, upgmm]``: it is
   exact inside every compact set, so it can never beat the optimum, and
   the paper proves it never loses to the UPGMM upper bound;
@@ -38,7 +40,12 @@ __all__ = [
 ]
 
 #: Methods that must find the exact minimum ultrametric tree.
-EXACT_METHODS: Tuple[str, ...] = ("bnb", "parallel-bnb", "multiprocess")
+#: ``bnb`` branches with the batched kernel and ``bnb-scalar`` with the
+#: per-child reference loop, so every differential run doubles as a
+#: kernel-vs-scalar equivalence check.
+EXACT_METHODS: Tuple[str, ...] = (
+    "bnb", "bnb-scalar", "parallel-bnb", "multiprocess"
+)
 
 #: Methods whose cost is proven to land in ``[exact, upgmm]``.
 BRACKET_METHODS: Tuple[str, ...] = ("compact", "compact-parallel")

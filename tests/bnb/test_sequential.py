@@ -175,3 +175,81 @@ class TestStats:
         assert a.nodes_created == 12
         assert a.nodes_expanded == 7
         assert a.elapsed_seconds == pytest.approx(1.5)
+
+    def test_merge_keeps_best_cost_and_seed_bound(self):
+        """Regression: merge() used to drop both fields, so pipeline
+        aggregates reported a 0.0 seed bound and an inf best cost."""
+        from repro.bnb.sequential import SearchStats
+
+        a = SearchStats(
+            initial_upper_bound=10.0, best_cost=9.0, max_open_size=4
+        )
+        b = SearchStats(
+            initial_upper_bound=7.5, best_cost=6.25, max_open_size=9
+        )
+        a.merge(b)
+        assert a.initial_upper_bound == pytest.approx(17.5)
+        assert a.best_cost == 6.25  # min, not sum (and not dropped)
+        assert a.max_open_size == 9
+
+    def test_merge_into_fresh_accumulator_is_identity(self):
+        """Folding one run into SearchStats() must reproduce that run --
+        this is exactly what CompactResult.aggregate_search_stats does."""
+        from repro.bnb.sequential import SearchStats
+
+        run = SearchStats(
+            nodes_created=3,
+            initial_upper_bound=4.0,
+            best_cost=3.5,
+            node_limit_hit=True,
+        )
+        acc = SearchStats()
+        acc.merge(run)
+        assert acc.best_cost == 3.5
+        assert acc.initial_upper_bound == 4.0
+        assert acc.node_limit_hit
+
+
+class TestGaugeReporting:
+    """Regression: max_open_size / prune_fraction / seed_gap_fraction were
+    emitted as *counters*, so repeated solves on one recorder summed a
+    maximum and summed fractions into nonsense totals.  They now ride on
+    the ``bnb.solve`` span as attributes (gauges)."""
+
+    def solve_twice(self):
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        results = [
+            BranchAndBoundSolver(recorder=rec).solve(
+                random_metric_matrix(n, seed=seed)
+            )
+            for n, seed in ((8, 41), (9, 43))
+        ]
+        return rec, results
+
+    def test_gauges_are_not_counters(self):
+        rec, _ = self.solve_twice()
+        for name in (
+            "bnb.max_open_size",
+            "bnb.prune_fraction",
+            "bnb.seed_gap_fraction",
+        ):
+            assert rec.counters(name) == []
+        # The genuinely additive statistics still arrive as counters.
+        assert rec.counter_total("bnb.nodes_created") > 0
+
+    def test_each_span_carries_its_own_run(self):
+        rec, results = self.solve_twice()
+        spans = rec.spans("bnb.solve")
+        assert len(spans) == 2
+        for span, result in zip(spans, results):
+            stats = result.stats
+            assert span.attrs["bnb.max_open_size"] == stats.max_open_size
+            assert span.attrs["bnb.prune_fraction"] == pytest.approx(
+                stats.nodes_pruned / stats.nodes_created
+            )
+            assert span.attrs["bnb.seed_gap_fraction"] == pytest.approx(
+                (stats.initial_upper_bound - result.cost)
+                / stats.initial_upper_bound
+            )

@@ -131,6 +131,42 @@ class TestMinimalRealization:
             t = child
 
 
+class TestSharedHalf:
+    """The ``M / 2`` matrix is read-only search state shared by reference.
+
+    Regression: ``initial()`` and ``from_payload()`` used to deep-copy
+    ``half`` into every topology -- O(n^2) waste per solve that also hid
+    any accidental mutation of the shared context.
+    """
+
+    def test_initial_shares_half_by_reference(self):
+        half = half_matrix(random_metric_matrix(6, seed=8))
+        assert PartialTopology.initial(half).half is half
+
+    def test_children_share_the_same_half(self):
+        half = half_matrix(random_metric_matrix(6, seed=8))
+        t = PartialTopology.initial(half)
+        assert t.child(0).half is half
+        assert t.child(0).child(1).half is half
+
+    def test_from_payload_shares_half(self):
+        half = half_matrix(random_metric_matrix(6, seed=8))
+        t = PartialTopology.initial(half).child(2)
+        rebuilt = PartialTopology.from_payload(t.to_payload(), half)
+        assert rebuilt.half is half
+        assert rebuilt.cost == t.cost
+
+    def test_solve_leaves_cached_half_unchanged(self):
+        from repro.bnb.bounds import search_context
+        from repro.bnb.sequential import exact_mut
+
+        m = random_metric_matrix(7, seed=9)
+        half, _ = search_context(m, "minfront")
+        snapshot = [list(row) for row in half]
+        exact_mut(m, use_maxmin=False)  # same matrix object -> same cache
+        assert half == snapshot
+
+
 class TestLca:
     def test_lca_of_initial_pair(self, tiny_matrix):
         t = topology_for(tiny_matrix)

@@ -220,3 +220,70 @@ class TestOptions:
         m = clustered_matrix([3, 3], seed=10)
         result = CompactSetTreeBuilder(lower_bound="trivial").build(m)
         assert is_valid_ultrametric_tree(result.tree)
+
+
+class TestSubproblemWorkers:
+    def report_key(self, report):
+        return (report.members, report.size, report.solver, report.cost)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_threaded_matches_sequential(self, workers):
+        from repro.tree.newick import to_newick
+
+        m = hierarchical_matrix([[3, 3], [3, 3]], seed=12)
+        sequential = CompactSetTreeBuilder().build(m)
+        threaded = CompactSetTreeBuilder(
+            subproblem_workers=workers
+        ).build(m)
+        assert threaded.cost == sequential.cost
+        assert to_newick(threaded.tree) == to_newick(sequential.tree)
+        # The report list is deterministic pre-order, independent of how
+        # the thread pool scheduled the sibling subtrees.
+        assert [self.report_key(r) for r in threaded.reports] == [
+            self.report_key(r) for r in sequential.reports
+        ]
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="subproblem_workers"):
+            CompactSetTreeBuilder(subproblem_workers=0)
+
+    def test_spans_recorded_from_pool_threads(self):
+        recorder = Recorder()
+        m = hierarchical_matrix([[3, 2], [3, 2]], seed=13)
+        result = CompactSetTreeBuilder(
+            subproblem_workers=4, recorder=recorder
+        ).build(m)
+        # Still exactly one solve span per report, even when siblings
+        # solved concurrently on worker threads.
+        assert len(recorder.spans("pipeline.solve")) == len(result.reports)
+
+
+class TestAggregateSearchStats:
+    def test_aggregates_over_exact_reports(self):
+        m = hierarchical_matrix([[3, 2], [3]], seed=14)
+        result = CompactSetTreeBuilder().build(m)
+        with_stats = [r.stats for r in result.reports if r.stats is not None]
+        assert with_stats  # the exact solver ran somewhere
+        agg = result.aggregate_search_stats
+        assert agg.nodes_created == sum(s.nodes_created for s in with_stats)
+        assert agg.nodes_expanded == sum(s.nodes_expanded for s in with_stats)
+        assert agg.initial_upper_bound == pytest.approx(
+            sum(s.initial_upper_bound for s in with_stats)
+        )
+        assert agg.best_cost == min(s.best_cost for s in with_stats)
+        assert agg.max_open_size == max(s.max_open_size for s in with_stats)
+
+    def test_none_for_heuristic_solver(self):
+        m = clustered_matrix([3, 3], seed=15)
+        result = CompactSetTreeBuilder(solver="upgmm").build(m)
+        assert all(r.stats is None for r in result.reports)
+        assert result.aggregate_search_stats is None
+
+    def test_fallback_reports_carry_no_stats(self):
+        m = random_metric_matrix(9, seed=7)  # few compact sets -> big root
+        result = CompactSetTreeBuilder(max_exact_size=4).build(m)
+        for report in result.reports:
+            if report.solver == "upgmm":
+                assert report.stats is None
+            else:
+                assert report.stats is not None

@@ -10,6 +10,7 @@ from repro.obs import (
     counter_totals,
     render_profile,
     render_span_tree,
+    span_gauges,
 )
 
 
@@ -70,6 +71,56 @@ class TestAggregation:
 
     def test_counter_totals(self):
         assert counter_totals(recorded_run().events) == {"nodes": 15.0}
+
+
+def gauge_run():
+    """Two solves whose non-additive stats ride on the spans as attrs."""
+    rec = Recorder(clock=ticking_clock())
+    with rec.span("bnb.solve", n=8) as first:
+        first.attrs["bnb.max_open_size"] = 4
+        first.attrs["bnb.prune_fraction"] = 0.25
+    with rec.span("bnb.solve", n=9) as second:
+        second.attrs["bnb.max_open_size"] = 10
+        second.attrs["bnb.prune_fraction"] = 0.75
+    return rec
+
+
+class TestSpanGauges:
+    def test_min_mean_max_aggregation(self):
+        gauges = span_gauges(gauge_run().events)
+        assert gauges["bnb.max_open_size"] == (2, 4, 7.0, 10)
+        assert gauges["bnb.prune_fraction"] == (2, 0.25, 0.5, 0.75)
+
+    def test_structural_and_bool_attrs_excluded(self):
+        rec = Recorder(clock=ticking_clock())
+        with rec.span("bnb.solve", n=8, solver="bnb") as span:
+            span.attrs["bnb.max_open_size"] = 3
+            span.attrs["bnb.limit_hit"] = True  # bool is not a gauge
+        gauges = span_gauges(rec.events)
+        assert set(gauges) == {"bnb.max_open_size"}
+
+    def test_simulated_clock_spans_excluded(self):
+        rec = gauge_run()
+        rec.add_span(
+            "parallel.worker", 0.0, 50.0, clock="simulated",
+            **{"bnb.max_open_size": 999},
+        )
+        gauges = span_gauges(rec.events)
+        assert gauges["bnb.max_open_size"][3] == 10  # 999 not folded in
+
+    def test_profile_renders_gauge_section(self):
+        text = render_profile(gauge_run().events)
+        assert "span gauges (min/mean/max):" in text
+        assert "bnb.max_open_size" in text
+        # A gauge-free stream renders no gauge section.
+        assert "span gauges" not in render_profile(recorded_run().events)
+
+    def test_gauges_never_summed_as_counters(self):
+        """Regression shape: the old emission made two solves report a
+        summed max (14) in counter totals; gauges keep runs separate."""
+        events = gauge_run().events
+        assert "bnb.max_open_size" not in counter_totals(events)
+        assert span_gauges(events)["bnb.max_open_size"][3] == 10
 
 
 class TestRendering:

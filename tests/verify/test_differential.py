@@ -54,10 +54,14 @@ class TestMultiprocessAgainstExact:
 
 class TestDefaults:
     def test_method_sets(self):
-        assert EXACT_METHODS == ("bnb", "parallel-bnb", "multiprocess")
+        assert EXACT_METHODS == (
+            "bnb", "bnb-scalar", "parallel-bnb", "multiprocess"
+        )
         assert set(BRACKET_METHODS) == {"compact", "compact-parallel"}
-        # All three exact engines, the compact pipeline and one feasible
-        # upper-bound heuristic cross-check each other by default.
+        # All four exact engines (the batched kernel and its scalar
+        # reference count separately), the compact pipeline and one
+        # feasible upper-bound heuristic cross-check each other by
+        # default.
         assert set(EXACT_METHODS) < set(DEFAULT_DIFFERENTIAL_METHODS)
         assert "compact" in DEFAULT_DIFFERENTIAL_METHODS
         assert "upgmm" in DEFAULT_DIFFERENTIAL_METHODS
