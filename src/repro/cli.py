@@ -249,7 +249,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8533,
                        help="listen port; 0 picks a free one (default: 8533)")
     serve.add_argument("--workers", type=int, default=4,
-                       help="solver worker threads (default: 4)")
+                       help="solver workers (default: 4)")
+    serve.add_argument("--backend", choices=("auto", "thread", "process"),
+                       default="auto",
+                       help="execution backend: worker threads or supervised "
+                            "worker processes; 'auto' picks processes for "
+                            "the GIL-bound exact methods and threads "
+                            "otherwise (default: auto)")
+    serve.add_argument("--start-method", default=None,
+                       choices=("fork", "spawn", "forkserver"),
+                       help="force a multiprocessing start method for "
+                            "--backend process (default: the platform's "
+                            "cheapest)")
     serve.add_argument("--queue-size", type=int, default=64,
                        help="bounded job queue; beyond it POST /solve is "
                             "rejected with 429 queue_full (default: 64)")
@@ -701,6 +712,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         default_method=args.method,
         default_timeout=args.job_timeout,
+        backend=None if args.backend == "auto" else args.backend,
+        start_method=args.start_method,
         trace_out=args.trace_out,
         trace_max_mb=args.trace_max_mb,
         trace_ring=args.trace_ring,

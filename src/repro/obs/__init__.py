@@ -37,11 +37,13 @@ from repro.obs.metrics import (
     NULL_METRICS,
     REGISTRY,
     Counter,
+    ForwardingMetricsRegistry,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
     as_metrics,
+    replay_metric_ops,
 )
 from repro.obs.profile import (
     ProfileNode,
@@ -73,9 +75,11 @@ __all__ = [
     "NULL_METRICS",
     "REGISTRY",
     "Counter",
+    "ForwardingMetricsRegistry",
     "Gauge",
     "Histogram",
     "as_metrics",
+    "replay_metric_ops",
     "ProfileNode",
     "build_span_tree",
     "aggregate_spans",

@@ -44,6 +44,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "OVERFLOW_LABEL",
     "Counter",
+    "ForwardingMetricsRegistry",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -52,6 +53,7 @@ __all__ = [
     "REGISTRY",
     "as_metrics",
     "prometheus_name",
+    "replay_metric_ops",
 ]
 
 #: Default histogram buckets, in seconds.  Chosen for the serving layer's
@@ -516,3 +518,116 @@ REGISTRY = MetricsRegistry()
 def as_metrics(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
     """``metrics`` itself, or the process-wide default for ``None``."""
     return REGISTRY if metrics is None else metrics
+
+
+# ----------------------------------------------------------------------
+# cross-process forwarding
+# ----------------------------------------------------------------------
+class _ForwardingInstrument:
+    """Instrument proxy that logs every mutation as a replayable op.
+
+    Only *cumulative* mutations are logged (counter increments and
+    histogram observations) -- gauges are scrape-time callbacks that the
+    parent process computes itself, so forwarding them would double
+    report.
+    """
+
+    def __init__(self, owner, kind, inner, buckets=None) -> None:
+        self._owner = owner
+        self._kind = kind
+        self._inner = inner
+        self._buckets = list(buckets) if buckets is not None else None
+
+    def _log(self, op: str, value: float, labels: Mapping) -> None:
+        self._owner._log_op(
+            (
+                self._kind,
+                self._inner.name,
+                self._inner.help,
+                list(self._inner.labelnames),
+                self._buckets,
+                op,
+                float(value),
+                {k: str(v) for k, v in labels.items()},
+            )
+        )
+
+    def inc(self, value: float = 1, **labels) -> None:
+        self._inner.inc(value, **labels)
+        self._log("inc", value, labels)
+
+    def observe(self, value: float, **labels) -> None:
+        self._inner.observe(value, **labels)
+        self._log("observe", value, labels)
+
+    def __getattr__(self, attr):
+        # Reads (value/count/sum/...) and gauge writes pass straight
+        # through to the real instrument.
+        return getattr(self._inner, attr)
+
+
+class ForwardingMetricsRegistry(MetricsRegistry):
+    """A live registry that also logs mutations for cross-process replay.
+
+    A worker process installs one of these as its registry for a job's
+    duration; afterwards :meth:`drain_ops` returns a picklable op list
+    the parent feeds to :func:`replay_metric_ops` against *its* registry
+    -- so ``GET /metrics`` on the serving process sees engine-side
+    counters and histograms (e.g. ``solve.seconds``) recorded in worker
+    processes.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._ops: List[tuple] = []
+
+    def _log_op(self, op: tuple) -> None:
+        with self._lock:
+            self._ops.append(op)
+
+    def drain_ops(self) -> List[tuple]:
+        """The ops logged since the last drain (and forget them)."""
+        with self._lock:
+            ops, self._ops = self._ops, []
+            return ops
+
+    def counter(self, name, help="", labelnames=()):  # noqa: A002
+        return _ForwardingInstrument(
+            self, "counter", super().counter(name, help, labelnames)
+        )
+
+    def histogram(
+        self, name, help="", labelnames=(), buckets=DEFAULT_LATENCY_BUCKETS
+    ):  # noqa: A002
+        return _ForwardingInstrument(
+            self,
+            "histogram",
+            super().histogram(name, help, labelnames, buckets),
+            buckets=buckets,
+        )
+
+
+def replay_metric_ops(registry: MetricsRegistry, ops) -> int:
+    """Apply ops from a :class:`ForwardingMetricsRegistry` to ``registry``.
+
+    Instruments are created on demand with the same name/help/labels
+    (and buckets, for histograms) they had in the worker process, so the
+    parent's exposition is indistinguishable from having recorded the
+    events locally.  Returns the number of ops applied; malformed ops
+    raise ``ValueError`` (they indicate transport corruption).
+    """
+    applied = 0
+    for op in ops:
+        kind, name, help_, labelnames, buckets, action, value, labels = op
+        if kind == "counter" and action == "inc":
+            registry.counter(name, help_, tuple(labelnames)).inc(
+                value, **labels
+            )
+        elif kind == "histogram" and action == "observe":
+            registry.histogram(
+                name, help_, tuple(labelnames), buckets=tuple(buckets)
+            ).observe(value, **labels)
+        else:
+            raise ValueError(f"unknown metric op {kind!r}/{action!r}")
+        applied += 1
+    return applied

@@ -233,6 +233,9 @@ class NullRecorder:
     def counter_total(self, name: str) -> float:
         return 0.0
 
+    def ingest(self, events, *, offset: float = 0.0) -> int:
+        return 0
+
 
 #: Shared default instance; engines use it when no recorder is supplied.
 NULL_RECORDER = NullRecorder()
@@ -334,6 +337,61 @@ class Recorder(NullRecorder):
         )
         self._record(event)
         return event
+
+    def ingest(self, events, *, offset: float = 0.0) -> int:
+        """Replay serialized events from another process into this trace.
+
+        ``events`` is a list of ``to_json()``-shaped dicts (what a worker
+        process ships back across a queue); ``offset`` is added to every
+        timestamp, re-basing the child's clock onto this recorder's (the
+        two ``perf_counter`` origins are not comparable across
+        processes).  Span ids are freshly allocated with parent links
+        preserved; events whose parent did not cross the boundary (and
+        root events) are parented to the calling thread's currently open
+        span, so a forwarded worker trace nests inside the parent's
+        ``service.job`` span exactly like locally recorded work.
+        Returns the number of events ingested; unknown kinds (``meta``)
+        are skipped.
+        """
+        stack = self._stack_for_thread()
+        root_parent = stack[-1].id if stack else None
+        # Two passes: ids first, so a child span recorded before its
+        # parent closed still maps its parent link correctly.
+        id_map = {
+            record["id"]: self._allocate_id()
+            for record in events
+            if record.get("event") == "span"
+        }
+
+        def remap(old: Optional[int]) -> Optional[int]:
+            if old is None:
+                return root_parent
+            return id_map.get(old, root_parent)
+
+        ingested = 0
+        for record in events:
+            kind = record.get("event")
+            if kind == "span":
+                self._record(SpanEvent(
+                    id=id_map[record["id"]],
+                    parent=remap(record.get("parent")),
+                    name=record["name"],
+                    start=record["start"] + offset,
+                    end=record["end"] + offset,
+                    attrs=dict(record.get("attrs", {})),
+                ))
+            elif kind == "counter":
+                self._record(CounterEvent(
+                    name=record["name"],
+                    value=record["value"],
+                    time=record["time"] + offset,
+                    span=remap(record.get("span")),
+                    attrs=dict(record.get("attrs", {})),
+                ))
+            else:
+                continue
+            ingested += 1
+        return ingested
 
     # ------------------------------------------------------------------
     # queries

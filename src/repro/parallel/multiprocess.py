@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
-import queue as queue_lib
 import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -50,6 +49,7 @@ from repro.bnb.sequential import BranchAndBoundSolver
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.maxmin import apply_maxmin
+from repro.parallel.executor import gather_one_per_worker
 from repro.obs.recorder import (
     NullRecorder,
     as_recorder,
@@ -206,49 +206,23 @@ def _gather_results(
 ) -> List[tuple]:
     """Collect one message per worker, supervising worker liveness.
 
-    Raises :class:`RuntimeError` naming the worker when one dies without
-    reporting (non-zero exit code or a lost result), or when a worker
-    ships back an exception traceback.  When ``arrivals``/``clock`` are
-    supplied, each worker's result-arrival timestamp is recorded so the
-    caller can emit per-worker spans.
+    Thin wrapper over the reusable supervision primitive
+    :func:`repro.parallel.executor.gather_one_per_worker` (the logic
+    started life here and was extracted for the serving layer's process
+    backend).  Raises a typed :class:`~repro.parallel.executor.
+    WorkerCrashed` / :class:`~repro.parallel.executor.RemoteTaskError`
+    (both ``RuntimeError`` subclasses) naming the worker when one dies
+    without reporting or ships back an exception traceback.
     """
-    pending = dict(processes)
-    results: List[tuple] = []
-    clean_exit_polls = 0
-    while pending:
-        try:
-            message = result_queue.get(timeout=_POLL_TIMEOUT)
-        except queue_lib.Empty:
-            dead_clean = []
-            for worker_id, proc in sorted(pending.items()):
-                if proc.is_alive():
-                    continue
-                code = proc.exitcode
-                if code not in (0, None):
-                    raise RuntimeError(
-                        f"branch-and-bound worker {worker_id} "
-                        f"(pid {proc.pid}) died with exit code {code} "
-                        f"before reporting a result"
-                    )
-                dead_clean.append(worker_id)
-            if dead_clean and len(dead_clean) == len(pending):
-                clean_exit_polls += 1
-                if clean_exit_polls >= _LOST_RESULT_GRACE:
-                    raise RuntimeError(
-                        f"branch-and-bound workers {dead_clean} exited "
-                        f"cleanly but their results never arrived"
-                    )
-            continue
-        kind, worker_id, info, payload, counters = message
-        if kind == "error":
-            raise RuntimeError(
-                f"branch-and-bound worker {worker_id} raised:\n{info}"
-            )
-        pending.pop(worker_id, None)
-        if arrivals is not None and clock is not None:
-            arrivals[worker_id] = clock()
-        results.append(message)
-    return results
+    return gather_one_per_worker(
+        processes,
+        result_queue,
+        arrivals=arrivals,
+        clock=clock,
+        poll_timeout=_POLL_TIMEOUT,
+        lost_result_grace=_LOST_RESULT_GRACE,
+        what="branch-and-bound worker",
+    )
 
 
 def multiprocess_mut(

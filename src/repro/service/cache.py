@@ -24,7 +24,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Union
@@ -32,6 +34,14 @@ from typing import Dict, Mapping, Optional, Union
 from repro.matrix.distance_matrix import DistanceMatrix
 
 __all__ = ["CACHE_KEY_VERSION", "canonical_params", "cache_key", "ResultCache"]
+
+#: In-progress atomic-write files look like ``<key>.tmp.<pid>.<tid>``.
+_TMP_NAME = re.compile(r"\.tmp\.(\d+)\.\d+$")
+
+#: A tmp file older than this is stale even if a process with the
+#: embedded pid is running (pids get recycled); younger ones are only
+#: swept when that pid is gone.  Real writes last milliseconds.
+_TMP_GRACE_SECONDS = 300.0
 
 #: Bumped whenever the key derivation or payload layout changes, so a
 #: stale on-disk store from an older scheme can never serve wrong data.
@@ -96,6 +106,40 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._disk_write_errors = 0
+        self._tmp_swept = 0
+        if self.directory is not None:
+            self._tmp_swept = self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove abandoned atomic-write droppings from the directory.
+
+        A writer that dies between ``tmp.write_text`` and ``os.replace``
+        leaks a ``<key>.tmp.<pid>.<tid>`` file; with N stateless
+        replicas sharing one cache directory these accumulate forever
+        unless someone sweeps.  A tmp file is stale when its writing
+        process is gone, or when it is older than the grace period
+        (writes last milliseconds; pids get recycled).  Racing a *live*
+        writer is safe either way: its ``os.replace`` simply fails and
+        the entry is rewritten on the next miss.
+        """
+        if not self.directory.is_dir():
+            return 0
+        swept = 0
+        now = time.time()
+        for tmp in self.directory.glob("*.tmp.*"):
+            match = _TMP_NAME.search(tmp.name)
+            if match is None:
+                continue
+            try:
+                age = now - tmp.stat().st_mtime
+                if age < _TMP_GRACE_SECONDS and _pid_alive(int(match.group(1))):
+                    continue
+                tmp.unlink()
+                swept += 1
+            except OSError:
+                continue  # vanished concurrently, or not ours to remove
+        return swept
 
     # ------------------------------------------------------------------
     key = staticmethod(cache_key)
@@ -154,6 +198,8 @@ class ResultCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "directory": str(self.directory) if self.directory else None,
+                "disk_write_errors": self._disk_write_errors,
+                "tmp_swept": self._tmp_swept,
             }
 
     # ------------------------------------------------------------------
@@ -185,9 +231,35 @@ class ResultCache:
 
     def _disk_put(self, key: str, payload: dict) -> None:
         assert self.directory is not None
-        self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path_for(key)
         record = {"version": CACHE_KEY_VERSION, "key": key, "payload": payload}
         tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
-        tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            # Disk persistence is best-effort: a full disk or a swept
+            # tmp file must not fail the job (the entry is already in
+            # memory), only cost a future warm start.
+            with self._lock:
+                self._disk_write_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True

@@ -79,6 +79,10 @@ class Job:
         self.finished_at: Optional[float] = None
         self._lock = threading.Lock()
         self._finished = threading.Event()
+        #: Scheduler-side bookkeeping: set (under the scheduler's lock)
+        #: once statistics/dedup cleanup ran, making ``_settle``
+        #: idempotent however many code paths observe the terminal state.
+        self._settled = False
 
     # ------------------------------------------------------------------
     # caller side
@@ -95,8 +99,40 @@ class Job:
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job reaches a terminal state (or ``timeout``
-        seconds pass).  Returns whether the job finished."""
-        return self._finished.wait(timeout)
+        seconds pass).  Returns whether the job finished.
+
+        Deadline-aware: a job whose deadline passes while it is *still
+        queued* is settled as ``TIMEOUT`` right here, at the deadline --
+        not whenever a worker eventually dequeues it.  A 1s-timeout job
+        stuck behind a long solve therefore reports its timeout after
+        ~1s, and :meth:`result` raises the matching
+        :class:`~repro.service.errors.ServiceError` promptly.
+        """
+        target = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            remaining = (
+                None if target is None else target - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                return self._finished.is_set()
+            deadline = self.deadline
+            if deadline is None or self.state != JobState.PENDING:
+                # No deadline to watch (or already running: the worker
+                # owns deadline enforcement from here).
+                return self._finished.wait(remaining)
+            to_deadline = deadline - time.time()
+            if to_deadline <= 0:
+                if self.expire_if_queued() or self._finished.is_set():
+                    return True
+                continue  # raced into RUNNING; re-enter the loop
+            chunk = (
+                to_deadline if remaining is None
+                else min(remaining, to_deadline)
+            )
+            if self._finished.wait(chunk):
+                return True
 
     def result(self, timeout: Optional[float] = None) -> dict:
         """The payload dict, blocking up to ``timeout`` seconds.
@@ -120,6 +156,29 @@ class Job:
         returns whether the cancellation took effect."""
         return self._finish(JobState.CANCELLED, error="cancelled by caller")
 
+    def expire_if_queued(self, now: Optional[float] = None) -> bool:
+        """Settle a still-queued job as ``TIMEOUT`` once its deadline
+        passed.  Called by :meth:`wait` and by ``GET /jobs/<id>`` so a
+        queued job's timeout is visible the moment it is due; a no-op
+        (returning ``False``) for running/finished jobs and jobs whose
+        deadline has not passed.  The scheduler reconciles its statistics
+        when the job is eventually dequeued."""
+        deadline = self.deadline
+        if deadline is None:
+            return False
+        with self._lock:
+            if self.state != JobState.PENDING:
+                return False
+            if (time.time() if now is None else now) <= deadline:
+                return False
+            finished = self._finish_locked(
+                JobState.TIMEOUT,
+                error=f"deadline of {self.timeout:g}s passed while queued",
+            )
+        if finished:
+            self._finished.set()
+        return finished
+
     # ------------------------------------------------------------------
     # scheduler side
     # ------------------------------------------------------------------
@@ -132,6 +191,27 @@ class Job:
             self.started_at = time.time()
             return True
 
+    def _finish_locked(
+        self,
+        state: str,
+        *,
+        payload: Optional[dict] = None,
+        error: Optional[str] = None,
+        cache_status: Optional[str] = None,
+    ) -> bool:
+        """Terminal transition; the caller holds ``self._lock`` and must
+        set ``self._finished`` when this returns True."""
+        assert state in JobState.TERMINAL
+        if self.state in JobState.TERMINAL:
+            return False
+        self.state = state
+        self.payload = payload
+        self.error = error
+        if cache_status is not None:
+            self.cache_status = cache_status
+        self.finished_at = time.time()
+        return True
+
     def _finish(
         self,
         state: str,
@@ -141,18 +221,14 @@ class Job:
         cache_status: Optional[str] = None,
     ) -> bool:
         """Move to a terminal state exactly once; later calls are no-ops."""
-        assert state in JobState.TERMINAL
         with self._lock:
-            if self.state in JobState.TERMINAL:
-                return False
-            self.state = state
-            self.payload = payload
-            self.error = error
-            if cache_status is not None:
-                self.cache_status = cache_status
-            self.finished_at = time.time()
-        self._finished.set()
-        return True
+            finished = self._finish_locked(
+                state, payload=payload, error=error,
+                cache_status=cache_status,
+            )
+        if finished:
+            self._finished.set()
+        return finished
 
     def _expired(self, now: Optional[float] = None) -> bool:
         deadline = self.deadline

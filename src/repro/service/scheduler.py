@@ -19,29 +19,108 @@ Responsibilities, in the order a request meets them:
    lets queued and running jobs finish, and joins every worker thread;
    ``drain=False`` cancels whatever has not started yet.
 
-Workers are plain threads: the engines are numpy-heavy (release the GIL
-in the vectorised paths) and jobs are short, so threads beat processes
-on latency while keeping the cache and recorder trivially shared.
+Execution is pluggable (``backend=``):
+
+``"thread"``
+    Jobs run on plain worker threads.  Cheapest per job; right for
+    cache-heavy traffic and the numpy-release-the-GIL heuristics.
+``"process"``
+    Each worker thread owns a supervised worker *process*
+    (:class:`repro.parallel.executor.WorkerSlot`) and ships the solve to
+    it, so concurrent exact B&B solves -- pure-Python object
+    manipulation that holds the GIL -- scale across cores.  The child
+    re-materialises the matrix from plain floats (bit-exact transport),
+    runs the same runner, and ships back the payload *plus* its
+    span/counter events and metric mutations; the parent re-bases the
+    events into its own trace (:meth:`repro.obs.Recorder.ingest`) and
+    replays the metrics (:func:`repro.obs.metrics.replay_metric_ops`),
+    so ``/metrics`` and JSONL traces are as complete as with threads.
+    The payload's reported cost is re-verified against its Newick
+    reconstruction to 1e-9 on receipt.  A worker process that dies
+    mid-job settles the job as ``FAILED`` with a typed
+    ``WorkerCrashed: ...`` message and the slot respawns; one that runs
+    past the job's deadline is terminated (``TIMEOUT``) and respawned --
+    never a silent hang, never a shrinking pool.
+
+:func:`select_backend` picks ``"process"`` for exact methods (the GIL
+is the bottleneck) and ``"thread"`` otherwise; the cache and recorder
+stay parent-side in both backends, so N stateless replicas sharing one
+on-disk cache directory behave identically.
 """
 
 from __future__ import annotations
 
+import functools
 import queue as _queue
 import threading
 import time
 from typing import Callable, Dict, List, Optional
 
 from repro.matrix.distance_matrix import DistanceMatrix
-from repro.obs.metrics import MetricsRegistry, as_metrics
-from repro.obs.recorder import NullRecorder, as_recorder, trace_context
+from repro.obs.metrics import (
+    ForwardingMetricsRegistry,
+    MetricsRegistry,
+    as_metrics,
+    replay_metric_ops,
+)
+from repro.obs.recorder import (
+    NullRecorder,
+    Recorder,
+    as_recorder,
+    trace_context,
+)
+from repro.parallel.executor import (
+    RemoteTaskError,
+    WorkerCrashed,
+    WorkerSlot,
+    WorkerTimeout,
+)
 from repro.service.cache import ResultCache, cache_key
 from repro.service.errors import QueueFull, SchedulerClosed
 from repro.service.jobs import Job, JobState
 
-__all__ = ["Scheduler", "solve_payload"]
+__all__ = [
+    "BACKENDS",
+    "Scheduler",
+    "select_backend",
+    "solve_payload",
+]
 
 #: Queue sentinel telling a worker thread to exit.
 _STOP = object()
+
+#: Execution backends the scheduler understands.
+BACKENDS = ("thread", "process")
+
+#: Methods whose solves are GIL-bound pure-Python search; these default
+#: to the process backend under :func:`select_backend`.
+PROCESS_DEFAULT_METHODS = frozenset({
+    "compact", "compact-parallel", "bnb", "bnb-scalar",
+    "parallel-bnb", "multiprocess",
+})
+
+#: Tolerance for the on-receipt payload cost re-verification.
+_RECEIPT_EPS = 1e-9
+
+#: Terminal job state -> statistics bucket.
+_STATE_STAT = {
+    JobState.DONE: "completed",
+    JobState.FAILED: "failed",
+    JobState.CANCELLED: "cancelled",
+    JobState.TIMEOUT: "timed_out",
+}
+
+
+def select_backend(default_method: str) -> str:
+    """The execution backend best suited to ``default_method``.
+
+    Exact solvers are GIL-bound pure-Python search, so they get worker
+    *processes*; heuristics are numpy-vectorised (release the GIL) and
+    sub-millisecond, so thread dispatch wins on latency.
+    """
+    return (
+        "process" if default_method in PROCESS_DEFAULT_METHODS else "thread"
+    )
 
 
 def solve_payload(
@@ -81,6 +160,49 @@ def solve_payload(
     }
 
 
+def _process_job_task(runner: Callable, task: tuple) -> dict:
+    """Execute one job inside a worker process (the slot-side runner).
+
+    ``task`` is the picklable tuple the parent ships: plain-float matrix
+    rows and labels (floats survive pickling bit-exactly, so the child's
+    cache key and costs match the parent's), the method/options, the
+    originating request's ``trace_id``, and whether to collect events.
+
+    The child runs ``runner`` under a fresh :class:`Recorder` and a
+    :class:`ForwardingMetricsRegistry` temporarily installed as the
+    process-wide default registry, then returns everything the parent
+    needs to make its own exports complete: the payload, the serialized
+    events, the child-clock origin (for re-basing timestamps) and the
+    metric ops.
+    """
+    from repro.obs import metrics as _metrics_mod
+
+    values, labels, method, options, trace_id, collect_events = task
+    matrix = DistanceMatrix(values, labels)
+    rec = Recorder() if collect_events else as_recorder(None)
+    clock0 = rec.clock()
+    forward = ForwardingMetricsRegistry()
+    previous_registry = _metrics_mod.REGISTRY
+    _metrics_mod.REGISTRY = forward
+    try:
+        with trace_context(trace_id):
+            payload = runner(
+                matrix, method, options, rec if collect_events else None
+            )
+    finally:
+        _metrics_mod.REGISTRY = previous_registry
+    return {
+        "payload": payload,
+        "events": (
+            [event.to_json() for event in rec.events]
+            if collect_events else []
+        ),
+        "clock0": clock0,
+        "metric_ops": forward.drain_ops(),
+        "trace_id": trace_id,
+    }
+
+
 class Scheduler:
     """Bounded-queue worker pool executing tree-construction jobs.
 
@@ -110,10 +232,21 @@ class Scheduler:
     runner:
         ``(matrix, method, options, recorder) -> payload`` callable; the
         default is :func:`solve_payload`.  Tests inject slow or failing
-        runners here.
+        runners here.  With ``backend="process"`` the runner executes in
+        the worker *process*; under the ``spawn`` start method it must
+        therefore be picklable (the default is).
     max_jobs_retained:
         Finished jobs kept for ``GET /jobs/<id>`` lookups; the oldest
         finished jobs are forgotten beyond this bound.
+    backend:
+        ``"thread"`` (default) or ``"process"`` -- see the module
+        docstring.  :func:`select_backend` maps a serving method to the
+        right one.
+    start_method:
+        Forces a :mod:`multiprocessing` start method for the process
+        backend (``"fork"``/``"spawn"``/``"forkserver"``); the
+        platform's cheapest is used when omitted.  Ignored by the
+        thread backend.
     """
 
     def __init__(
@@ -127,11 +260,18 @@ class Scheduler:
         default_timeout: Optional[float] = None,
         runner: Optional[Callable] = None,
         max_jobs_retained: int = 1024,
+        backend: str = "thread",
+        start_method: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         if queue_size < 1:
             raise ValueError(f"queue size must be >= 1, got {queue_size}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        self.backend = backend
         self.cache = cache if cache is not None else ResultCache()
         self.recorder = as_recorder(recorder)
         self.metrics = as_metrics(metrics)
@@ -178,6 +318,15 @@ class Scheduler:
             "service.jobs", "Jobs settled, by terminal state.",
             labelnames=("state",),
         )
+        self._m_worker_errors = m.counter(
+            "service.worker.errors",
+            "Jobs settled by the worker loop's last-resort isolation "
+            "(an exception escaped normal job execution).",
+        )
+        self._m_crashes = m.counter(
+            "service.workers.crashed",
+            "Worker processes that died mid-job (slot respawned).",
+        )
         # Scrape-time gauges can never go stale; the last-constructed
         # scheduler on a shared registry owns them, which matches the
         # one-scheduler-per-process serving reality.
@@ -187,12 +336,39 @@ class Scheduler:
         m.gauge(
             "service.inflight", "Jobs queued or running (dedup map size)."
         ).set_function(lambda: len(self._inflight))
+        # Only *live* workers count as capacity: a crashed worker must
+        # show up as lost capacity, not padding in the workers gauge.
         m.gauge(
-            "service.workers", "Worker threads serving the job queue."
-        ).set_function(lambda: len(self._workers))
+            "service.workers",
+            "Live workers serving the job queue (dead ones excluded).",
+        ).set_function(self._live_worker_count)
+        m.gauge(
+            "service.workers.dead",
+            "Workers lost to crashes and not yet replaced (0 once the "
+            "scheduler is deliberately shut down).",
+        ).set_function(self._dead_worker_count)
+        m.gauge(
+            "service.workers.respawns",
+            "Worker-process slots respawned after a crash or a "
+            "deadline termination.",
+        ).set_function(
+            lambda: sum(slot.respawns for slot in self._slots.values())
+        )
+        self._slots: Dict[int, WorkerSlot] = {}
+        if backend == "process":
+            slot_runner = functools.partial(_process_job_task, self._runner)
+            for i in range(workers):
+                self._slots[i] = WorkerSlot(
+                    i,
+                    slot_runner,
+                    start_method=start_method,
+                    name_prefix="repro-svc-proc",
+                    what="worker process",
+                ).start()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
+                args=(i,),
                 name=f"repro-svc-worker-{i}",
                 daemon=True,
             )
@@ -200,6 +376,16 @@ class Scheduler:
         ]
         for thread in self._workers:
             thread.start()
+
+    def _live_worker_count(self) -> int:
+        """Workers actually able to take jobs (dead threads excluded)."""
+        return sum(1 for thread in self._workers if thread.is_alive())
+
+    def _dead_worker_count(self) -> int:
+        """Crash-induced capacity loss (0 after a deliberate shutdown)."""
+        if self._closed:
+            return 0
+        return len(self._workers) - self._live_worker_count()
 
     # ------------------------------------------------------------------
     # submission
@@ -275,18 +461,42 @@ class Scheduler:
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, index: int) -> None:
+        slot = self._slots.get(index)
         while True:
             item = self._queue.get()
             if item is _STOP:
                 self._queue.task_done()
                 return
             try:
-                self._execute(item)
+                self._execute(item, slot)
+            except Exception as exc:  # noqa: BLE001 - last-resort isolation
+                # Nothing may escape past this point: an exception that
+                # killed the thread here would silently shrink the pool
+                # (and with it the service's capacity) forever.  Settle
+                # the job as FAILED and keep serving.
+                self._settle_crashed(item, exc)
             finally:
                 self._queue.task_done()
 
-    def _execute(self, job: Job) -> None:
+    def _settle_crashed(self, job: Job, exc: BaseException) -> None:
+        """Settle a job whose execution path itself blew up (satellite
+        of the crash sweep: e.g. a recorder raising inside span exit,
+        *after* ``_execute``'s own error handling already passed)."""
+        self._m_worker_errors.inc()
+        try:
+            job._finish(
+                JobState.FAILED,
+                error=(
+                    "internal scheduler error: "
+                    f"{type(exc).__name__}: {exc}"
+                ),
+            )
+            self._settle(job, _STATE_STAT.get(job.state, "failed"))
+        except Exception:  # noqa: BLE001 - never kill the worker thread
+            pass
+
+    def _execute(self, job: Job, slot: Optional[WorkerSlot] = None) -> None:
         rec = self.recorder
         if self._abandon:
             job._finish(
@@ -302,8 +512,9 @@ class Scheduler:
             self._settle(job, "timed_out")
             return
         if not job._mark_running():
-            # Cancelled (or otherwise finished) while queued.
-            self._settle(job, "cancelled")
+            # Cancelled, or self-expired via ``Job.expire_if_queued``,
+            # while queued; reconcile statistics for whichever it was.
+            self._settle(job, _STATE_STAT.get(job.state, "cancelled"))
             return
         cache_status = "error"
         t0 = time.perf_counter()
@@ -314,6 +525,7 @@ class Scheduler:
                 method=job.method,
                 n=job.matrix.n,
                 key=job.key[:12],
+                backend=self.backend,
             ):
                 payload = self.cache.get(job.key)
                 if payload is not None:
@@ -324,18 +536,38 @@ class Scheduler:
                     cache_status = "miss"
                     rec.counter("cache.miss", key=job.key[:12])
                     self._m_cache_miss.inc()
-                    payload = self._runner(
-                        job.matrix, job.method, job.options, rec
-                    )
+                    if slot is not None:
+                        payload = self._run_in_slot(slot, job, rec)
+                    else:
+                        payload = self._runner(
+                            job.matrix, job.method, job.options, rec
+                        )
                     self.cache.put(job.key, payload)
                 if job.verify:
                     job.verification = self._verify_payload(job, payload)
+        except WorkerTimeout as exc:
+            rec.counter("job.timeout", job=job.id)
+            self._observe_job(job, "error", t0)
+            job._finish(
+                JobState.TIMEOUT,
+                error=(
+                    f"deadline of {job.timeout:g}s passed while running; "
+                    f"{exc}"
+                ),
+            )
+            self._settle(job, "timed_out")
+            return
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             rec.counter("job.failed", job=job.id)
             self._observe_job(job, "error", t0)
-            job._finish(
-                JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
-            )
+            if isinstance(exc, RemoteTaskError):
+                # The child already formatted its traceback; surface the
+                # original exception type and message, not the wrapper's
+                # multi-line transport representation.
+                error = f"{exc.exc_type}: {exc.message}"
+            else:
+                error = f"{type(exc).__name__}: {exc}"
+            job._finish(JobState.FAILED, error=error)
             self._settle(job, "failed")
             return
         self._observe_job(job, cache_status, t0)
@@ -351,6 +583,68 @@ class Scheduler:
             return
         job._finish(JobState.DONE, payload=payload, cache_status=cache_status)
         self._settle(job, "completed")
+
+    def _run_in_slot(
+        self, slot: WorkerSlot, job: Job, rec: NullRecorder
+    ) -> dict:
+        """Ship one solve to the worker process and absorb its telemetry.
+
+        Raises :class:`WorkerCrashed` / :class:`WorkerTimeout` /
+        :class:`RemoteTaskError` (the caller maps them onto job states);
+        on success the child's events are re-based into the parent trace
+        and its metric mutations replayed into the parent registry.
+        """
+        task = (
+            job.matrix.values.tolist(),
+            list(job.matrix.labels),
+            job.method,
+            dict(job.options),
+            job.trace_id,
+            rec.enabled,
+        )
+        t_dispatch = rec.clock()
+        try:
+            out = slot.call(task, deadline=job.deadline)
+        except WorkerCrashed:
+            rec.counter("worker.crashed", worker=slot.worker_id)
+            self._m_crashes.inc()
+            raise
+        if rec.enabled and out["events"]:
+            # perf_counter origins differ between processes; anchor the
+            # child's clock origin at our dispatch time (the earliest
+            # parent-side instant the child could have started).
+            rec.ingest(out["events"], offset=t_dispatch - out["clock0"])
+        if out["metric_ops"]:
+            replay_metric_ops(self.metrics, out["metric_ops"])
+        payload = out["payload"]
+        self._verify_receipt(job, payload)
+        return payload
+
+    def _verify_receipt(self, job: Job, payload: dict) -> None:
+        """Prove a process-transported payload before accepting it.
+
+        The reported cost must match the cost recomputed from the
+        payload's own Newick string to 1e-9 -- a corrupted or truncated
+        transport therefore fails the job instead of poisoning the
+        cache.  Only meaningful for the default runner's payload shape
+        (test runners ship arbitrary dicts) and skipped for ``nj``
+        (additive trees have no ultrametric cost to recompute).
+        """
+        if self._runner is not solve_payload or job.method == "nj":
+            return
+        newick = payload.get("newick")
+        cost = payload.get("cost")
+        if newick is None or cost is None:
+            return
+        from repro.tree.newick import parse_newick
+
+        recomputed = parse_newick(newick).cost()
+        if abs(recomputed - float(cost)) > _RECEIPT_EPS:
+            raise RuntimeError(
+                f"worker payload failed receipt verification: reported "
+                f"cost {cost!r} but its newick reconstructs to "
+                f"{recomputed!r} (|delta| > {_RECEIPT_EPS:g})"
+            )
 
     def _verify_payload(self, job: Job, payload: dict) -> dict:
         """Run the result oracles on a solved (or cached) payload.
@@ -392,9 +686,16 @@ class Scheduler:
         )
 
     def _settle(self, job: Job, stat: str) -> None:
-        """Post-terminal bookkeeping: statistics, dedup map, retention."""
-        self._m_jobs.inc(state=stat)
+        """Post-terminal bookkeeping: statistics, dedup map, retention.
+
+        Idempotent per job: a job can reach a terminal state through
+        more than one path (e.g. ``Job.expire_if_queued`` at the
+        deadline *and* the worker dequeuing it later), but it must be
+        counted exactly once."""
         with self._lock:
+            if job._settled:
+                return
+            job._settled = True
             self._stats[stat] += 1
             if self._inflight.get((job.key, job.verify)) is job:
                 del self._inflight[(job.key, job.verify)]
@@ -402,6 +703,7 @@ class Scheduler:
             while len(self._finished_order) > self._max_jobs_retained:
                 stale = self._finished_order.pop(0)
                 self._jobs.pop(stale, None)
+        self._m_jobs.inc(state=stat)
 
     # ------------------------------------------------------------------
     # introspection and shutdown
@@ -411,12 +713,23 @@ class Scheduler:
         with self._lock:
             snapshot = dict(self._stats)
             snapshot.update(
+                backend=self.backend,
                 workers=len(self._workers),
+                workers_live=self._live_worker_count(),
+                workers_dead=self._dead_worker_count(),
                 queue_size=self.queue_size,
                 queue_depth=self._queue.qsize(),
                 inflight=len(self._inflight),
                 closed=self._closed,
             )
+            if self._slots:
+                snapshot["worker_pids"] = {
+                    str(i): slot.pid
+                    for i, slot in sorted(self._slots.items())
+                }
+                snapshot["worker_respawns"] = sum(
+                    slot.respawns for slot in self._slots.values()
+                )
         snapshot["cache"] = self.cache.stats()
         snapshot["metrics"] = self.metrics.snapshot()
         return snapshot
@@ -455,6 +768,8 @@ class Scheduler:
         for thread in self._workers:
             thread.join(timeout)
             clean = clean and not thread.is_alive()
+        for slot in self._slots.values():
+            clean = slot.stop() and clean
         return clean
 
     def __enter__(self) -> "Scheduler":

@@ -48,7 +48,7 @@ from repro.service.errors import (
     ServiceError,
 )
 from repro.service.jobs import JobState
-from repro.service.scheduler import Scheduler
+from repro.service.scheduler import Scheduler, select_backend
 
 __all__ = ["ServiceServer", "serve"]
 
@@ -205,6 +205,9 @@ class _Handler(BaseHTTPRequestHandler):
                 job = service.scheduler.job(job_id)
                 if job is None:
                     raise JobNotFound(job_id)
+                # A queued job whose deadline passed is timed out *now*,
+                # not whenever a worker gets around to dequeuing it.
+                job.expire_if_queued()
                 self._send_json(
                     _STATE_STATUS.get(job.state, 200), job.to_json(),
                     trace_id=job.trace_id,
@@ -332,6 +335,8 @@ def serve(
     cache_dir: Optional[str] = None,
     default_method: str = "compact",
     default_timeout: Optional[float] = None,
+    backend: Optional[str] = None,
+    start_method: Optional[str] = None,
     trace_out: Optional[str] = None,
     trace_max_mb: Optional[float] = None,
     trace_ring: int = 4096,
@@ -339,6 +344,12 @@ def serve(
     ready_line: bool = True,
 ) -> int:
     """Blocking server loop with SIGTERM/SIGINT graceful drain.
+
+    ``backend`` selects the execution backend (``"thread"`` or
+    ``"process"``); when omitted, :func:`select_backend` picks by the
+    default method -- worker processes for the GIL-bound exact solvers,
+    threads otherwise.  ``start_method`` forces a multiprocessing start
+    method for the process backend.
 
     Metrics are always on: the scheduler records into the process-wide
     registry, served at ``GET /metrics`` (Prometheus text) and inside
@@ -368,12 +379,16 @@ def serve(
                 int(trace_max_mb * 1024 * 1024) if trace_max_mb else None
             ),
         )
+    if backend is None:
+        backend = select_backend(default_method)
     scheduler = Scheduler(
         workers=workers,
         queue_size=queue_size,
         cache=ResultCache(capacity=cache_capacity, directory=cache_dir),
         recorder=recorder,
         default_timeout=default_timeout,
+        backend=backend,
+        start_method=start_method,
     )
     server = ServiceServer(
         scheduler,
@@ -400,6 +415,12 @@ def serve(
         server.start()
         if ready_line:
             print(f"repro-mut serve listening on {server.url}", flush=True)
+        print(
+            f"backend={backend} workers={workers} "
+            f"default_method={default_method}",
+            file=sys.stderr,
+            flush=True,
+        )
         stop.wait()
         clean = server.close(drain=True)
     finally:

@@ -287,3 +287,68 @@ class TestInstrumentKinds:
         assert isinstance(registry.counter("a"), Counter)
         assert isinstance(registry.gauge("b"), Gauge)
         assert isinstance(registry.histogram("c"), Histogram)
+
+
+class TestForwardingRegistry:
+    """Cross-process metric forwarding: op log in the child, replay in
+    the parent (the process-backend scheduler's transport)."""
+
+    def _forwarded(self):
+        from repro.obs.metrics import ForwardingMetricsRegistry
+
+        child = ForwardingMetricsRegistry()
+        child.counter("jobs.done", "Jobs finished.").inc()
+        child.counter(
+            "prunes", "Prunes by rule.", labelnames=("rule",)
+        ).inc(3, rule="bound")
+        child.histogram("solve.seconds", "Solve latency.").observe(0.25)
+        return child
+
+    def test_ops_replay_into_parent(self):
+        from repro.obs.metrics import replay_metric_ops
+
+        child = self._forwarded()
+        parent = MetricsRegistry()
+        replayed = replay_metric_ops(parent, child.drain_ops())
+        assert replayed == 3
+        snap = parent.snapshot()
+        assert snap["jobs.done"]["series"][0]["value"] == 1.0
+        prune = snap["prunes"]["series"][0]
+        assert prune == {"labels": {"rule": "bound"}, "value": 3.0}
+        solve = snap["solve.seconds"]["series"][0]
+        assert solve["count"] == 1
+
+    def test_child_still_records_locally(self):
+        child = self._forwarded()
+        assert child.snapshot()["jobs.done"]["series"][0]["value"] == 1.0
+
+    def test_drain_clears_the_log(self):
+        child = self._forwarded()
+        assert child.drain_ops()
+        assert child.drain_ops() == []
+
+    def test_ops_survive_pickling(self):
+        import pickle
+
+        from repro.obs.metrics import replay_metric_ops
+
+        ops = pickle.loads(pickle.dumps(self._forwarded().drain_ops()))
+        parent = MetricsRegistry()
+        assert replay_metric_ops(parent, ops) == 3
+
+    def test_replay_accumulates_with_existing_series(self):
+        from repro.obs.metrics import replay_metric_ops
+
+        parent = MetricsRegistry()
+        parent.counter("jobs.done", "Jobs finished.").inc(5)
+        replay_metric_ops(parent, self._forwarded().drain_ops())
+        assert parent.snapshot()["jobs.done"]["series"][0]["value"] == 6.0
+
+    def test_unknown_op_kind_rejected(self):
+        from repro.obs.metrics import replay_metric_ops
+
+        with pytest.raises(ValueError):
+            replay_metric_ops(
+                MetricsRegistry(),
+                [("gauge", "g", "h", [], None, "set", 1.0, {})],
+            )

@@ -203,3 +203,46 @@ class TestNullRecorder:
             with rec.span("hot"):
                 pass
         assert time.perf_counter() - start < 1.0
+
+
+class TestIngest:
+    """Cross-process event forwarding: ``Recorder.ingest``."""
+
+    def _child_events(self):
+        """Events as a worker process would ship them: serialized, with
+        children recorded (closed) before their parents."""
+        child = Recorder(clock=ticking_clock())
+        with child.span("outer", n=4):
+            with child.span("inner"):
+                child.counter("ticks", 3)
+        return [e.to_json() for e in child.events]
+
+    def test_parent_links_survive_remapping(self):
+        parent = Recorder(clock=ticking_clock())
+        ingested = parent.ingest(self._child_events())
+        assert ingested == 3
+        outer = parent.spans("outer")[0]
+        inner = parent.spans("inner")[0]
+        assert inner.parent == outer.id
+        assert parent.counters("ticks")[0].span == inner.id
+
+    def test_roots_nest_under_open_span(self):
+        parent = Recorder(clock=ticking_clock())
+        with parent.span("service.job") as job:
+            parent.ingest(self._child_events())
+        assert parent.spans("outer")[0].parent == job.id
+
+    def test_offset_rebases_timestamps(self):
+        parent = Recorder(clock=ticking_clock())
+        parent.ingest(self._child_events(), offset=50.0)
+        outer = parent.spans("outer")[0]
+        assert outer.start >= 50.0
+        assert outer.end > outer.start
+        assert parent.counters("ticks")[0].time >= 50.0
+
+    def test_meta_lines_are_skipped(self):
+        parent = Recorder()
+        assert parent.ingest([{"event": "meta", "schema": 1}]) == 0
+
+    def test_null_recorder_ingests_nothing(self):
+        assert NullRecorder().ingest([{"event": "counter"}]) == 0

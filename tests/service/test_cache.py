@@ -120,3 +120,68 @@ class TestResultCache:
             })
         )
         assert cache.get("old") is None
+
+
+def _hammer_disk_put(directory, writer: int) -> None:
+    """Child-process body: repeatedly write the same key (same payload --
+    the cache is content-addressed, concurrent writers are replicas)."""
+    cache = ResultCache(capacity=4, directory=directory)
+    for _ in range(25):
+        cache.put("sharedkey", {"newick": "(a,b);", "cost": 3.0})
+
+
+class TestDiskRobustness:
+    def test_open_sweeps_stale_tmp_files(self, tmp_path):
+        import os
+        import time
+
+        live = tmp_path / f"k1.tmp.{os.getpid()}.123"
+        live.write_text("{}")
+        dead_pid = tmp_path / "k2.tmp.999999999.1"
+        dead_pid.write_text("{}")
+        ancient = tmp_path / f"k3.tmp.{os.getpid()}.9"
+        ancient.write_text("{}")
+        hour_ago = time.time() - 3600
+        os.utime(ancient, (hour_ago, hour_ago))
+        entry = tmp_path / "k4.json"
+        entry.write_text("{}")
+
+        cache = ResultCache(capacity=4, directory=tmp_path)
+        assert cache.stats()["tmp_swept"] == 2
+        # A live writer's fresh tmp file is not racing material...
+        assert live.exists()
+        # ...but a dead writer's, and anything past the grace age, is.
+        assert not dead_pid.exists()
+        assert not ancient.exists()
+        assert entry.exists()
+
+    def test_sweep_tolerates_missing_directory(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=tmp_path / "nowhere")
+        assert cache.stats()["tmp_swept"] == 0
+
+    def test_concurrent_multiprocess_puts_of_same_key(self, tmp_path):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_disk_put, args=(tmp_path, i))
+            for i in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        # Last writer won with an identical record; nothing torn, no
+        # tmp droppings left behind.
+        reader = ResultCache(capacity=4, directory=tmp_path)
+        assert reader.get("sharedkey") == {"newick": "(a,b);", "cost": 3.0}
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_disk_write_failure_is_counted_not_raised(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = ResultCache(capacity=4, directory=blocker / "sub")
+        cache.put("k", {"v": 1})  # disk write fails; memory still serves
+        assert cache.get("k") == {"v": 1}
+        assert cache.stats()["disk_write_errors"] == 1

@@ -270,3 +270,136 @@ class TestDiskBackedScheduler:
             assert job.cache_status == "hit"
         assert rec.counter_total("cache.hit") == 1
         assert rec.counter_total("cache.miss") == 0
+
+
+class _VindictiveRecorder(Recorder):
+    """Raises from ``counter`` on a chosen name -- simulating a broken
+    observability sink blowing up *inside the worker loop's error path*,
+    which historically killed the worker thread and silently shrank the
+    pool."""
+
+    def __init__(self, poison: str):
+        super().__init__()
+        self.poison = poison
+
+    def counter(self, name, value=1, **attrs):
+        if name == self.poison:
+            raise RuntimeError("recorder exploded")
+        return super().counter(name, value, **attrs)
+
+
+class TestWorkerCrashIsolation:
+    def test_escaping_exception_settles_job_and_worker_survives(
+        self, matrix
+    ):
+        from repro.obs import MetricsRegistry
+
+        def explode(matrix, method, options, recorder):
+            raise ValueError("boom")
+
+        rec = _VindictiveRecorder("job.failed")
+        metrics = MetricsRegistry()
+        sched = Scheduler(
+            workers=1, recorder=rec, runner=explode, metrics=metrics
+        )
+        try:
+            job = sched.submit(matrix, "upgmm", {"tag": 1})
+            assert job.wait(10.0)
+            assert job.state == JobState.FAILED
+            assert "internal scheduler error" in job.error
+            assert "recorder exploded" in job.error
+            # The worker thread survived the escaping exception...
+            assert sched._live_worker_count() == 1
+            # ...and keeps serving (this job fails too, but *settles*).
+            second = sched.submit(matrix, "upgmm", {"tag": 2})
+            assert second.wait(10.0)
+            snap = metrics.snapshot()["service.worker.errors"]
+            assert snap["series"][0]["value"] == 2
+        finally:
+            sched.shutdown()
+
+    def test_stats_count_each_job_exactly_once(self, matrix):
+        rec = _VindictiveRecorder("job.failed")
+
+        def explode(matrix, method, options, recorder):
+            raise ValueError("boom")
+
+        sched = Scheduler(workers=1, recorder=rec, runner=explode)
+        try:
+            for tag in range(3):
+                sched.submit(matrix, "upgmm", {"tag": tag}).wait(10.0)
+            stats = sched.stats()
+            assert stats["failed"] == 3
+            assert stats["submitted"] == 3
+        finally:
+            sched.shutdown()
+
+
+class TestWorkerGauges:
+    def test_workers_gauge_reports_only_live_workers(self, matrix):
+        from repro.obs import MetricsRegistry
+        from repro.service.scheduler import _STOP
+
+        metrics = MetricsRegistry()
+        sched = Scheduler(workers=2, metrics=metrics)
+
+        def gauge(name):
+            return metrics.snapshot()[name]["series"][0]["value"]
+
+        try:
+            assert gauge("service.workers") == 2
+            assert gauge("service.workers.dead") == 0
+            # Kill one worker thread (the old gauge kept reporting 2).
+            sched._queue.put(_STOP)
+            deadline = time.time() + 10.0
+            while sched._live_worker_count() > 1 and time.time() < deadline:
+                time.sleep(0.01)
+            assert gauge("service.workers") == 1
+            assert gauge("service.workers.dead") == 1
+            stats = sched.stats()
+            assert stats["workers_live"] == 1
+            assert stats["workers_dead"] == 1
+            # The survivor still serves jobs.
+            assert sched.submit(matrix, "upgmm").result(30.0)
+        finally:
+            sched.shutdown()
+        # Deliberate shutdown is not a crash: dead gauge reads 0.
+        assert sched._dead_worker_count() == 0
+
+
+class TestQueuedTimeoutPromptness:
+    def test_result_raises_at_deadline_while_still_queued(self, matrix):
+        gate = threading.Event()
+        started = threading.Event()
+        sched = Scheduler(workers=1, runner=blocking_runner(gate, started))
+        try:
+            sched.submit(matrix, "upgmm", {"tag": 0})
+            assert started.wait(10.0)  # blocker occupies the only worker
+            doomed = sched.submit(matrix, "upgmm", {"tag": 1}, timeout=0.2)
+            t0 = time.monotonic()
+            with pytest.raises(ServiceError, match="while queued"):
+                doomed.result(10.0)
+            # The timeout surfaced at ~the deadline, not when the worker
+            # eventually dequeued the job (the blocker is still running).
+            assert time.monotonic() - t0 < 2.0
+            assert doomed.state == JobState.TIMEOUT
+            assert not gate.is_set()
+        finally:
+            gate.set()
+            sched.shutdown()
+        # Reconciled exactly once even though the worker also saw it.
+        assert sched.stats()["timed_out"] == 1
+
+    def test_expire_if_queued_noop_for_running_jobs(self, matrix):
+        gate = threading.Event()
+        started = threading.Event()
+        sched = Scheduler(workers=1, runner=blocking_runner(gate, started))
+        try:
+            running = sched.submit(matrix, "upgmm", timeout=30.0)
+            assert started.wait(10.0)
+            assert not running.expire_if_queued()
+            gate.set()
+            assert running.result(10.0)
+        finally:
+            gate.set()
+            sched.shutdown()

@@ -163,3 +163,39 @@ class TestIntrospection:
         health = client.healthz()
         assert health["status"] == "draining"
         srv.close()
+
+
+class TestQueuedDeadlineOverHTTP:
+    def test_poll_reports_timeout_at_deadline_while_queued(self, matrix):
+        import time
+
+        gate = threading.Event()
+        started = threading.Event()
+
+        def gated(matrix, method, options, recorder):
+            started.set()
+            gate.wait(10.0)
+            return {"method": method, "n_species": matrix.n,
+                    "cost": 0.0, "newick": "(gated);"}
+
+        sched = Scheduler(workers=1, runner=gated)
+        try:
+            with ServiceServer(sched, port=0) as srv:
+                client = ServiceClient(srv.url, timeout=30.0)
+                client.solve(
+                    matrix, method="upgmm", options={"tag": 0}, wait=False
+                )
+                assert started.wait(10.0)  # blocker holds the only worker
+                doomed = client.solve(
+                    matrix, method="upgmm", options={"tag": 1},
+                    wait=False, timeout=0.2,
+                )
+                time.sleep(0.4)
+                # The blocker is still running, yet the poll reports the
+                # queued job's timeout immediately (HTTP 504 job record).
+                polled = client.job(doomed["id"])
+                assert polled["state"] == "timeout"
+                assert "while queued" in polled["error"]
+                gate.set()
+        finally:
+            gate.set()
