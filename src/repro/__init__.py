@@ -74,6 +74,14 @@ from repro.sequences import (
     write_fasta,
     bootstrap_support,
 )
+from repro.version import engine_fingerprint, fingerprint_summary
+from repro.campaign import (
+    CampaignDB,
+    Suite,
+    diff_campaigns,
+    load_suite,
+    run_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -128,5 +136,12 @@ __all__ = [
     "read_fasta",
     "write_fasta",
     "bootstrap_support",
+    "engine_fingerprint",
+    "fingerprint_summary",
+    "CampaignDB",
+    "Suite",
+    "diff_campaigns",
+    "load_suite",
+    "run_campaign",
     "__version__",
 ]

@@ -1,0 +1,45 @@
+"""Campaigns: suites of cases, a persistent run database, and diffs.
+
+The bookkeeping layer over everything else the repository can execute.
+A :class:`Suite` names a deterministic set of (matrix, method) cases; a
+*campaign* is one execution of a suite through the serving layer's
+scheduler, recorded case-by-case in a SQLite :class:`CampaignDB` under
+the engine fingerprint that produced it; :func:`diff_campaigns` compares
+two campaigns -- including campaigns run by different engine versions --
+for cost drift, verification regressions and performance trends.
+
+CLI surface: ``repro-mut campaign run|status|list|diff|export``.
+Documentation: ``docs/campaigns.md``.
+"""
+
+from repro.campaign.db import DB_SCHEMA_VERSION, CampaignDB, CampaignExists
+from repro.campaign.diff import CampaignDiff, CaseCostChange, diff_campaigns
+from repro.campaign.runner import (
+    CampaignMismatch,
+    CampaignResult,
+    run_campaign,
+)
+from repro.campaign.suite import (
+    BUILTIN_SUITES,
+    Case,
+    Suite,
+    SuiteError,
+    load_suite,
+)
+
+__all__ = [
+    "BUILTIN_SUITES",
+    "CampaignDB",
+    "CampaignDiff",
+    "CampaignExists",
+    "CampaignMismatch",
+    "CampaignResult",
+    "Case",
+    "CaseCostChange",
+    "DB_SCHEMA_VERSION",
+    "Suite",
+    "SuiteError",
+    "diff_campaigns",
+    "load_suite",
+    "run_campaign",
+]

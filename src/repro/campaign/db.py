@@ -1,0 +1,479 @@
+"""The persistent run database: campaigns, cases and archived failures.
+
+One SQLite file (WAL mode, so ``campaign status`` and the resume test
+can read while a runner writes) holds everything a campaign produces:
+
+``campaigns``
+    One row per named campaign: the canonical suite spec it executed,
+    the engine fingerprint it ran under (version, cache-key version,
+    trace schema, git sha), hostname, scheduler backend, lifecycle
+    status (``running`` / ``completed`` / ``interrupted``) and timing.
+
+``cases``
+    One row per case, keyed ``(campaign_id, case_id)`` with an
+    **idempotent upsert** -- however many times a case is executed
+    (resume, retry, crash-replay), the campaign holds exactly one row
+    for it, carrying the latest result: terminal state, cost, newick,
+    cache status, wall/solve seconds, span rollups, search counters and
+    the verification verdict.
+
+``fuzz_failures``
+    Archived fuzz-corpus entries (``repro-mut fuzz --db``): corpus file
+    path + matrix digest + violations + the engine fingerprint that
+    produced them, so a failure found under one engine can be re-triaged
+    against another.
+
+Schema changes bump :data:`DB_SCHEMA_VERSION`; an existing file with a
+different version is refused loudly rather than silently misread.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+__all__ = [
+    "DB_SCHEMA_VERSION",
+    "CampaignDB",
+    "CampaignExists",
+    "strip_volatile",
+]
+
+#: Bumped whenever the table layout changes incompatibly.
+DB_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS db_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id                INTEGER PRIMARY KEY AUTOINCREMENT,
+    name              TEXT NOT NULL UNIQUE,
+    suite             TEXT NOT NULL,
+    suite_spec        TEXT NOT NULL,
+    seed              INTEGER NOT NULL,
+    status            TEXT NOT NULL,
+    started_at        REAL NOT NULL,
+    finished_at       REAL,
+    resumes           INTEGER NOT NULL DEFAULT 0,
+    backend           TEXT NOT NULL,
+    hostname          TEXT,
+    engine_version    TEXT NOT NULL,
+    cache_key_version INTEGER NOT NULL,
+    trace_schema      INTEGER NOT NULL,
+    git_sha           TEXT,
+    fingerprint       TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cases (
+    campaign_id   INTEGER NOT NULL REFERENCES campaigns(id),
+    case_id       TEXT NOT NULL,
+    family        TEXT,
+    source        TEXT,
+    n_species     INTEGER,
+    method        TEXT NOT NULL,
+    options       TEXT NOT NULL DEFAULT '{}',
+    matrix_digest TEXT,
+    cache_key     TEXT,
+    state         TEXT NOT NULL,
+    cost          REAL,
+    newick        TEXT,
+    error         TEXT,
+    cache_status  TEXT,
+    wall_seconds  REAL,
+    solve_seconds REAL,
+    nodes_expanded INTEGER,
+    verified_ok   INTEGER,
+    violations    TEXT,
+    spans         TEXT,
+    counters      TEXT,
+    finished_at   REAL,
+    PRIMARY KEY (campaign_id, case_id)
+);
+CREATE INDEX IF NOT EXISTS cases_by_state
+    ON cases (campaign_id, state);
+CREATE TABLE IF NOT EXISTS fuzz_failures (
+    master_seed       INTEGER NOT NULL,
+    iteration         INTEGER NOT NULL,
+    matrix_digest     TEXT NOT NULL,
+    family            TEXT,
+    n_species         INTEGER,
+    shrunk_n_species  INTEGER,
+    corpus_path       TEXT,
+    meta_path         TEXT,
+    repro_command     TEXT,
+    violations        TEXT,
+    archived_at       REAL NOT NULL,
+    engine_version    TEXT,
+    cache_key_version INTEGER,
+    trace_schema      INTEGER,
+    git_sha           TEXT,
+    fingerprint       TEXT,
+    PRIMARY KEY (master_seed, iteration, matrix_digest)
+);
+"""
+
+#: ``cases`` columns settable through :meth:`CampaignDB.upsert_case`.
+_CASE_COLUMNS = (
+    "family", "source", "n_species", "method", "options", "matrix_digest",
+    "cache_key", "state", "cost", "newick", "error", "cache_status",
+    "wall_seconds", "solve_seconds", "nodes_expanded", "verified_ok",
+    "violations", "spans", "counters", "finished_at",
+)
+
+
+class CampaignExists(RuntimeError):
+    """A campaign with this name already exists (and resume was off)."""
+
+
+class CampaignDB:
+    """Thin, typed wrapper over the campaign SQLite file.
+
+    Single-connection, single-thread by design: the runner persists from
+    its submission loop only.  Concurrent *readers* (status commands,
+    the resume test polling progress) are served by WAL mode.  Use as a
+    context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._conn.executescript(_SCHEMA)
+        row = self._conn.execute(
+            "SELECT value FROM db_meta WHERE key='schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO db_meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(DB_SCHEMA_VERSION)),
+            )
+            self._conn.commit()
+        elif int(row["value"]) != DB_SCHEMA_VERSION:
+            version = int(row["value"])
+            self._conn.close()
+            raise RuntimeError(
+                f"campaign database {self.path} has schema v{version}; "
+                f"this engine reads v{DB_SCHEMA_VERSION} -- use a fresh "
+                f"database file"
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # campaigns
+    # ------------------------------------------------------------------
+    def create_campaign(
+        self,
+        name: str,
+        *,
+        suite: str,
+        suite_spec: str,
+        seed: int,
+        backend: str,
+        hostname: Optional[str],
+        fingerprint: Dict[str, object],
+        started_at: Optional[float] = None,
+    ) -> int:
+        """Insert a new ``running`` campaign row; returns its id."""
+        if self.get_campaign(name) is not None:
+            raise CampaignExists(f"campaign {name!r} already exists")
+        cursor = self._conn.execute(
+            "INSERT INTO campaigns (name, suite, suite_spec, seed, status,"
+            " started_at, backend, hostname, engine_version,"
+            " cache_key_version, trace_schema, git_sha, fingerprint)"
+            " VALUES (?, ?, ?, ?, 'running', ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                name,
+                suite,
+                suite_spec,
+                int(seed),
+                time.time() if started_at is None else started_at,
+                backend,
+                hostname,
+                str(fingerprint.get("version")),
+                int(fingerprint.get("cache_key_version", 0)),
+                int(fingerprint.get("trace_schema", 0)),
+                fingerprint.get("git_sha"),
+                json.dumps(fingerprint, sort_keys=True),
+            ),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    def get_campaign(self, name: str) -> Optional[Dict[str, object]]:
+        row = self._conn.execute(
+            "SELECT * FROM campaigns WHERE name = ?", (name,)
+        ).fetchone()
+        return dict(row) if row is not None else None
+
+    def list_campaigns(self) -> List[Dict[str, object]]:
+        rows = self._conn.execute(
+            "SELECT * FROM campaigns ORDER BY id"
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def mark_resumed(
+        self, campaign_id: int, fingerprint: Dict[str, object], backend: str
+    ) -> None:
+        """Flip an interrupted/running campaign back to ``running``.
+
+        The fingerprint columns are updated to the *resuming* engine --
+        the campaign records whichever engine last touched it, and the
+        bumped ``resumes`` counter flags that more than one did.
+        """
+        self._conn.execute(
+            "UPDATE campaigns SET status='running', finished_at=NULL,"
+            " resumes=resumes+1, backend=?, engine_version=?,"
+            " cache_key_version=?, trace_schema=?, git_sha=?, fingerprint=?"
+            " WHERE id=?",
+            (
+                backend,
+                str(fingerprint.get("version")),
+                int(fingerprint.get("cache_key_version", 0)),
+                int(fingerprint.get("trace_schema", 0)),
+                fingerprint.get("git_sha"),
+                json.dumps(fingerprint, sort_keys=True),
+                campaign_id,
+            ),
+        )
+        self._conn.commit()
+
+    def mark_status(
+        self,
+        campaign_id: int,
+        status: str,
+        *,
+        finished_at: Optional[float] = None,
+    ) -> None:
+        assert status in ("running", "completed", "interrupted")
+        self._conn.execute(
+            "UPDATE campaigns SET status=?, finished_at=? WHERE id=?",
+            (
+                status,
+                (
+                    time.time()
+                    if finished_at is None and status != "running"
+                    else finished_at
+                ),
+                campaign_id,
+            ),
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # cases
+    # ------------------------------------------------------------------
+    def upsert_case(self, campaign_id: int, case_id: str, **fields) -> None:
+        """Insert-or-update one case row and commit.
+
+        The ``(campaign_id, case_id)`` key makes re-execution idempotent:
+        a resumed or retried case *replaces* its previous row's values.
+        Committing per case is what makes interrupt-resume work -- every
+        settled case is durable the moment it settles (WAL keeps the
+        per-commit cost to one fsync-free page append).
+        """
+        unknown = set(fields) - set(_CASE_COLUMNS)
+        if unknown:
+            raise ValueError(f"unknown case columns: {sorted(unknown)}")
+        columns = [c for c in _CASE_COLUMNS if c in fields]
+        assignments = ", ".join(f"{c}=excluded.{c}" for c in columns)
+        self._conn.execute(
+            f"INSERT INTO cases (campaign_id, case_id, "
+            f"{', '.join(columns)}) VALUES (?, ?, "
+            f"{', '.join('?' for _ in columns)}) "
+            f"ON CONFLICT (campaign_id, case_id) DO UPDATE SET {assignments}",
+            (campaign_id, case_id, *(fields[c] for c in columns)),
+        )
+        self._conn.commit()
+
+    def case_rows(self, campaign_id: int) -> List[Dict[str, object]]:
+        rows = self._conn.execute(
+            "SELECT * FROM cases WHERE campaign_id=? ORDER BY case_id",
+            (campaign_id,),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def case_ids_in_state(
+        self, campaign_id: int, states: Iterable[str]
+    ) -> Set[str]:
+        states = tuple(states)
+        if not states:
+            return set()
+        rows = self._conn.execute(
+            f"SELECT case_id FROM cases WHERE campaign_id=? AND state IN "
+            f"({', '.join('?' for _ in states)})",
+            (campaign_id, *states),
+        ).fetchall()
+        return {row["case_id"] for row in rows}
+
+    def state_counts(self, campaign_id: int) -> Dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT state, COUNT(*) AS n FROM cases WHERE campaign_id=?"
+            " GROUP BY state ORDER BY state",
+            (campaign_id,),
+        ).fetchall()
+        return {row["state"]: int(row["n"]) for row in rows}
+
+    # ------------------------------------------------------------------
+    # export / import (the checked-in regression-pin format)
+    # ------------------------------------------------------------------
+    def export_campaign(self, name: str) -> Dict[str, object]:
+        """The campaign and all its case rows as one JSON-safe dict."""
+        campaign = self.get_campaign(name)
+        if campaign is None:
+            raise KeyError(f"no campaign named {name!r}")
+        campaign_id = int(campaign.pop("id"))
+        return {
+            "format": "repro.campaign.export.v1",
+            "campaign": campaign,
+            "cases": self.case_rows(campaign_id),
+        }
+
+    def import_export(
+        self, export: Dict[str, object], *, name: Optional[str] = None
+    ) -> int:
+        """Load an exported campaign (e.g. a checked-in seed export).
+
+        ``name`` renames on import so a seed export can coexist with a
+        fresh run of the same campaign name.  Returns the campaign id.
+        """
+        if export.get("format") != "repro.campaign.export.v1":
+            raise ValueError(
+                f"not a campaign export (format={export.get('format')!r})"
+            )
+        campaign = dict(export["campaign"])
+        fingerprint = json.loads(campaign.get("fingerprint") or "{}")
+        campaign_id = self.create_campaign(
+            name or str(campaign["name"]),
+            suite=str(campaign["suite"]),
+            suite_spec=str(campaign["suite_spec"]),
+            seed=int(campaign["seed"]),
+            backend=str(campaign["backend"]),
+            hostname=campaign.get("hostname"),
+            fingerprint=fingerprint,
+            started_at=campaign.get("started_at"),
+        )
+        for row in export["cases"]:
+            row = dict(row)
+            row.pop("campaign_id", None)
+            case_id = row.pop("case_id")
+            self.upsert_case(campaign_id, case_id, **row)
+        self.mark_status(
+            campaign_id,
+            str(campaign.get("status", "completed")),
+            finished_at=campaign.get("finished_at"),
+        )
+        return campaign_id
+
+    # ------------------------------------------------------------------
+    # fuzz-failure archive
+    # ------------------------------------------------------------------
+    def archive_fuzz_failure(
+        self,
+        *,
+        master_seed: int,
+        iteration: int,
+        matrix_digest: str,
+        family: Optional[str] = None,
+        n_species: Optional[int] = None,
+        shrunk_n_species: Optional[int] = None,
+        corpus_path: Optional[str] = None,
+        meta_path: Optional[str] = None,
+        repro_command: Optional[str] = None,
+        violations: Optional[List[dict]] = None,
+        fingerprint: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record one shrunk fuzz failure; idempotent per
+        ``(master_seed, iteration, matrix_digest)``."""
+        fp = dict(fingerprint or {})
+        self._conn.execute(
+            "INSERT INTO fuzz_failures (master_seed, iteration,"
+            " matrix_digest, family, n_species, shrunk_n_species,"
+            " corpus_path, meta_path, repro_command, violations,"
+            " archived_at, engine_version, cache_key_version, trace_schema,"
+            " git_sha, fingerprint)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+            " ON CONFLICT (master_seed, iteration, matrix_digest) DO UPDATE"
+            " SET corpus_path=excluded.corpus_path,"
+            "     meta_path=excluded.meta_path,"
+            "     repro_command=excluded.repro_command,"
+            "     violations=excluded.violations,"
+            "     archived_at=excluded.archived_at,"
+            "     engine_version=excluded.engine_version,"
+            "     cache_key_version=excluded.cache_key_version,"
+            "     trace_schema=excluded.trace_schema,"
+            "     git_sha=excluded.git_sha,"
+            "     fingerprint=excluded.fingerprint",
+            (
+                int(master_seed),
+                int(iteration),
+                matrix_digest,
+                family,
+                n_species,
+                shrunk_n_species,
+                corpus_path,
+                meta_path,
+                repro_command,
+                json.dumps(violations or [], sort_keys=True),
+                time.time(),
+                fp.get("version"),
+                fp.get("cache_key_version"),
+                fp.get("trace_schema"),
+                fp.get("git_sha"),
+                json.dumps(fp, sort_keys=True),
+            ),
+        )
+        self._conn.commit()
+
+    def fuzz_failures(self) -> List[Dict[str, object]]:
+        rows = self._conn.execute(
+            "SELECT * FROM fuzz_failures ORDER BY master_seed, iteration"
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+
+#: Export fields that vary run to run (timing, host, cache luck) and
+#: have no place in a checked-in seed export.
+_VOLATILE_CAMPAIGN_FIELDS = ("started_at", "finished_at", "hostname")
+_VOLATILE_CASE_FIELDS = (
+    "wall_seconds", "solve_seconds", "spans", "counters", "finished_at",
+    "cache_status",
+)
+
+
+def strip_volatile(export: Dict[str, object]) -> Dict[str, object]:
+    """An export without its run-to-run fields (timing, host, cache
+    status), leaving only what a seed-campaign pin should freeze:
+    states, costs, newicks, digests, verification verdicts and search
+    effort.  ``repro-mut campaign export --strip-volatile`` applies
+    this before writing."""
+    out = dict(export)
+    out["campaign"] = {
+        k: v for k, v in dict(out["campaign"]).items()
+        if k not in _VOLATILE_CAMPAIGN_FIELDS
+    }
+    out["cases"] = [
+        {k: v for k, v in dict(row).items()
+         if k not in _VOLATILE_CASE_FIELDS}
+        for row in out["cases"]
+    ]
+    return out

@@ -1,0 +1,276 @@
+"""Cross-campaign (and cross-version) comparison.
+
+``diff_campaigns`` aligns two campaigns' case rows by case id -- which
+is why suite case ids are derived from the spec, never from matrix
+contents -- and reports everything that changed between them:
+
+* **cost changes**, with changes on *exact* methods beyond ``cost_eps``
+  flagged as violations (an exact solver's optimum must be invariant
+  across engine versions; a drift is a correctness bug, not noise);
+* **verification regressions** (a case whose oracle verdict went from
+  ok to violating) and **state regressions** (``done`` -> anything
+  else);
+* **input changes** (same case id, different matrix digest: a generator
+  changed underneath the suite -- costs are then incomparable and are
+  *not* flagged as violations, the digest change itself is the
+  finding);
+* **new / missing cases** (suite membership drift);
+* **wall-time ratios** per matched case, with a median summary -- the
+  perf-trend number the ROADMAP asks campaigns to unlock.
+
+The diff never re-runs anything; it is a pure read of the run database,
+so it works across machines by copying one SQLite file.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.db import CampaignDB
+from repro.verify.differential import EXACT_METHODS
+
+__all__ = ["CaseCostChange", "CampaignDiff", "diff_campaigns"]
+
+#: Exact-method optima must agree across versions to this tolerance.
+DEFAULT_COST_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class CaseCostChange:
+    case_id: str
+    method: str
+    cost_a: float
+    cost_b: float
+    exact: bool
+
+    @property
+    def delta(self) -> float:
+        return self.cost_b - self.cost_a
+
+    def to_json(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "method": self.method,
+            "cost_a": self.cost_a,
+            "cost_b": self.cost_b,
+            "delta": self.delta,
+            "exact": self.exact,
+        }
+
+
+@dataclass
+class CampaignDiff:
+    """Everything that differs between campaign ``a`` and campaign ``b``."""
+
+    a: str
+    b: str
+    fingerprint_a: Dict[str, object]
+    fingerprint_b: Dict[str, object]
+    matched_cases: int = 0
+    cost_changes: List[CaseCostChange] = field(default_factory=list)
+    verification_regressions: List[dict] = field(default_factory=list)
+    state_regressions: List[dict] = field(default_factory=list)
+    input_changes: List[dict] = field(default_factory=list)
+    new_cases: List[str] = field(default_factory=list)
+    missing_cases: List[str] = field(default_factory=list)
+    time_ratios: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def exact_violations(self) -> List[CaseCostChange]:
+        """Cost changes on exact methods -- the failing kind."""
+        return [c for c in self.cost_changes if c.exact]
+
+    @property
+    def cross_version(self) -> bool:
+        return self.fingerprint_a != self.fingerprint_b
+
+    @property
+    def median_time_ratio(self) -> Optional[float]:
+        if not self.time_ratios:
+            return None
+        return statistics.median(self.time_ratios.values())
+
+    @property
+    def ok(self) -> bool:
+        """No correctness-relevant change (cost drift on exact methods,
+        verification regressions, state regressions).  Heuristic cost
+        changes, timing and membership drift are reported but do not
+        fail the diff."""
+        return not (
+            self.exact_violations
+            or self.verification_regressions
+            or self.state_regressions
+        )
+
+    @property
+    def empty(self) -> bool:
+        """Nothing differs at all (the self-diff/CI-smoke criterion;
+        timing is excluded -- two runs never take identical time)."""
+        return (
+            self.ok
+            and not self.cost_changes
+            and not self.input_changes
+            and not self.new_cases
+            and not self.missing_cases
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "a": self.a,
+            "b": self.b,
+            "fingerprint_a": self.fingerprint_a,
+            "fingerprint_b": self.fingerprint_b,
+            "cross_version": self.cross_version,
+            "matched_cases": self.matched_cases,
+            "cost_changes": [c.to_json() for c in self.cost_changes],
+            "exact_violations": [
+                c.to_json() for c in self.exact_violations
+            ],
+            "verification_regressions": list(self.verification_regressions),
+            "state_regressions": list(self.state_regressions),
+            "input_changes": list(self.input_changes),
+            "new_cases": list(self.new_cases),
+            "missing_cases": list(self.missing_cases),
+            "median_time_ratio": self.median_time_ratio,
+            "ok": self.ok,
+            "empty": self.empty,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+        lines = [
+            f"campaign diff: {self.a} -> {self.b}"
+            + (" [cross-version]" if self.cross_version else ""),
+            f"  engines : {_fp_line(self.fingerprint_a)} -> "
+            f"{_fp_line(self.fingerprint_b)}",
+            f"  matched : {self.matched_cases} case(s)",
+        ]
+        if self.median_time_ratio is not None:
+            lines.append(
+                f"  time    : median wall-time ratio "
+                f"{self.median_time_ratio:.2f}x over "
+                f"{len(self.time_ratios)} case(s)"
+            )
+        for change in self.exact_violations:
+            lines.append(
+                f"  EXACT COST CHANGE {change.case_id}: "
+                f"{change.cost_a!r} -> {change.cost_b!r} "
+                f"(delta {change.delta:+.3g})"
+            )
+        for change in self.cost_changes:
+            if not change.exact:
+                lines.append(
+                    f"  heuristic cost change {change.case_id}: "
+                    f"{change.cost_a!r} -> {change.cost_b!r}"
+                )
+        for reg in self.verification_regressions:
+            lines.append(
+                f"  VERIFICATION REGRESSION {reg['case_id']}: "
+                f"{reg['a']} -> {reg['b']}"
+            )
+        for reg in self.state_regressions:
+            lines.append(
+                f"  STATE REGRESSION {reg['case_id']}: "
+                f"{reg['a']} -> {reg['b']} ({reg.get('error') or 'no error'})"
+            )
+        for change in self.input_changes:
+            lines.append(
+                f"  input changed {change['case_id']}: matrix digest "
+                f"differs (generator drift?); costs not compared"
+            )
+        if self.new_cases:
+            lines.append(f"  new in {self.b}: {', '.join(self.new_cases)}")
+        if self.missing_cases:
+            lines.append(
+                f"  missing from {self.b}: {', '.join(self.missing_cases)}"
+            )
+        lines.append(
+            "  verdict : " + ("OK" if self.ok else "REGRESSIONS FOUND")
+            + (" (no differences)" if self.empty else "")
+        )
+        return "\n".join(lines)
+
+
+def _fp_line(fp: Dict[str, object]) -> str:
+    sha = fp.get("git_sha")
+    return f"v{fp.get('version', '?')}" + (f"@{sha}" if sha else "")
+
+
+def _verified(row: dict) -> Optional[bool]:
+    flag = row.get("verified_ok")
+    return None if flag is None else bool(flag)
+
+
+def diff_campaigns(
+    db: CampaignDB,
+    name_a: str,
+    name_b: str,
+    *,
+    cost_eps: float = DEFAULT_COST_EPS,
+) -> CampaignDiff:
+    """Compare campaign ``name_b`` against baseline ``name_a``."""
+    campaign_a = db.get_campaign(name_a)
+    campaign_b = db.get_campaign(name_b)
+    if campaign_a is None:
+        raise KeyError(f"no campaign named {name_a!r}")
+    if campaign_b is None:
+        raise KeyError(f"no campaign named {name_b!r}")
+    rows_a = {r["case_id"]: r for r in db.case_rows(int(campaign_a["id"]))}
+    rows_b = {r["case_id"]: r for r in db.case_rows(int(campaign_b["id"]))}
+    diff = CampaignDiff(
+        a=name_a,
+        b=name_b,
+        fingerprint_a=json.loads(campaign_a["fingerprint"] or "{}"),
+        fingerprint_b=json.loads(campaign_b["fingerprint"] or "{}"),
+        new_cases=sorted(set(rows_b) - set(rows_a)),
+        missing_cases=sorted(set(rows_a) - set(rows_b)),
+    )
+    for case_id in sorted(set(rows_a) & set(rows_b)):
+        a, b = rows_a[case_id], rows_b[case_id]
+        diff.matched_cases += 1
+        if (
+            a.get("matrix_digest")
+            and b.get("matrix_digest")
+            and a["matrix_digest"] != b["matrix_digest"]
+        ):
+            diff.input_changes.append({
+                "case_id": case_id,
+                "digest_a": a["matrix_digest"],
+                "digest_b": b["matrix_digest"],
+            })
+            continue  # different input: nothing else is comparable
+        if a["state"] == "done" and b["state"] != "done":
+            diff.state_regressions.append({
+                "case_id": case_id,
+                "a": a["state"],
+                "b": b["state"],
+                "error": b.get("error"),
+            })
+        cost_a, cost_b = a.get("cost"), b.get("cost")
+        if (
+            cost_a is not None
+            and cost_b is not None
+            and abs(cost_b - cost_a) > cost_eps
+        ):
+            diff.cost_changes.append(CaseCostChange(
+                case_id=case_id,
+                method=str(b.get("method")),
+                cost_a=float(cost_a),
+                cost_b=float(cost_b),
+                exact=b.get("method") in EXACT_METHODS,
+            ))
+        ok_a, ok_b = _verified(a), _verified(b)
+        if ok_a is True and ok_b is False:
+            diff.verification_regressions.append({
+                "case_id": case_id,
+                "a": "ok",
+                "b": "violations",
+                "violations": b.get("violations"),
+            })
+        wall_a, wall_b = a.get("wall_seconds"), b.get("wall_seconds")
+        if wall_a and wall_b and wall_a > 0:
+            diff.time_ratios[case_id] = float(wall_b) / float(wall_a)
+    return diff

@@ -1,0 +1,392 @@
+"""Suites: named, seeded specifications of many construction cases.
+
+A **suite** is the declarative half of a campaign: which matrices, which
+methods, which options.  Executing a suite (``runner.py``) produces a
+**campaign** -- one recorded run of the suite under a concrete engine
+fingerprint.  The split is what makes cross-version comparison work: the
+suite spec is engine-independent and deterministic, so two engines given
+the same spec solve the same cases under the same case ids, and
+``repro-mut campaign diff`` can align their rows.
+
+Case sources (the ``"cases"`` list of a spec):
+
+``{"kind": "generated", "families": [...], "sizes": [...], "count": k}``
+    ``k`` replicates per family x size from the fuzz generator families
+    (:data:`repro.verify.fuzz.FAMILIES`).  Each replicate's RNG is
+    seeded from ``(suite seed, crc32(family), size, replicate)``, so a
+    case's matrix depends only on the spec -- never on how many other
+    sources the suite has or the order families iterate.
+
+``{"kind": "random", "sizes": [...], "seed": s}``
+    ``repro.matrix.generators.random_metric_matrix(n, seed=s)`` -- the
+    seeded workloads the regression pins and the HPCAsia benchmarks use.
+
+``{"kind": "hierarchical", "spec": [...], "seed": s, "jitter": j}``
+    One ``hierarchical_matrix`` workload (the PaCT figure matrices).
+
+``{"kind": "hmdna", "species": [...], "seeds": [...]}``
+    Simulated human-mitochondrial datasets
+    (:func:`repro.sequences.hmdna.generate_hmdna_dataset`) -- the
+    paper's 26/30/38-species experimental program.
+
+``{"kind": "glob", "pattern": "dir/*.phy"}``
+    On-disk PHYLIP matrices (fuzz corpus entries, user data).  Matches
+    are sorted; the case id is the file name, so re-running after the
+    engine changed aligns by file.
+
+Every source case is crossed with the suite's ``methods``; the final
+case id is ``<source-id>@<method>``.  Ids are checked for uniqueness at
+materialisation time.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from glob import glob
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.api import METHODS
+from repro.matrix.distance_matrix import DistanceMatrix
+from repro.matrix.generators import hierarchical_matrix, random_metric_matrix
+
+__all__ = [
+    "BUILTIN_SUITES",
+    "Case",
+    "Suite",
+    "SuiteError",
+    "load_suite",
+]
+
+
+class SuiteError(ValueError):
+    """A malformed or unsatisfiable suite specification."""
+
+
+@dataclass(frozen=True)
+class Case:
+    """One concrete unit of campaign work: a matrix under a method.
+
+    ``id`` is stable across engine versions (derived from the spec, not
+    from the matrix contents); ``family`` and ``source`` describe where
+    the matrix came from for reporting and diff grouping.
+    """
+
+    id: str
+    matrix: DistanceMatrix
+    method: str
+    options: Mapping[str, object]
+    family: str
+    source: str
+
+    def cache_options(self) -> Dict[str, object]:
+        return dict(self.options)
+
+
+def _case_rng(seed: int, family: str, n: int, replicate: int):
+    """Deterministic per-case RNG, independent of suite layout."""
+    return np.random.default_rng(
+        np.random.SeedSequence(
+            [int(seed), zlib.crc32(family.encode("utf-8")), int(n), replicate]
+        )
+    )
+
+
+def _sanitize(stem: str) -> str:
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in stem)
+
+
+@dataclass
+class Suite:
+    """A named, seeded case specification.
+
+    Build one from a spec dict (:meth:`from_spec`), a JSON file or a
+    builtin name (:func:`load_suite`).  ``cases()`` materialises the
+    deterministic case list; ``spec()``/``spec_json()`` give back the
+    canonical spec the run database stores (and resume validates
+    against).
+    """
+
+    name: str
+    seed: int = 0
+    methods: Tuple[str, ...] = ("compact",)
+    options: Dict[str, object] = field(default_factory=dict)
+    sources: List[Dict[str, object]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.methods = tuple(self.methods)
+        if not self.name:
+            raise SuiteError("suite needs a non-empty name")
+        if not self.methods:
+            raise SuiteError("suite needs at least one method")
+        unknown = [m for m in self.methods if m not in METHODS]
+        if unknown:
+            raise SuiteError(
+                f"unknown methods {unknown}; choose from {METHODS}"
+            )
+        if not self.sources:
+            raise SuiteError("suite needs at least one case source")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "Suite":
+        """Build a suite from a spec dict (the ``campaigns.md`` format)."""
+        if not isinstance(spec, Mapping):
+            raise SuiteError("suite spec must be a JSON object")
+        extra = set(spec) - {"name", "seed", "methods", "options", "cases"}
+        if extra:
+            raise SuiteError(f"unknown suite spec keys: {sorted(extra)}")
+        try:
+            return cls(
+                name=str(spec["name"]),
+                seed=int(spec.get("seed", 0)),
+                methods=tuple(spec.get("methods", ("compact",))),
+                options=dict(spec.get("options", {}) or {}),
+                sources=[dict(s) for s in spec.get("cases", ())],
+            )
+        except KeyError as exc:
+            raise SuiteError(f"suite spec missing required key {exc}")
+        except TypeError as exc:
+            raise SuiteError(f"malformed suite spec: {exc}")
+
+    def spec(self) -> Dict[str, object]:
+        """The canonical spec dict (what the run database stores)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "methods": list(self.methods),
+            "options": dict(self.options),
+            "cases": [dict(s) for s in self.sources],
+        }
+
+    def spec_json(self) -> str:
+        """Canonical JSON of :meth:`spec` (resume compares this)."""
+        return json.dumps(self.spec(), sort_keys=True)
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def cases(
+        self, methods: Optional[Sequence[str]] = None
+    ) -> List[Case]:
+        """The deterministic case list: every source case x every method.
+
+        ``methods`` overrides the suite's own method list (the CLI's
+        ``--methods``); ids must come out unique or the suite is
+        rejected.
+        """
+        chosen = tuple(methods) if methods else self.methods
+        unknown = [m for m in chosen if m not in METHODS]
+        if unknown:
+            raise SuiteError(
+                f"unknown methods {unknown}; choose from {METHODS}"
+            )
+        bases: List[Tuple[str, str, str, DistanceMatrix]] = []
+        for source in self.sources:
+            bases.extend(self._materialise_source(source))
+        cases = [
+            Case(
+                id=f"{base_id}@{method}",
+                matrix=matrix,
+                method=method,
+                options=dict(self.options),
+                family=family,
+                source=source_kind,
+            )
+            for base_id, family, source_kind, matrix in bases
+            for method in chosen
+        ]
+        seen: Dict[str, str] = {}
+        for case in cases:
+            if case.id in seen:
+                raise SuiteError(f"duplicate case id {case.id!r} in suite")
+            seen[case.id] = case.id
+        return cases
+
+    def _materialise_source(
+        self, source: Mapping[str, object]
+    ) -> List[Tuple[str, str, str, DistanceMatrix]]:
+        kind = source.get("kind")
+        handler = {
+            "generated": self._source_generated,
+            "random": self._source_random,
+            "hierarchical": self._source_hierarchical,
+            "hmdna": self._source_hmdna,
+            "glob": self._source_glob,
+        }.get(kind)
+        if handler is None:
+            raise SuiteError(
+                f"unknown case source kind {kind!r}; expected one of "
+                "generated/random/hierarchical/hmdna/glob"
+            )
+        return handler(source)
+
+    def _source_generated(self, source):
+        from repro.verify.fuzz import FAMILIES
+
+        families = list(source.get("families", FAMILIES))
+        sizes = [int(n) for n in source.get("sizes", (6,))]
+        count = int(source.get("count", 1))
+        unknown = [f for f in families if f not in FAMILIES]
+        if unknown:
+            raise SuiteError(
+                f"unknown generator families {unknown}; choose from "
+                f"{sorted(FAMILIES)}"
+            )
+        if any(n < 3 for n in sizes) or count < 1:
+            raise SuiteError("generated source needs sizes >= 3, count >= 1")
+        out = []
+        for family in families:
+            for n in sizes:
+                for i in range(count):
+                    rng = _case_rng(self.seed, family, n, i)
+                    matrix = FAMILIES[family](rng, n)
+                    out.append(
+                        (f"gen/{family}/n{n}/{i}", family, "generated", matrix)
+                    )
+        return out
+
+    def _source_random(self, source):
+        sizes = [int(n) for n in source.get("sizes", ())]
+        seed = int(source.get("seed", self.seed))
+        if not sizes or any(n < 3 for n in sizes):
+            raise SuiteError("random source needs sizes >= 3")
+        return [
+            (
+                f"random/n{n}/s{seed}",
+                "random-metric",
+                "random",
+                random_metric_matrix(n, seed=seed),
+            )
+            for n in sizes
+        ]
+
+    def _source_hierarchical(self, source):
+        spec = source.get("spec")
+        if not spec:
+            raise SuiteError("hierarchical source needs a 'spec' list")
+        seed = int(source.get("seed", self.seed))
+        jitter = float(source.get("jitter", 0.0))
+        matrix = hierarchical_matrix(spec, seed=seed, jitter=jitter)
+        # Specs nest arbitrarily ([[6, 5], [6, 5]]); a crc of the
+        # canonical JSON is a short, stable id component.
+        tag = f"{zlib.crc32(json.dumps(spec).encode('utf-8')):08x}"
+        return [
+            (
+                f"hier/{tag}/s{seed}",
+                "hierarchical",
+                "hierarchical",
+                matrix,
+            )
+        ]
+
+    def _source_hmdna(self, source):
+        from repro.sequences.hmdna import generate_hmdna_dataset
+
+        species = [int(n) for n in source.get("species", (26,))]
+        seeds = [int(s) for s in source.get("seeds", (self.seed,))]
+        if any(n < 3 for n in species):
+            raise SuiteError("hmdna source needs species >= 3")
+        return [
+            (
+                f"hmdna/n{n}/s{seed}",
+                "hmdna",
+                "hmdna",
+                generate_hmdna_dataset(n, seed=seed).matrix,
+            )
+            for n in species
+            for seed in seeds
+        ]
+
+    def _source_glob(self, source):
+        from repro.matrix.io import read_phylip
+
+        pattern = source.get("pattern")
+        if not pattern:
+            raise SuiteError("glob source needs a 'pattern'")
+        matches = sorted(glob(str(pattern)))
+        if not matches:
+            raise SuiteError(f"glob pattern {pattern!r} matched no files")
+        out = []
+        for path in matches:
+            try:
+                matrix = read_phylip(path)
+            except (ValueError, OSError) as exc:
+                raise SuiteError(f"unreadable matrix file {path}: {exc}")
+            out.append(
+                (f"file/{_sanitize(Path(path).name)}", "file", "glob", matrix)
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# builtin suites
+# ----------------------------------------------------------------------
+#: Named suites usable directly as ``repro-mut campaign run --suite <name>``.
+BUILTIN_SUITES: Dict[str, Dict[str, object]] = {
+    # Tiny cross-backend CI suite: 8 cases, seconds of work.
+    "smoke": {
+        "name": "smoke",
+        "seed": 0,
+        "methods": ["bnb", "upgmm"],
+        "cases": [
+            {
+                "kind": "generated",
+                "families": ["random-int", "ultrametric"],
+                "sizes": [6, 7],
+                "count": 1,
+            },
+        ],
+    },
+    # The regression-pin workloads: seeded matrices whose exact optima
+    # are frozen in tests/data/seed_campaign.json (see docs/campaigns.md).
+    "pins": {
+        "name": "pins",
+        "seed": 0,
+        "methods": ["bnb", "compact"],
+        "cases": [
+            {"kind": "random", "sizes": [10, 12, 14, 16], "seed": 42},
+            {"kind": "hierarchical", "spec": [5, 5], "seed": 110,
+             "jitter": 0.3},
+            {"kind": "hmdna", "species": [12], "seeds": [7]},
+        ],
+    },
+    # The paper's HMDNA experimental program (exact solves get large
+    # above ~26 species; compact is the paper's own pipeline).
+    "hmdna": {
+        "name": "hmdna",
+        "seed": 0,
+        "methods": ["compact", "upgmm"],
+        "cases": [
+            {"kind": "hmdna", "species": [26, 30, 38], "seeds": [0, 1, 2]},
+        ],
+    },
+}
+
+
+def load_suite(spec: Union[str, Path, Mapping[str, object]]) -> Suite:
+    """Resolve a suite from a spec dict, a JSON file path or a builtin name.
+
+    Strings are tried as a file path first, then as a builtin suite
+    name; anything else raises :class:`SuiteError` naming both options.
+    """
+    if isinstance(spec, Mapping):
+        return Suite.from_spec(spec)
+    path = Path(spec)
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SuiteError(f"unreadable suite spec {path}: {exc}")
+        return Suite.from_spec(data)
+    name = str(spec)
+    if name in BUILTIN_SUITES:
+        return Suite.from_spec(BUILTIN_SUITES[name])
+    raise SuiteError(
+        f"no suite spec file {name!r} and no builtin suite of that name "
+        f"(builtins: {sorted(BUILTIN_SUITES)})"
+    )

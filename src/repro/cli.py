@@ -63,15 +63,17 @@ def _load_matrix(path: str) -> DistanceMatrix:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from repro import __version__
+    from repro.version import fingerprint_summary
 
     parser = argparse.ArgumentParser(
         prog="repro-mut",
         description="Minimum ultrametric evolutionary trees via compact sets",
     )
     parser.add_argument(
-        "--version", action="version", version=f"repro-mut {__version__}",
-        help="print the package version and exit",
+        "--version", action="version",
+        version=f"repro-mut {fingerprint_summary()}",
+        help="print the engine fingerprint (version, cache-key version, "
+             "trace schema, git sha) and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -203,6 +205,94 @@ def build_parser() -> argparse.ArgumentParser:
                            "failures (default: 5)")
     fuzz.add_argument("--json", action="store_true",
                       help="emit the full machine-readable report")
+    fuzz.add_argument("--db", default=None,
+                      help="also archive failures into this campaign "
+                           "database (same file campaign run uses)")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run suites into the persistent run database and compare "
+             "campaigns across engine versions (see docs/campaigns.md)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _db_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--db", default="campaigns.sqlite",
+                       help="campaign database file "
+                            "(default: campaigns.sqlite)")
+
+    crun = campaign_sub.add_parser(
+        "run",
+        help="execute (or resume) a suite as a named campaign "
+             "(exit 0 clean, 1 case failures, 3 interrupted)",
+    )
+    crun.add_argument("suite",
+                      help="suite spec JSON file, or a builtin suite name "
+                           "(smoke, pins, hmdna)")
+    _db_arg(crun)
+    crun.add_argument("--name", default=None,
+                      help="campaign name (default: the suite's name); "
+                           "re-using a name resumes that campaign")
+    crun.add_argument("--methods", default=None,
+                      help="comma-separated methods overriding the suite's")
+    crun.add_argument("--backend", choices=("auto", "thread", "process"),
+                      default="auto",
+                      help="scheduler backend (auto picks by the first "
+                           "method, like serve)")
+    crun.add_argument("--start-method", default=None,
+                      choices=("fork", "spawn", "forkserver"),
+                      help="multiprocessing start method for "
+                           "--backend process")
+    crun.add_argument("--workers", type=int, default=4,
+                      help="scheduler workers (default: 4)")
+    crun.add_argument("--no-verify", action="store_true",
+                      help="skip the per-case result oracles")
+    crun.add_argument("--job-timeout", type=float, default=None,
+                      help="per-case deadline in seconds")
+    crun.add_argument("--throttle", type=float, default=0.0,
+                      help="sleep this many seconds between submissions")
+    crun.add_argument("--stop-after", type=int, default=None,
+                      help="stop (as interrupted) after executing this many "
+                           "cases -- deterministic resume testing")
+    crun.add_argument("--trace-out", default=None,
+                      help="also write the campaign's trace as JSON lines")
+    crun.add_argument("--json", action="store_true")
+
+    cstatus = campaign_sub.add_parser("status",
+                                      help="per-state case counts of a "
+                                           "campaign")
+    cstatus.add_argument("name")
+    _db_arg(cstatus)
+    cstatus.add_argument("--json", action="store_true")
+
+    clist = campaign_sub.add_parser("list",
+                                    help="all campaigns in the database")
+    _db_arg(clist)
+    clist.add_argument("--json", action="store_true")
+
+    cdiff = campaign_sub.add_parser(
+        "diff",
+        help="compare campaign B against baseline A "
+             "(exit 0 ok, 1 regressions, 2 usage error)",
+    )
+    cdiff.add_argument("a", help="baseline campaign name")
+    cdiff.add_argument("b", help="candidate campaign name")
+    _db_arg(cdiff)
+    cdiff.add_argument("--eps", type=float, default=1e-9,
+                       help="exact-method cost tolerance (default: 1e-9)")
+    cdiff.add_argument("--json", action="store_true")
+
+    cexport = campaign_sub.add_parser(
+        "export", help="dump one campaign and its cases as JSON"
+    )
+    cexport.add_argument("name")
+    _db_arg(cexport)
+    cexport.add_argument("--out", default=None,
+                         help="write to this file instead of stdout")
+    cexport.add_argument("--strip-volatile", action="store_true",
+                         help="drop timing/host/cache fields -- the "
+                              "checked-in seed-campaign format")
 
     render = sub.add_parser("render", help="draw a constructed tree as ASCII")
     render.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
@@ -589,6 +679,29 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_failures=args.max_failures,
         progress=progress,
     )
+    if args.db is not None and report.failures:
+        from repro.campaign.db import CampaignDB
+        from repro.version import engine_fingerprint
+
+        with CampaignDB(args.db) as db:
+            for failure in report.failures:
+                db.archive_fuzz_failure(
+                    master_seed=report.seed,
+                    iteration=failure.iteration,
+                    matrix_digest=failure.matrix.digest(),
+                    family=failure.family,
+                    n_species=failure.n_species,
+                    shrunk_n_species=failure.shrunk_n_species,
+                    corpus_path=failure.corpus_path,
+                    meta_path=failure.meta_path,
+                    repro_command=failure.repro_command,
+                    violations=[v.to_json() for v in failure.violations],
+                    fingerprint=engine_fingerprint(),
+                )
+        print(
+            f"archived {len(report.failures)} failure(s) into {args.db}",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
     else:
@@ -700,6 +813,198 @@ def _cmd_bootstrap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_run(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.campaign import (
+        CampaignMismatch,
+        SuiteError,
+        load_suite,
+        run_campaign,
+    )
+    from repro.campaign.db import CampaignDB
+    from repro.service.scheduler import select_backend
+
+    try:
+        suite = load_suite(args.suite)
+    except SuiteError as exc:
+        raise _usage_error(str(exc))
+    if args.workers < 1:
+        raise _usage_error(f"--workers must be >= 1, got {args.workers}")
+    methods = None
+    if args.methods:
+        methods = list(_parse_method_list(args.methods))
+    backend = args.backend
+    if backend == "auto":
+        lead = (methods or suite.methods)[0]
+        backend = select_backend(lead)
+
+    stop = threading.Event()
+    previous = {}
+
+    def _arm_stop(signum, frame):  # noqa: ARG001 - signal signature
+        print("repro-mut campaign: stop requested, draining in-flight "
+              "cases ...", file=sys.stderr)
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _arm_stop)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+
+    def progress(index: int, total: int, case, state: str) -> None:
+        if not args.json:
+            print(f"  [{index}/{total}] {case.id}: {state}",
+                  file=sys.stderr)
+
+    rec = Recorder()
+    try:
+        with CampaignDB(args.db) as db:
+            try:
+                result = run_campaign(
+                    db,
+                    suite,
+                    name=args.name,
+                    methods=methods,
+                    backend=backend,
+                    workers=args.workers,
+                    start_method=args.start_method,
+                    verify=not args.no_verify,
+                    job_timeout=args.job_timeout,
+                    recorder=rec,
+                    stop=stop,
+                    stop_after=args.stop_after,
+                    throttle_seconds=args.throttle,
+                    progress=progress,
+                )
+            except CampaignMismatch as exc:
+                raise _usage_error(str(exc))
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    if args.trace_out:
+        rec.write_jsonl(args.trace_out)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        counts = ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(result.state_counts.items())
+        ) or "none"
+        print(f"campaign : {result.name} (id {result.campaign_id}, "
+              f"backend {backend})")
+        print(f"cases    : {result.total_cases} total, "
+              f"{result.executed} executed, {result.skipped} skipped")
+        print(f"states   : {counts}")
+        print(f"elapsed  : {result.elapsed_seconds:.2f}s")
+        print(f"status   : {result.status}")
+    if result.interrupted:
+        return 3
+    return 0 if result.ok else 1
+
+
+def _campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign.db import CampaignDB
+
+    with CampaignDB(args.db) as db:
+        campaign = db.get_campaign(args.name)
+        if campaign is None:
+            raise _usage_error(f"no campaign named {args.name!r} in "
+                               f"{args.db}")
+        counts = db.state_counts(int(campaign["id"]))
+    fingerprint = json.loads(campaign["fingerprint"] or "{}")
+    if args.json:
+        print(json.dumps({
+            "campaign": campaign, "state_counts": counts,
+        }, indent=2, default=str))
+    else:
+        print(f"campaign : {campaign['name']} (id {campaign['id']})")
+        print(f"suite    : {campaign['suite']} (seed {campaign['seed']})")
+        print(f"status   : {campaign['status']}")
+        print(f"backend  : {campaign['backend']} on "
+              f"{campaign['hostname']}")
+        print(f"engine   : v{fingerprint.get('version', '?')} "
+              f"(git {fingerprint.get('git_sha', 'unknown')})")
+        print("states   : " + (", ".join(
+            f"{state}={count}" for state, count in sorted(counts.items())
+        ) or "no cases recorded"))
+    return 0
+
+
+def _campaign_list(args: argparse.Namespace) -> int:
+    from repro.campaign.db import CampaignDB
+
+    with CampaignDB(args.db) as db:
+        campaigns = db.list_campaigns()
+        rows = [
+            (campaign, db.state_counts(int(campaign["id"])))
+            for campaign in campaigns
+        ]
+    if args.json:
+        print(json.dumps([
+            {"campaign": campaign, "state_counts": counts}
+            for campaign, counts in rows
+        ], indent=2, default=str))
+        return 0
+    if not rows:
+        print(f"no campaigns in {args.db}")
+        return 0
+    for campaign, counts in rows:
+        total = sum(counts.values())
+        done = counts.get("done", 0)
+        print(f"{campaign['name']}: {campaign['status']}, "
+              f"{done}/{total} done, suite {campaign['suite']}, "
+              f"backend {campaign['backend']}")
+    return 0
+
+
+def _campaign_diff(args: argparse.Namespace) -> int:
+    from repro.campaign import diff_campaigns
+    from repro.campaign.db import CampaignDB
+
+    with CampaignDB(args.db) as db:
+        try:
+            diff = diff_campaigns(db, args.a, args.b, cost_eps=args.eps)
+        except KeyError as exc:
+            raise _usage_error(str(exc.args[0]))
+    if args.json:
+        print(json.dumps(diff.to_json(), indent=2))
+    else:
+        print(diff.render())
+    return 0 if diff.ok else 1
+
+
+def _campaign_export(args: argparse.Namespace) -> int:
+    from repro.campaign.db import CampaignDB, strip_volatile
+
+    with CampaignDB(args.db) as db:
+        try:
+            export = db.export_campaign(args.name)
+        except KeyError as exc:
+            raise _usage_error(str(exc.args[0]))
+    if args.strip_volatile:
+        export = strip_volatile(export)
+    text = json.dumps(export, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    return {
+        "run": _campaign_run,
+        "status": _campaign_status,
+        "list": _campaign_list,
+        "diff": _campaign_diff,
+        "export": _campaign_export,
+    }[args.campaign_command](args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
@@ -736,6 +1041,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inspect": _cmd_inspect,
         "compare": _cmd_compare,
         "bootstrap": _cmd_bootstrap,
+        "campaign": _cmd_campaign,
         "serve": _cmd_serve,
     }
     handler = handlers.get(args.command)

@@ -39,6 +39,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Union
 
 __all__ = [
     "SCHEMA_VERSION",
+    "meta_record",
     "Span",
     "SpanEvent",
     "CounterEvent",
@@ -54,6 +55,23 @@ __all__ = [
 
 #: Version stamped into the ``meta`` line of every JSON-lines export.
 SCHEMA_VERSION = 1
+
+
+def meta_record() -> Dict[str, object]:
+    """The ``meta`` line every JSON-lines export starts with.
+
+    Carries the schema version (what :func:`read_jsonl` validates) plus
+    the engine fingerprint (``repro.version.engine_fingerprint``), so a
+    trace file identifies the code that produced it.  Readers ignore the
+    extra keys; old traces without them still parse.
+    """
+    from repro.version import engine_fingerprint
+
+    return {
+        "event": "meta",
+        "schema": SCHEMA_VERSION,
+        "engine": engine_fingerprint(),
+    }
 
 Event = Union["SpanEvent", "CounterEvent"]
 
@@ -417,7 +435,7 @@ class Recorder(NullRecorder):
     # ------------------------------------------------------------------
     def json_lines(self) -> List[str]:
         """The serialized event stream, meta line first."""
-        lines = [json.dumps({"event": "meta", "schema": SCHEMA_VERSION})]
+        lines = [json.dumps(meta_record(), sort_keys=True)]
         lines.extend(
             json.dumps(event.to_json(), sort_keys=True) for event in self.events
         )

@@ -33,7 +33,7 @@ from collections import deque
 from pathlib import Path
 from typing import Callable, Optional, Union
 
-from repro.obs.recorder import SCHEMA_VERSION, Event, Recorder
+from repro.obs.recorder import Event, Recorder, meta_record
 
 __all__ = ["StreamingRecorder"]
 
@@ -94,7 +94,7 @@ class StreamingRecorder(Recorder):
     # sink plumbing (all called under self._lock)
     # ------------------------------------------------------------------
     def _write_meta_locked(self) -> None:
-        line = json.dumps({"event": "meta", "schema": SCHEMA_VERSION})
+        line = json.dumps(meta_record(), sort_keys=True)
         self._sink.write(line + "\n")
         self._sink_bytes += len(line) + 1
 

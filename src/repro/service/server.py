@@ -178,12 +178,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             path = self.path.rstrip("/") or "/"
             if path == "/healthz":
+                from repro.version import engine_fingerprint
+
                 closed = service.scheduler.closed
                 self._send_json(
                     503 if closed else 200,
                     {
                         "status": "draining" if closed else "ok",
                         "version": _version(),
+                        "engine": engine_fingerprint(),
                         "uptime_seconds": time.time() - service.started_at,
                     },
                 )

@@ -380,6 +380,7 @@ def _write_corpus_entry(
     methods: Sequence[str],
 ) -> None:
     from repro.matrix.io import write_phylip
+    from repro.version import engine_fingerprint
 
     directory = Path(corpus_dir)
     directory.mkdir(parents=True, exist_ok=True)
@@ -398,6 +399,8 @@ def _write_corpus_entry(
                 "family": failure.family,
                 "original_n_species": failure.n_species,
                 "shrunk_n_species": failure.shrunk_n_species,
+                "matrix_digest": failure.matrix.digest(),
+                "engine_fingerprint": engine_fingerprint(),
                 "methods": list(methods),
                 "violations": [v.to_json() for v in failure.violations],
                 "repro_command": failure.repro_command,

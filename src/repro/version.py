@@ -1,0 +1,99 @@
+"""One canonical identity for the running engine.
+
+Results are only comparable across runs when we know *which engine*
+produced them, and "which engine" is more than the package version: a
+cache-key derivation bump invalidates on-disk payloads, a trace-schema
+bump changes what the JSONL readers accept, and an uncommitted tree can
+behave like no released version at all.  This module gathers those
+scattered constants -- ``repro.__version__``,
+``repro.service.cache.CACHE_KEY_VERSION``,
+``repro.obs.recorder.SCHEMA_VERSION`` and (when available) the git
+commit -- into a single :func:`engine_fingerprint` dict that is stamped
+everywhere a result can outlive the process:
+
+* ``repro-mut --version`` (human-readable summary),
+* ``GET /healthz`` (the ``"engine"`` object),
+* the ``meta`` line of every JSON-lines trace export,
+* campaign rows in the run database (``docs/campaigns.md``),
+* fuzz-corpus sidecars (``docs/verification.md``).
+
+Two artefacts with equal fingerprints were produced by the same code
+operating under the same persistence contracts; a campaign diff between
+unequal fingerprints is a *cross-version* comparison and is labelled as
+such.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["engine_fingerprint", "fingerprint_summary"]
+
+
+@lru_cache(maxsize=1)
+def _git_sha() -> Optional[str]:
+    """The working tree's commit (short sha), or ``None`` outside git.
+
+    Memoised for the process lifetime: the fingerprint describes the
+    code that was *imported*, which cannot change under a running
+    process even if the repository advances.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
+
+
+def engine_fingerprint() -> Dict[str, object]:
+    """The canonical ``{version, cache_key_version, trace_schema,
+    git_sha?}`` identity of this engine.
+
+    ``git_sha`` is present only when the package runs from a git
+    checkout.  Returns a fresh dict each call (callers stash it in JSON
+    payloads and must not share mutable state).
+    """
+    from repro import __version__
+    from repro.obs.recorder import SCHEMA_VERSION
+    from repro.service.cache import CACHE_KEY_VERSION
+
+    fingerprint: Dict[str, object] = {
+        "version": __version__,
+        "cache_key_version": CACHE_KEY_VERSION,
+        "trace_schema": SCHEMA_VERSION,
+    }
+    sha = _git_sha()
+    if sha is not None:
+        fingerprint["git_sha"] = sha
+    return fingerprint
+
+
+def fingerprint_summary(
+    fingerprint: Optional[Dict[str, object]] = None,
+) -> str:
+    """One-line human rendering, e.g. for ``repro-mut --version``.
+
+    ``1.0.0 (cache-key v2, trace schema v1, git 0bd0961aa)`` -- accepts
+    a stored fingerprint dict so the campaign CLI can render rows from
+    the database with the same formatting.
+    """
+    fp = fingerprint if fingerprint is not None else engine_fingerprint()
+    parts = [
+        f"cache-key v{fp.get('cache_key_version', '?')}",
+        f"trace schema v{fp.get('trace_schema', '?')}",
+    ]
+    if fp.get("git_sha"):
+        parts.append(f"git {fp['git_sha']}")
+    return f"{fp.get('version', '?')} ({', '.join(parts)})"

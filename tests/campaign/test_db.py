@@ -1,0 +1,168 @@
+"""CampaignDB: upserts, schema guard, export/import, fuzz archive."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.campaign.db import CampaignDB, CampaignExists, DB_SCHEMA_VERSION
+
+FP = {
+    "version": "1.0.0",
+    "cache_key_version": 2,
+    "trace_schema": 1,
+    "git_sha": "abc123",
+}
+
+
+@pytest.fixture
+def db(tmp_path):
+    with CampaignDB(tmp_path / "c.sqlite") as handle:
+        yield handle
+
+
+def _campaign(db, name="camp"):
+    return db.create_campaign(
+        name,
+        suite="demo",
+        suite_spec='{"name": "demo"}',
+        seed=0,
+        backend="thread",
+        hostname="host",
+        fingerprint=FP,
+    )
+
+
+class TestCampaigns:
+    def test_create_and_get(self, db):
+        campaign_id = _campaign(db)
+        row = db.get_campaign("camp")
+        assert row["id"] == campaign_id
+        assert row["status"] == "running"
+        assert row["engine_version"] == "1.0.0"
+        assert row["cache_key_version"] == 2
+        assert json.loads(row["fingerprint"]) == FP
+
+    def test_duplicate_name_refused(self, db):
+        _campaign(db)
+        with pytest.raises(CampaignExists):
+            _campaign(db)
+
+    def test_mark_status_and_resume(self, db):
+        campaign_id = _campaign(db)
+        db.mark_status(campaign_id, "interrupted")
+        assert db.get_campaign("camp")["status"] == "interrupted"
+        db.mark_resumed(campaign_id, {**FP, "git_sha": "def456"}, "process")
+        row = db.get_campaign("camp")
+        assert row["status"] == "running"
+        assert row["resumes"] == 1
+        assert row["git_sha"] == "def456"
+        assert row["backend"] == "process"
+
+    def test_list(self, db):
+        _campaign(db, "a")
+        _campaign(db, "b")
+        assert [c["name"] for c in db.list_campaigns()] == ["a", "b"]
+
+
+class TestCases:
+    def test_upsert_is_idempotent(self, db):
+        campaign_id = _campaign(db)
+        for cost in (3.0, 2.0, 1.0):
+            db.upsert_case(campaign_id, "case-1", method="bnb",
+                           state="done", cost=cost)
+        rows = db.case_rows(campaign_id)
+        assert len(rows) == 1
+        assert rows[0]["cost"] == 1.0
+        assert rows[0]["state"] == "done"
+
+    def test_unknown_column_rejected(self, db):
+        campaign_id = _campaign(db)
+        with pytest.raises(ValueError, match="unknown case columns"):
+            db.upsert_case(campaign_id, "case-1", method="bnb",
+                           state="done", bogus=1)
+
+    def test_state_queries(self, db):
+        campaign_id = _campaign(db)
+        db.upsert_case(campaign_id, "a", method="bnb", state="done")
+        db.upsert_case(campaign_id, "b", method="bnb", state="failed")
+        db.upsert_case(campaign_id, "c", method="bnb", state="done")
+        assert db.state_counts(campaign_id) == {"done": 2, "failed": 1}
+        assert db.case_ids_in_state(campaign_id, ("done",)) == {"a", "c"}
+        assert db.case_ids_in_state(campaign_id, ()) == set()
+
+    def test_cases_scoped_per_campaign(self, db):
+        a = _campaign(db, "a")
+        b = _campaign(db, "b")
+        db.upsert_case(a, "x", method="bnb", state="done")
+        db.upsert_case(b, "x", method="bnb", state="failed")
+        assert db.state_counts(a) == {"done": 1}
+        assert db.state_counts(b) == {"failed": 1}
+
+
+class TestSchemaGuard:
+    def test_refuses_other_schema_version(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        CampaignDB(path).close()
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "UPDATE db_meta SET value=? WHERE key='schema_version'",
+            (str(DB_SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(RuntimeError, match="schema v"):
+            CampaignDB(path)
+
+    def test_reopen_same_version_ok(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        CampaignDB(path).close()
+        CampaignDB(path).close()
+
+
+class TestExportImport:
+    def test_roundtrip(self, db):
+        campaign_id = _campaign(db)
+        db.upsert_case(campaign_id, "a", method="bnb", state="done",
+                       cost=10.0, matrix_digest="d1")
+        db.mark_status(campaign_id, "completed")
+        export = db.export_campaign("camp")
+        assert export["format"] == "repro.campaign.export.v1"
+        # JSON-serialisable end to end (the checked-in pin format).
+        export = json.loads(json.dumps(export))
+        imported_id = db.import_export(export, name="camp-seed")
+        assert db.get_campaign("camp-seed")["status"] == "completed"
+        rows = db.case_rows(imported_id)
+        assert len(rows) == 1
+        assert rows[0]["cost"] == 10.0
+        assert rows[0]["matrix_digest"] == "d1"
+
+    def test_unknown_campaign(self, db):
+        with pytest.raises(KeyError):
+            db.export_campaign("nope")
+
+    def test_bad_format_rejected(self, db):
+        with pytest.raises(ValueError, match="not a campaign export"):
+            db.import_export({"format": "something-else"})
+
+
+class TestFuzzArchive:
+    def test_archive_idempotent(self, db):
+        for _ in range(2):
+            db.archive_fuzz_failure(
+                master_seed=3,
+                iteration=17,
+                matrix_digest="deadbeef",
+                family="random-int",
+                n_species=8,
+                shrunk_n_species=5,
+                corpus_path="corpus/fail.phy",
+                violations=[{"kind": "cost-mismatch"}],
+                fingerprint=FP,
+            )
+        failures = db.fuzz_failures()
+        assert len(failures) == 1
+        row = failures[0]
+        assert row["master_seed"] == 3
+        assert row["engine_version"] == "1.0.0"
+        assert json.loads(row["violations"]) == [{"kind": "cost-mismatch"}]

@@ -1,0 +1,160 @@
+"""diff_campaigns: alignment, exactness policy, regressions, drift."""
+
+import pytest
+
+from repro.campaign.db import CampaignDB
+from repro.campaign.diff import diff_campaigns
+from repro.campaign.runner import run_campaign
+from repro.campaign.suite import Suite
+
+FP_A = {"version": "1.0.0", "cache_key_version": 2, "trace_schema": 1,
+        "git_sha": "aaa"}
+FP_B = {"version": "1.1.0", "cache_key_version": 2, "trace_schema": 1,
+        "git_sha": "bbb"}
+
+
+@pytest.fixture
+def db(tmp_path):
+    with CampaignDB(tmp_path / "c.sqlite") as handle:
+        yield handle
+
+
+def _campaign(db, name, fingerprint=FP_A, cases=()):
+    campaign_id = db.create_campaign(
+        name, suite="demo", suite_spec="{}", seed=0, backend="thread",
+        hostname=None, fingerprint=fingerprint,
+    )
+    for case in cases:
+        db.upsert_case(campaign_id, case.pop("case_id"), **case)
+    db.mark_status(campaign_id, "completed")
+    return campaign_id
+
+
+def _case(case_id, **overrides):
+    base = {
+        "case_id": case_id,
+        "method": "bnb",
+        "state": "done",
+        "cost": 100.0,
+        "matrix_digest": "d1",
+        "verified_ok": 1,
+        "wall_seconds": 1.0,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSelfDiff:
+    def test_real_self_diff_is_empty(self, db):
+        suite = Suite.from_spec({
+            "name": "s", "methods": ["bnb"],
+            "cases": [{"kind": "generated", "families": ["random-int"],
+                       "sizes": [5], "count": 2}],
+        })
+        run_campaign(db, suite, name="a", workers=2)
+        run_campaign(db, suite, name="b", workers=2)
+        diff = diff_campaigns(db, "a", "b")
+        assert diff.ok
+        assert diff.empty
+        assert diff.matched_cases == 2
+        assert not diff.cross_version
+        assert "OK" in diff.render()
+
+
+class TestCostPolicy:
+    def test_exact_cost_change_fails(self, db):
+        _campaign(db, "a", cases=[_case("x@bnb", cost=100.0)])
+        _campaign(db, "b", FP_B, cases=[_case("x@bnb", cost=100.5)])
+        diff = diff_campaigns(db, "a", "b")
+        assert not diff.ok
+        assert len(diff.exact_violations) == 1
+        assert diff.exact_violations[0].delta == pytest.approx(0.5)
+        assert diff.cross_version
+        assert "EXACT COST CHANGE" in diff.render()
+
+    def test_exact_cost_within_eps_ok(self, db):
+        _campaign(db, "a", cases=[_case("x@bnb", cost=100.0)])
+        _campaign(db, "b", cases=[_case("x@bnb", cost=100.0 + 1e-12)])
+        diff = diff_campaigns(db, "a", "b")
+        assert diff.ok
+        assert diff.empty
+
+    def test_heuristic_cost_change_reported_not_failing(self, db):
+        _campaign(db, "a", cases=[
+            _case("x@upgmm", method="upgmm", cost=100.0)
+        ])
+        _campaign(db, "b", cases=[
+            _case("x@upgmm", method="upgmm", cost=90.0)
+        ])
+        diff = diff_campaigns(db, "a", "b")
+        assert diff.ok  # heuristics may legitimately improve
+        assert not diff.empty
+        assert len(diff.cost_changes) == 1
+        assert not diff.cost_changes[0].exact
+
+    def test_custom_eps(self, db):
+        _campaign(db, "a", cases=[_case("x@bnb", cost=100.0)])
+        _campaign(db, "b", cases=[_case("x@bnb", cost=100.5)])
+        assert diff_campaigns(db, "a", "b", cost_eps=1.0).ok
+
+
+class TestRegressions:
+    def test_verification_regression(self, db):
+        _campaign(db, "a", cases=[_case("x@bnb", verified_ok=1)])
+        _campaign(db, "b", cases=[
+            _case("x@bnb", verified_ok=0, violations='["ultrametricity"]')
+        ])
+        diff = diff_campaigns(db, "a", "b")
+        assert not diff.ok
+        assert diff.verification_regressions[0]["case_id"] == "x@bnb"
+
+    def test_state_regression(self, db):
+        _campaign(db, "a", cases=[_case("x@bnb")])
+        _campaign(db, "b", cases=[
+            _case("x@bnb", state="failed", cost=None, error="boom")
+        ])
+        diff = diff_campaigns(db, "a", "b")
+        assert not diff.ok
+        assert diff.state_regressions[0]["b"] == "failed"
+
+    def test_input_change_suppresses_cost_compare(self, db):
+        _campaign(db, "a", cases=[_case("x@bnb", cost=100.0)])
+        _campaign(db, "b", cases=[
+            _case("x@bnb", cost=250.0, matrix_digest="d2")
+        ])
+        diff = diff_campaigns(db, "a", "b")
+        assert diff.input_changes[0]["case_id"] == "x@bnb"
+        assert not diff.cost_changes  # incomparable, not a violation
+        assert diff.ok
+        assert not diff.empty
+
+
+class TestMembershipAndTiming:
+    def test_new_and_missing_cases(self, db):
+        _campaign(db, "a", cases=[_case("x@bnb"), _case("y@bnb")])
+        _campaign(db, "b", cases=[_case("x@bnb"), _case("z@bnb")])
+        diff = diff_campaigns(db, "a", "b")
+        assert diff.new_cases == ["z@bnb"]
+        assert diff.missing_cases == ["y@bnb"]
+        assert diff.ok and not diff.empty
+
+    def test_time_ratios(self, db):
+        _campaign(db, "a", cases=[_case("x@bnb", wall_seconds=1.0)])
+        _campaign(db, "b", cases=[_case("x@bnb", wall_seconds=2.0)])
+        diff = diff_campaigns(db, "a", "b")
+        assert diff.time_ratios["x@bnb"] == pytest.approx(2.0)
+        assert diff.median_time_ratio == pytest.approx(2.0)
+        assert diff.empty  # timing alone never counts as a difference
+
+    def test_unknown_campaign_raises(self, db):
+        _campaign(db, "a")
+        with pytest.raises(KeyError):
+            diff_campaigns(db, "a", "nope")
+
+    def test_to_json_shape(self, db):
+        _campaign(db, "a", cases=[_case("x@bnb")])
+        _campaign(db, "b", FP_B, cases=[_case("x@bnb", cost=101.0)])
+        payload = diff_campaigns(db, "a", "b").to_json()
+        assert payload["cross_version"] is True
+        assert payload["ok"] is False
+        assert payload["exact_violations"][0]["case_id"] == "x@bnb"

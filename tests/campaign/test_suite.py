@@ -1,0 +1,162 @@
+"""Suite specs: determinism, case ids, sources, validation."""
+
+import json
+
+import pytest
+
+from repro.campaign.suite import BUILTIN_SUITES, Suite, SuiteError, load_suite
+from repro.matrix.generators import clustered_matrix
+from repro.matrix.io import write_phylip
+
+
+SPEC = {
+    "name": "demo",
+    "seed": 7,
+    "methods": ["bnb", "upgmm"],
+    "cases": [
+        {"kind": "generated", "families": ["random-int"], "sizes": [5, 6],
+         "count": 2},
+    ],
+}
+
+
+class TestSpec:
+    def test_from_spec_roundtrip(self):
+        suite = Suite.from_spec(SPEC)
+        assert suite.name == "demo"
+        assert suite.seed == 7
+        assert suite.methods == ("bnb", "upgmm")
+        assert json.loads(suite.spec_json()) == suite.spec()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SuiteError, match="unknown suite spec keys"):
+            Suite.from_spec({**SPEC, "bogus": 1})
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SuiteError, match="unknown methods"):
+            Suite.from_spec({**SPEC, "methods": ["nope"]})
+
+    def test_needs_sources(self):
+        with pytest.raises(SuiteError, match="case source"):
+            Suite.from_spec({**SPEC, "cases": []})
+
+    def test_unknown_source_kind(self):
+        with pytest.raises(SuiteError, match="unknown case source kind"):
+            Suite.from_spec(
+                {**SPEC, "cases": [{"kind": "nope"}]}
+            ).cases()
+
+
+class TestMaterialisation:
+    def test_case_count_and_ids(self):
+        cases = Suite.from_spec(SPEC).cases()
+        # 1 family x 2 sizes x 2 replicates x 2 methods
+        assert len(cases) == 8
+        ids = {c.id for c in cases}
+        assert len(ids) == 8
+        assert "gen/random-int/n5/0@bnb" in ids
+        assert "gen/random-int/n6/1@upgmm" in ids
+
+    def test_matrices_deterministic(self):
+        a = Suite.from_spec(SPEC).cases()
+        b = Suite.from_spec(SPEC).cases()
+        assert [c.id for c in a] == [c.id for c in b]
+        assert all(
+            x.matrix.digest() == y.matrix.digest() for x, y in zip(a, b)
+        )
+
+    def test_matrix_independent_of_other_sources(self):
+        # Adding another source must not change existing cases' matrices
+        # (per-case RNG is seeded from the spec coordinates alone).
+        base = {c.id: c.matrix.digest() for c in Suite.from_spec(SPEC).cases()}
+        widened = Suite.from_spec({
+            **SPEC,
+            "cases": SPEC["cases"] + [
+                {"kind": "random", "sizes": [8], "seed": 3}
+            ],
+        })
+        wide = {c.id: c.matrix.digest() for c in widened.cases()}
+        for case_id, digest in base.items():
+            assert wide[case_id] == digest
+
+    def test_seed_changes_matrices(self):
+        a = Suite.from_spec(SPEC).cases()
+        b = Suite.from_spec({**SPEC, "seed": 8}).cases()
+        assert [c.id for c in a] == [c.id for c in b]
+        assert any(
+            x.matrix.digest() != y.matrix.digest() for x, y in zip(a, b)
+        )
+
+    def test_method_override(self):
+        cases = Suite.from_spec(SPEC).cases(methods=["compact"])
+        assert {c.method for c in cases} == {"compact"}
+        with pytest.raises(SuiteError, match="unknown methods"):
+            Suite.from_spec(SPEC).cases(methods=["nope"])
+
+    def test_glob_source(self, tmp_path):
+        for i in range(2):
+            write_phylip(
+                clustered_matrix([3, 3], seed=i), tmp_path / f"m{i}.phy"
+            )
+        suite = Suite.from_spec({
+            "name": "files",
+            "methods": ["upgmm"],
+            "cases": [{"kind": "glob", "pattern": str(tmp_path / "*.phy")}],
+        })
+        cases = suite.cases()
+        assert [c.id for c in cases] == [
+            "file/m0.phy@upgmm", "file/m1.phy@upgmm"
+        ]
+
+    def test_glob_no_match(self, tmp_path):
+        suite = Suite.from_spec({
+            "name": "files",
+            "methods": ["upgmm"],
+            "cases": [{"kind": "glob", "pattern": str(tmp_path / "*.phy")}],
+        })
+        with pytest.raises(SuiteError, match="matched no files"):
+            suite.cases()
+
+    def test_random_and_hierarchical_sources(self):
+        suite = Suite.from_spec({
+            "name": "mixed",
+            "methods": ["upgmm"],
+            "cases": [
+                {"kind": "random", "sizes": [6], "seed": 42},
+                {"kind": "hierarchical", "spec": [3, 3], "seed": 1,
+                 "jitter": 0.2},
+            ],
+        })
+        cases = suite.cases()
+        assert len(cases) == 2
+        assert cases[0].id == "random/n6/s42@upgmm"
+        assert cases[1].id.startswith("hier/")
+        assert cases[1].matrix.n == 6
+
+
+class TestLoadSuite:
+    def test_builtin_names(self):
+        for name in BUILTIN_SUITES:
+            suite = load_suite(name)
+            assert suite.name == name
+
+    def test_smoke_shape(self):
+        assert len(load_suite("smoke").cases()) == 8
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(SPEC))
+        assert load_suite(str(path)).name == "demo"
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text("{nope")
+        with pytest.raises(SuiteError, match="unreadable suite spec"):
+            load_suite(str(path))
+
+    def test_unknown_name(self):
+        with pytest.raises(SuiteError, match="no builtin suite"):
+            load_suite("definitely-not-a-suite")
+
+    def test_mapping_passthrough(self):
+        assert load_suite(SPEC).name == "demo"

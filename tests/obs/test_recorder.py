@@ -137,8 +137,14 @@ class TestJsonl:
         return rec
 
     def test_golden_schema(self):
+        from repro.version import engine_fingerprint
+
         lines = self.record().json_lines()
-        assert lines[0] == json.dumps({"event": "meta", "schema": SCHEMA_VERSION})
+        meta = json.loads(lines[0])
+        assert meta["event"] == "meta"
+        assert meta["schema"] == SCHEMA_VERSION
+        # The meta line identifies the engine that produced the trace.
+        assert meta["engine"] == engine_fingerprint()
         assert [json.loads(line) for line in lines[1:]] == self.expected_events()
 
     def test_write_and_read_round_trip(self, tmp_path):

@@ -44,8 +44,10 @@ class TestIncrementalFlush:
     def test_meta_line_first(self, sink):
         rec = StreamingRecorder(sink, clock=fake_clock())
         rec.counter("x")
-        first = sink.read_text().splitlines()[0]
-        assert json.loads(first) == {"event": "meta", "schema": 1}
+        first = json.loads(sink.read_text().splitlines()[0])
+        assert first["event"] == "meta"
+        assert first["schema"] == 1
+        assert "version" in first["engine"]  # engine fingerprint rides along
         rec.close()
 
     def test_file_order_matches_memory_order(self, sink):
