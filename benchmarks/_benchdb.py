@@ -1,0 +1,81 @@
+"""Shared glue: upsert benchmark results into the campaign run database.
+
+``bench_bnb.py`` and ``bench_service_throughput.py`` both accept
+``--db <file>``; this module turns one bench report row into a case row
+of a per-engine-version campaign so ``repro-mut campaign trend`` can
+chart bench numbers across versions with the same machinery it uses for
+suite campaigns.
+
+Case ids are the stable workload names (``hmdna26-full``, ``rps-n9``,
+...), the campaign is keyed by bench name + engine fingerprint, and
+re-running a bench under the same engine *replaces* the rows (the
+``upsert_case`` idempotency) instead of accumulating duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, List, Optional
+
+
+def bench_campaign_name(bench: str, fingerprint: Dict[str, object]) -> str:
+    """Deterministic campaign name for one bench under one engine."""
+    sha = fingerprint.get("git_sha") or "local"
+    return f"{bench}@v{fingerprint.get('version', '?')}-{sha}"
+
+
+def persist_bench_results(
+    db_path: str,
+    *,
+    bench: str,
+    rows: List[dict],
+    name: Optional[str] = None,
+) -> str:
+    """Upsert ``rows`` into ``db_path`` as campaign ``name``.
+
+    Each row needs ``case_id``/``method``/``n``; ``cost``,
+    ``wall_seconds``, ``solve_seconds``, ``nodes_expanded``, ``options``
+    and ``counters`` are optional.  Returns the campaign name used.
+    """
+    from repro.campaign.db import CampaignDB, CampaignExists
+    from repro.version import engine_fingerprint
+
+    fingerprint = engine_fingerprint()
+    name = name or bench_campaign_name(bench, fingerprint)
+    with CampaignDB(db_path) as db:
+        try:
+            campaign_id = db.create_campaign(
+                name,
+                suite=bench,
+                suite_spec=json.dumps(
+                    {"benchmark": bench, "cases": [r["case_id"] for r in rows]},
+                    sort_keys=True,
+                ),
+                seed=0,
+                backend="bench",
+                hostname=socket.gethostname(),
+                fingerprint=fingerprint,
+            )
+        except CampaignExists:
+            campaign_id = int(db.get_campaign(name)["id"])
+        for row in rows:
+            db.upsert_case(
+                campaign_id,
+                row["case_id"],
+                family="bench",
+                source=bench,
+                n_species=row.get("n"),
+                method=row["method"],
+                options=json.dumps(row.get("options", {}), sort_keys=True),
+                state="done",
+                cost=row.get("cost"),
+                wall_seconds=row.get("wall_seconds"),
+                solve_seconds=row.get("solve_seconds"),
+                nodes_expanded=row.get("nodes_expanded"),
+                counters=json.dumps(row.get("counters", {}), sort_keys=True),
+                finished_at=time.time(),
+            )
+        db.mark_status(campaign_id, "completed")
+    return name

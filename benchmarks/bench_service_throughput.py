@@ -18,7 +18,11 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke  # CI
                            # smoke: subprocess serve + one POST + SIGTERM drain
     PYTHONPATH=src python benchmarks/bench_service_throughput.py --metrics-smoke
-                           # subprocess serve + one POST + GET /metrics
+                           # subprocess serve + one POST + GET /metrics +
+                           # live /jobs/<id>/progress snapshots during a
+                           # capped exact solve
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --db run.sqlite
+                           # also upsert summaries into a campaign DB
     PYTHONPATH=src python benchmarks/bench_service_throughput.py --scaling
                            # thread vs process backend cold-solve scaling
 
@@ -298,9 +302,13 @@ def measure_process_scaling(
 
 
 def metrics_smoke() -> int:
-    """CI smoke: serve subprocess, one solve, then assert /metrics content."""
+    """CI smoke: serve subprocess, one solve, /metrics content, and the
+    live-progress path: a node-capped n=26 exact solve through the
+    process backend must publish >= 2 distinct ``/jobs/<id>/progress``
+    snapshots while running, and ``bnb_gap`` must reach ``/metrics``."""
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--backend", "process"],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -318,10 +326,40 @@ def metrics_smoke() -> int:
             assert needle in text, f"/metrics is missing {needle!r}:\n{text}"
         stats = client.stats()
         assert "metrics" in stats, sorted(stats)
+
+        # Live progress: capped exact solve, polled while it runs.
+        slow = client.solve(
+            clustered_matrix([13, 13], seed=5),
+            method="bnb",
+            options={"node_limit": 30000},
+            wait=False,
+        )
+        job_id = slow["id"]
+        snapshots = []
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            progress = client.job_progress(job_id)
+            snap = progress.get("progress")
+            if snap and (
+                not snapshots or snap["time"] != snapshots[-1]["time"]
+            ):
+                snapshots.append(snap)
+            if progress["state"] not in ("pending", "running"):
+                break
+            time.sleep(0.05)
+        assert progress["state"] == "done", progress
+        assert len(snapshots) >= 2, (
+            f"expected >= 2 distinct progress snapshots, got "
+            f"{len(snapshots)}: {snapshots}"
+        )
+        text = client.metrics()
+        assert "bnb_gap" in text, f"/metrics is missing bnb_gap:\n{text}"
         proc.send_signal(signal.SIGTERM)
         code = proc.wait(timeout=60)
         assert code == 0, f"serve exited {code}: {proc.stderr.read()}"
-        print("metrics smoke OK: /metrics exposes job histogram + cache counters")
+        print(f"metrics smoke OK: /metrics exposes job histogram + cache "
+              f"counters; live progress published {len(snapshots)} "
+              f"snapshot(s) + bnb_gap gauge")
         return 0
     finally:
         if proc.poll() is None:
@@ -385,6 +423,10 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
                         help=f"output JSON path (default: {DEFAULT_OUT})")
+    parser.add_argument("--db", default=None,
+                        help="also upsert the cold/warm summaries into this "
+                             "campaign run database (repro-mut campaign "
+                             "trend charts them across versions)")
     args = parser.parse_args(argv)
     if args.smoke:
         return smoke(args.backend)
@@ -418,6 +460,32 @@ def main(argv=None) -> int:
     )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if args.db:
+        from _benchdb import persist_bench_results
+
+        rows = []
+        for phase in ("cold", "warm"):
+            row = report[phase]
+            rows.append({
+                "case_id": f"{phase}-n{species}",
+                "method": args.method,
+                "n": species,
+                "wall_seconds": row["total_seconds"],
+                "solve_seconds": row["median_ms"] / 1e3,
+                "options": {"requests": row["requests"], "phase": phase},
+                "counters": {
+                    "bench.requests_per_second": row["requests_per_second"],
+                    "bench.p95_ms": row["p95_ms"],
+                    "bench.metrics_overhead_percent": (
+                        report["metrics_overhead"]["overhead_percent"]
+                    ),
+                },
+            })
+        name = persist_bench_results(
+            args.db, bench="bench-service", rows=rows
+        )
+        print(f"upserted {len(rows)} case(s) into {args.db} "
+              f"as campaign {name!r}")
     if not report["acceptance"]["passed"]:
         print("ACCEPTANCE FAILED: warm-cache median >= 10 ms", file=sys.stderr)
         return 1

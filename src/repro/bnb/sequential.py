@@ -26,12 +26,22 @@ from repro.bnb.topology import PartialTopology
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.maxmin import apply_maxmin
+from repro.obs.progress import ProgressTracker, current_progress
 from repro.obs.recorder import NullRecorder, as_recorder
 from repro.tree.ultrametric import UltrametricTree
 
 __all__ = ["SearchStats", "BBUResult", "BranchAndBoundSolver", "exact_mut"]
 
 _EPS = 1e-9
+
+#: How many loop iterations the solver lets pass between
+#: ``ProgressTracker.tick`` calls when no incumbent change forces one.
+#: The tracker's own time gate is authoritative; this stride only
+#: bounds how often the hot loop pays the Python call (at the solver's
+#: typical tens of thousands of nodes per second, 64 still checks the
+#: clock hundreds of times a second, far finer than any sane
+#: ``interval_seconds``).
+_PROGRESS_TICK_STRIDE = 64
 
 
 @dataclass
@@ -125,6 +135,13 @@ class BranchAndBoundSolver:
         ``bnb.ub_updates``, ...) plus bound-effectiveness statistics on
         completion -- the counters aggregate the run's ``SearchStats``
         once at the end, so the per-node hot loop is untouched.
+    progress:
+        Optional :class:`repro.obs.progress.ProgressTracker` driven from
+        the inner loop (throttled incumbent/bound/gap snapshots).  When
+        ``None`` the ambient :func:`repro.obs.progress.current_progress`
+        tracker is used if one is bound; with neither, the hot loop pays
+        a single ``is not None`` check per iteration and allocates
+        nothing.
     """
 
     def __init__(
@@ -141,6 +158,7 @@ class BranchAndBoundSolver:
             Callable[[float, UltrametricTree], None]
         ] = None,
         recorder: Optional[NullRecorder] = None,
+        progress: Optional[ProgressTracker] = None,
     ) -> None:
         if lower_bound not in LOWER_BOUNDS:
             raise ValueError(
@@ -156,6 +174,7 @@ class BranchAndBoundSolver:
         self.collect_all = collect_all
         self.on_incumbent = on_incumbent
         self.recorder = as_recorder(recorder)
+        self.progress = progress
 
     # ------------------------------------------------------------------
     def solve(self, matrix: DistanceMatrix) -> BBUResult:
@@ -197,10 +216,17 @@ class BranchAndBoundSolver:
         rec = self.recorder
         start = rec.clock()
         stats = SearchStats()
+        # Resolved once per solve: the explicit tracker, or the ambient
+        # one bound by ``progress_context`` (the scheduler / CLI path).
+        tracker = self.progress
+        if tracker is None:
+            tracker = current_progress()
         n = matrix.n
         if n == 1:
             tree = UltrametricTree.leaf(matrix.labels[0])
             stats.best_cost = 0.0
+            if tracker is not None:
+                tracker.final(0.0, stats)
             return BBUResult(tree, 0.0, stats)
 
         if self.use_maxmin:
@@ -219,6 +245,8 @@ class BranchAndBoundSolver:
             cost = tree.cost()
             stats.best_cost = cost
             stats.elapsed_seconds = rec.clock() - start
+            if tracker is not None:
+                tracker.final(cost, stats)
             return BBUResult(tree, cost, stats)
 
         # Cached per matrix identity: solving the same (relabelled) matrix
@@ -244,11 +272,24 @@ class BranchAndBoundSolver:
         kernel = BranchKernel(half) if self.use_kernel else None
         if kernel is not None and not kernel.supported:
             kernel = None  # oversized matrix: scalar fallback
+        if tracker is not None:
+            tracker.start()
+        progress_countdown = 0
+        progress_last_ub = upper_bound
 
         while open_nodes:
             if self.node_limit is not None and stats.nodes_expanded >= self.node_limit:
                 stats.node_limit_hit = True
                 break
+            if tracker is not None:
+                # Strided: pay the tick() call only every
+                # _PROGRESS_TICK_STRIDE iterations -- or at once when
+                # the incumbent moved, so min_delta gating stays prompt.
+                progress_countdown -= 1
+                if progress_countdown <= 0 or upper_bound != progress_last_ub:
+                    tracker.tick(upper_bound, stats, open_nodes)
+                    progress_countdown = _PROGRESS_TICK_STRIDE
+                    progress_last_ub = upper_bound
             node = open_nodes.pop()
             if node.lower_bound > upper_bound + keep_margin:
                 stats.nodes_pruned += 1
@@ -302,6 +343,10 @@ class BranchAndBoundSolver:
 
         stats.best_cost = upper_bound if best is not None else stats.initial_upper_bound
         stats.elapsed_seconds = rec.clock() - start
+        if tracker is not None:
+            # On a node-limit break ``open_nodes`` is non-empty, so the
+            # closing snapshot reports the honest residual gap.
+            tracker.final(upper_bound, stats, open_nodes)
 
         if best is None:
             # The UPGMM seed was never beaten (it is optimal or the node

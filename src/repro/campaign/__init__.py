@@ -8,12 +8,13 @@ the engine fingerprint that produced it; :func:`diff_campaigns` compares
 two campaigns -- including campaigns run by different engine versions --
 for cost drift, verification regressions and performance trends.
 
-CLI surface: ``repro-mut campaign run|status|list|diff|export``.
+CLI surface: ``repro-mut campaign run|status|list|diff|trend|export``.
 Documentation: ``docs/campaigns.md``.
 """
 
 from repro.campaign.db import DB_SCHEMA_VERSION, CampaignDB, CampaignExists
 from repro.campaign.diff import CampaignDiff, CaseCostChange, diff_campaigns
+from repro.campaign.trend import CampaignTrend, CaseTrend, trend_campaigns
 from repro.campaign.runner import (
     CampaignMismatch,
     CampaignResult,
@@ -34,12 +35,15 @@ __all__ = [
     "CampaignExists",
     "CampaignMismatch",
     "CampaignResult",
+    "CampaignTrend",
     "Case",
     "CaseCostChange",
+    "CaseTrend",
     "DB_SCHEMA_VERSION",
     "Suite",
     "SuiteError",
     "diff_campaigns",
     "load_suite",
     "run_campaign",
+    "trend_campaigns",
 ]

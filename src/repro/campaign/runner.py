@@ -110,12 +110,19 @@ def _trace_safe(case_id: str) -> str:
 
 
 def _rollups(events, trace_id: str) -> Dict[str, dict]:
-    """Per-name span totals and counter sums for one case's trace."""
+    """Per-name span totals and counter sums for one case's trace.
+
+    Also keeps the *last* ``bnb.progress`` heartbeat's attrs (under
+    ``"progress"``): the solver's closing incumbent/bound/gap snapshot,
+    which :func:`_persist_case` folds into the counters column so
+    ``campaign trend`` can track convergence quality across versions.
+    """
     from repro.obs.profile import filter_by_trace_id
 
     mine = filter_by_trace_id(events, trace_id)
     spans: Dict[str, dict] = {}
     counters: Dict[str, float] = {}
+    progress_final: Optional[dict] = None
     for event in mine:
         if isinstance(event, SpanEvent):
             entry = spans.setdefault(event.name, {"count": 0, "seconds": 0.0})
@@ -123,7 +130,9 @@ def _rollups(events, trace_id: str) -> Dict[str, dict]:
             entry["seconds"] += event.duration
         else:
             counters[event.name] = counters.get(event.name, 0.0) + event.value
-    return {"spans": spans, "counters": counters}
+            if event.name == "bnb.progress":
+                progress_final = dict(event.attrs)
+    return {"spans": spans, "counters": counters, "progress": progress_final}
 
 
 def run_campaign(
@@ -327,7 +336,19 @@ def _persist_case(
         violations_json = json.dumps(
             verification.get("violations", []), sort_keys=True
         )
+    final_progress = roll.get("progress")
+    if final_progress is not None:
+        # Scalar convergence rollups ride the counters JSON column (no
+        # schema bump): the solver's closing gap and lower bound.
+        if final_progress.get("gap") is not None:
+            roll["counters"]["bnb.final_gap"] = float(final_progress["gap"])
+        if final_progress.get("best_lower_bound") is not None:
+            roll["counters"]["bnb.final_lower_bound"] = float(
+                final_progress["best_lower_bound"]
+            )
     nodes = roll["counters"].get("bnb.nodes_expanded")
+    if nodes is None and final_progress is not None:
+        nodes = final_progress.get("nodes_expanded")
     error = None
     if submit_error is not None:
         error = f"{type(submit_error).__name__}: {submit_error}"

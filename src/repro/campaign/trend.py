@@ -1,0 +1,222 @@
+"""Perf-trend reports across two or more campaigns.
+
+``campaign diff`` answers "did B regress against A?" for one pair;
+``trend_campaigns`` answers the longitudinal question the run database
+was built to unlock: *how has the engine moved across N versions?*  It
+aligns any number of campaigns by case id (oldest campaign first, by
+start time) and builds, per case, the wall-seconds / solve-seconds /
+nodes-expanded **series** across the campaigns, then condenses each
+campaign into geometric-mean ratios against the oldest one.
+
+Geometric means -- not arithmetic -- because per-case ratios are
+multiplicative: a campaign that halves one case and doubles another is
+a wash (geomean 1.0), not a 25% improvement.  Cases missing from a
+campaign, or with non-positive baseline values, simply drop out of that
+campaign's mean; the per-case table still shows the hole.
+
+Like :func:`~repro.campaign.diff.diff_campaigns` this never re-runs
+anything -- it is a pure read of the SQLite run database, so trends
+work across machines by copying one file.  ``render`` emits a markdown
+report (tables paste into PRs); ``to_json`` the machine-readable form.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.db import CampaignDB
+
+__all__ = ["CaseTrend", "CampaignTrend", "trend_campaigns"]
+
+
+def _geomean(ratios: Sequence[float]) -> Optional[float]:
+    """Geometric mean of positive ratios; ``None`` when there are none."""
+    logs = [math.log(r) for r in ratios if r > 0.0]
+    if not logs:
+        return None
+    return math.exp(sum(logs) / len(logs))
+
+
+def _fp_line(fp: Dict[str, object]) -> str:
+    sha = fp.get("git_sha")
+    return f"v{fp.get('version', '?')}" + (f"@{sha}" if sha else "")
+
+
+def _fmt(value: Optional[float], spec: str = ".3f") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+@dataclass(frozen=True)
+class CaseTrend:
+    """One case's metric series across the campaigns (oldest first).
+
+    Each list has one slot per campaign; ``None`` marks a campaign the
+    case did not run in (or ran without that metric recorded).
+    """
+
+    case_id: str
+    method: str
+    wall_seconds: List[Optional[float]]
+    solve_seconds: List[Optional[float]]
+    nodes_expanded: List[Optional[int]]
+
+    def to_json(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "method": self.method,
+            "wall_seconds": list(self.wall_seconds),
+            "solve_seconds": list(self.solve_seconds),
+            "nodes_expanded": list(self.nodes_expanded),
+        }
+
+
+@dataclass
+class CampaignTrend:
+    """The aligned series plus per-campaign geomean ratios vs the oldest."""
+
+    campaigns: List[str]
+    fingerprints: List[Dict[str, object]]
+    cases: List[CaseTrend] = field(default_factory=list)
+    #: Per campaign: geomean of (campaign / baseline) per-case ratios;
+    #: index 0 (the baseline itself) is 1.0, ``None`` = no overlap.
+    wall_geomean: List[Optional[float]] = field(default_factory=list)
+    solve_geomean: List[Optional[float]] = field(default_factory=list)
+    nodes_geomean: List[Optional[float]] = field(default_factory=list)
+
+    @property
+    def baseline(self) -> str:
+        return self.campaigns[0]
+
+    def to_json(self) -> dict:
+        return {
+            "campaigns": list(self.campaigns),
+            "baseline": self.baseline,
+            "fingerprints": list(self.fingerprints),
+            "cases": [case.to_json() for case in self.cases],
+            "wall_geomean": list(self.wall_geomean),
+            "solve_geomean": list(self.solve_geomean),
+            "nodes_geomean": list(self.nodes_geomean),
+        }
+
+    # ------------------------------------------------------------------
+    def _series_table(
+        self, title: str, metric: str, spec: str
+    ) -> List[str]:
+        lines = [f"## {title}", ""]
+        lines.append("| case | " + " | ".join(self.campaigns) + " |")
+        lines.append("|---" * (len(self.campaigns) + 1) + "|")
+        for case in self.cases:
+            values = getattr(case, metric)
+            cells = " | ".join(_fmt(v, spec) for v in values)
+            lines.append(f"| {case.case_id} | {cells} |")
+        lines.append("")
+        return lines
+
+    def render(self) -> str:
+        """Markdown report: summary table + one table per metric."""
+        chain = " -> ".join(self.campaigns)
+        lines = [
+            f"# campaign trend: {chain}",
+            "",
+            f"geomean ratios vs oldest campaign `{self.baseline}` "
+            f"(<1.00x = faster / fewer nodes); {len(self.cases)} case(s)",
+            "",
+            "| campaign | engine | wall | solve | nodes |",
+            "|---|---|---|---|---|",
+        ]
+        for i, name in enumerate(self.campaigns):
+            tag = " (baseline)" if i == 0 else ""
+            lines.append(
+                f"| {name}{tag} | {_fp_line(self.fingerprints[i])} | "
+                f"{_fmt(self.wall_geomean[i], '.2f')}x | "
+                f"{_fmt(self.solve_geomean[i], '.2f')}x | "
+                f"{_fmt(self.nodes_geomean[i], '.2f')}x |"
+            )
+        lines.append("")
+        lines += self._series_table(
+            "per-case wall seconds", "wall_seconds", ".3f"
+        )
+        lines += self._series_table(
+            "per-case solve seconds", "solve_seconds", ".3f"
+        )
+        lines += self._series_table(
+            "per-case nodes expanded", "nodes_expanded", "d"
+        )
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def trend_campaigns(
+    db: CampaignDB, names: Sequence[str]
+) -> CampaignTrend:
+    """Build a trend report over ``names`` (any order; sorted oldest
+    first by campaign start time).  Raises :class:`KeyError` for an
+    unknown campaign name or fewer than two distinct names.
+    """
+    distinct = list(dict.fromkeys(names))
+    if len(distinct) < 2:
+        raise KeyError("trend needs at least two distinct campaign names")
+    campaigns = []
+    for name in distinct:
+        campaign = db.get_campaign(name)
+        if campaign is None:
+            raise KeyError(f"no campaign named {name!r}")
+        campaigns.append(campaign)
+    campaigns.sort(key=lambda c: (c["started_at"], c["id"]))
+
+    rows_by_campaign = [
+        {r["case_id"]: r for r in db.case_rows(int(c["id"]))}
+        for c in campaigns
+    ]
+    case_ids = sorted(set().union(*[set(rows) for rows in rows_by_campaign]))
+
+    trend = CampaignTrend(
+        campaigns=[str(c["name"]) for c in campaigns],
+        fingerprints=[
+            json.loads(c["fingerprint"] or "{}") for c in campaigns
+        ],
+    )
+
+    def _series(case_id: str, column: str) -> List[Optional[float]]:
+        out: List[Optional[float]] = []
+        for rows in rows_by_campaign:
+            value = rows.get(case_id, {}).get(column)
+            out.append(None if value is None else value)
+        return out
+
+    for case_id in case_ids:
+        method = next(
+            (
+                str(rows[case_id]["method"])
+                for rows in rows_by_campaign
+                if case_id in rows
+            ),
+            "?",
+        )
+        trend.cases.append(CaseTrend(
+            case_id=case_id,
+            method=method,
+            wall_seconds=_series(case_id, "wall_seconds"),
+            solve_seconds=_series(case_id, "solve_seconds"),
+            nodes_expanded=_series(case_id, "nodes_expanded"),
+        ))
+
+    for metric, sink in (
+        ("wall_seconds", trend.wall_geomean),
+        ("solve_seconds", trend.solve_geomean),
+        ("nodes_expanded", trend.nodes_geomean),
+    ):
+        for i in range(len(campaigns)):
+            if i == 0:
+                sink.append(1.0)
+                continue
+            ratios = []
+            for case in trend.cases:
+                series = getattr(case, metric)
+                base, here = series[0], series[i]
+                if base and here and base > 0 and here > 0:
+                    ratios.append(float(here) / float(base))
+            sink.append(_geomean(ratios))
+    return trend

@@ -29,6 +29,9 @@ this CLI is that surface.  Examples::
 
     # run the serving layer (see docs/service.md)
     repro-mut serve --port 8533 --workers 4 --cache-dir .repro-cache
+
+    # watch a running job's live incumbent/gap trajectory
+    repro-mut watch 5f3a... --url http://127.0.0.1:8533
 """
 
 from __future__ import annotations
@@ -96,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--trace-out", default=None,
                        help="record observability events and write them as "
                             "JSON lines to this file")
+    build.add_argument("--progress", action="store_true",
+                       help="print live incumbent/bound/gap heartbeat lines "
+                            "to stderr while the exact solvers search")
+    build.add_argument("--progress-interval", type=float, default=0.25,
+                       help="seconds between --progress heartbeats "
+                            "(default: 0.25)")
     build.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
 
@@ -132,6 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--trace-id", default=None,
                          help="only profile events belonging to this request "
                               "trace id (trace-file input only)")
+    profile.add_argument("--chrome-trace", default=None, metavar="OUT",
+                         help="also write the events in Chrome trace-event "
+                              "format (load in chrome://tracing or Perfetto)")
 
     compact = sub.add_parser("compact-sets", help="list compact sets of a matrix")
     compact.add_argument("matrix", help="PHYLIP (.phy) or CSV matrix file")
@@ -283,6 +295,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exact-method cost tolerance (default: 1e-9)")
     cdiff.add_argument("--json", action="store_true")
 
+    ctrend = campaign_sub.add_parser(
+        "trend",
+        help="perf-trend report across two or more campaigns "
+             "(geomean wall/solve/nodes ratios vs the oldest)",
+    )
+    ctrend.add_argument("names", nargs="+",
+                        help="campaign names, any order; the report sorts "
+                             "them oldest-first and uses the oldest as the "
+                             "ratio baseline")
+    _db_arg(ctrend)
+    ctrend.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of the "
+                             "markdown report")
+
     cexport = campaign_sub.add_parser(
         "export", help="dump one campaign and its cases as JSON"
     )
@@ -376,6 +402,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "queries (default: 4096)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+
+    watch = sub.add_parser(
+        "watch",
+        help="poll a live service for a job's solver progress and render "
+             "incumbent/gap/nodes-per-second lines until it settles",
+    )
+    watch.add_argument("job_id", help="job id returned by POST /solve")
+    watch.add_argument("--url", default="http://127.0.0.1:8533",
+                       help="service base URL "
+                            "(default: http://127.0.0.1:8533)")
+    watch.add_argument("--interval", type=float, default=0.5,
+                       help="poll interval in seconds (default: 0.5)")
+    watch.add_argument("--timeout", type=float, default=None,
+                       help="give up after this many seconds (exit 3)")
+    watch.add_argument("--json", action="store_true",
+                       help="emit each new progress record as a JSON line")
     return parser
 
 
@@ -389,13 +431,25 @@ def _engine_options(args: argparse.Namespace) -> dict:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.obs import ProgressTracker, format_progress_line, progress_context
+
     matrix = _load_matrix(args.matrix)
     options = _engine_options(args)
     cluster = ClusterConfig(n_workers=args.workers)
     recorder = Recorder() if args.trace_out else None
-    result = construct_tree(
-        matrix, args.method, cluster=cluster, recorder=recorder, **options
-    )
+    tracker = None
+    if args.progress:
+        tracker = ProgressTracker(
+            interval_seconds=args.progress_interval,
+            recorder=recorder,
+            sink=lambda snap: print(
+                format_progress_line(snap), file=sys.stderr
+            ),
+        )
+    with progress_context(tracker):
+        result = construct_tree(
+            matrix, args.method, cluster=cluster, recorder=recorder, **options
+        )
     elapsed = getattr(result.details, "elapsed_seconds", None)
     if elapsed is None:  # BBUResult keeps its timing on .stats
         elapsed = getattr(
@@ -433,11 +487,27 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_chrome_trace(events, destination: str) -> None:
+    """Write ``events`` in Chrome trace-event JSON to ``destination``."""
+    from repro.obs import chrome_trace_events
+
+    trace = chrome_trace_events(events)
+    Path(destination).write_text(json.dumps(trace) + "\n")
+    print(
+        f"wrote {len(trace['traceEvents'])} chrome trace event(s) to "
+        f"{destination} (open in chrome://tracing or ui.perfetto.dev)",
+        file=sys.stderr,
+    )
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     path = Path(args.matrix)
     if args.from_trace or path.suffix.lower() in (".jsonl", ".ndjson"):
         return _profile_trace_file(
-            path, min_percent=args.min_percent, trace_id=args.trace_id
+            path,
+            min_percent=args.min_percent,
+            trace_id=args.trace_id,
+            chrome_trace=args.chrome_trace,
         )
     if args.trace_id:
         raise SystemExit(
@@ -460,6 +530,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         recorder.write_jsonl(args.trace_out)
         print(f"wrote {len(recorder.events)} trace event(s) to {args.trace_out}",
               file=sys.stderr)
+    if args.chrome_trace:
+        _write_chrome_trace(recorder.events, args.chrome_trace)
     return 0
 
 
@@ -468,6 +540,7 @@ def _profile_trace_file(
     *,
     min_percent: float = 0.0,
     trace_id: Optional[str] = None,
+    chrome_trace: Optional[str] = None,
 ) -> int:
     """Profile a previously recorded JSON-lines trace without re-running."""
     from repro.obs import SpanEvent, filter_by_trace_id, read_jsonl
@@ -486,6 +559,8 @@ def _profile_trace_file(
         if not shown:
             print(f"no events with trace_id {trace_id!r} in {path}")
             return 0
+    if chrome_trace:
+        _write_chrome_trace(shown, chrome_trace)
     if not any(isinstance(e, SpanEvent) for e in shown):
         print(f"no spans recorded in {path}")
         return 0
@@ -995,12 +1070,29 @@ def _campaign_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_trend(args: argparse.Namespace) -> int:
+    from repro.campaign import trend_campaigns
+    from repro.campaign.db import CampaignDB
+
+    with CampaignDB(args.db) as db:
+        try:
+            trend = trend_campaigns(db, args.names)
+        except KeyError as exc:
+            raise _usage_error(str(exc.args[0]))
+    if args.json:
+        print(json.dumps(trend.to_json(), indent=2))
+    else:
+        print(trend.render(), end="")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     return {
         "run": _campaign_run,
         "status": _campaign_status,
         "list": _campaign_list,
         "diff": _campaign_diff,
+        "trend": _campaign_trend,
         "export": _campaign_export,
     }[args.campaign_command](args)
 
@@ -1026,6 +1118,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Poll ``GET /jobs/<id>/progress`` until the job settles.
+
+    Exit codes: 0 job done, 1 job failed/cancelled/timed out (or the
+    service reported an error), 3 the ``--timeout`` budget ran out with
+    the job still live.
+    """
+    import time
+
+    from repro.obs import format_progress_line
+    from repro.service.client import ServiceClient
+    from repro.service.errors import JobNotFound, ServiceError
+    from repro.service.jobs import JobState
+
+    if args.interval <= 0:
+        raise _usage_error(f"--interval must be > 0, got {args.interval}")
+    client = ServiceClient(args.url, timeout=max(5.0, args.interval * 4))
+    deadline = (
+        None if args.timeout is None
+        else time.monotonic() + args.timeout
+    )
+    last_time = None
+    state = None
+    while True:
+        try:
+            record = client.job_progress(args.job_id)
+        except JobNotFound:
+            print(f"error: no job {args.job_id!r} at {args.url}",
+                  file=sys.stderr)
+            return 1
+        except (ServiceError, OSError) as exc:
+            print(f"error: {args.url}: {exc}", file=sys.stderr)
+            return 1
+        state = record.get("state")
+        snapshot = record.get("progress")
+        if snapshot and snapshot.get("time") != last_time:
+            last_time = snapshot.get("time")
+            if args.json:
+                print(json.dumps(record, sort_keys=True), flush=True)
+            else:
+                print(f"{state:>8} {format_progress_line(snapshot)}",
+                      flush=True)
+        if state in JobState.TERMINAL:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            print(f"repro-mut watch: job {args.job_id} still {state} "
+                  f"after {args.timeout:.1f}s", file=sys.stderr)
+            return 3
+        time.sleep(args.interval)
+    if not args.json:
+        print(f"job {args.job_id}: {state}")
+    return 0 if state == JobState.DONE else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1043,6 +1189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bootstrap": _cmd_bootstrap,
         "campaign": _cmd_campaign,
         "serve": _cmd_serve,
+        "watch": _cmd_watch,
     }
     handler = handlers.get(args.command)
     if handler is None:  # pragma: no cover

@@ -49,11 +49,20 @@ from repro.obs.profile import (
     ProfileNode,
     aggregate_spans,
     build_span_tree,
+    chrome_trace_events,
+    convergence_series,
     counter_totals,
     filter_by_trace_id,
+    render_convergence,
     render_profile,
     render_span_tree,
     span_gauges,
+)
+from repro.obs.progress import (
+    ProgressTracker,
+    current_progress,
+    format_progress_line,
+    progress_context,
 )
 
 __all__ = [
@@ -83,9 +92,16 @@ __all__ = [
     "ProfileNode",
     "build_span_tree",
     "aggregate_spans",
+    "chrome_trace_events",
+    "convergence_series",
     "counter_totals",
     "span_gauges",
     "filter_by_trace_id",
+    "render_convergence",
     "render_span_tree",
     "render_profile",
+    "ProgressTracker",
+    "progress_context",
+    "current_progress",
+    "format_progress_line",
 ]

@@ -21,6 +21,9 @@ __all__ = [
     "ProfileNode",
     "build_span_tree",
     "aggregate_spans",
+    "chrome_trace_events",
+    "convergence_series",
+    "render_convergence",
     "counter_totals",
     "span_gauges",
     "render_span_tree",
@@ -166,6 +169,120 @@ def filter_by_trace_id(
     return kept
 
 
+def convergence_series(events: Iterable[Event]) -> List[Dict[str, object]]:
+    """The solver's incumbent/bound trajectory, in time order.
+
+    Each ``bnb.progress`` counter event carries one snapshot in its
+    attrs (see :mod:`repro.obs.progress`); this returns those snapshots
+    as dicts with the event's recorder-clock timestamp under ``"time"``
+    -- the cost-vs-time series the profile's convergence section and
+    external plots consume.
+    """
+    points = [
+        e for e in events
+        if isinstance(e, CounterEvent) and e.name == "bnb.progress"
+    ]
+    points.sort(key=lambda e: e.time)
+    return [dict(e.attrs, time=e.time) for e in points]
+
+
+def render_convergence(
+    events: Iterable[Event], *, top: Optional[int] = 10
+) -> Optional[str]:
+    """The "convergence" profile section, or ``None`` without progress.
+
+    Long solves produce many snapshots; the section samples evenly
+    (first and last always shown) down to ``top`` rows.
+    """
+    series = convergence_series(events)
+    if not series:
+        return None
+    shown = series
+    if top is not None and len(series) > top:
+        step = (len(series) - 1) / (top - 1)
+        indices = sorted({round(i * step) for i in range(top)})
+        shown = [series[i] for i in indices]
+    t0 = float(shown[0].get("time", 0.0))
+    lines = [
+        "",
+        f"convergence ({len(series)} bnb.progress snapshot(s)):",
+    ]
+    for point in shown:
+        incumbent = point.get("incumbent_cost")
+        lb = point.get("best_lower_bound")
+        gap = point.get("gap")
+        inc_text = "inf" if incumbent is None else f"{float(incumbent):.6g}"
+        lb_text = "-inf" if lb is None else f"{float(lb):.6g}"
+        gap_text = "?" if gap is None else f"{100.0 * float(gap):6.2f}%"
+        lines.append(
+            f"  +{float(point.get('time', t0)) - t0:8.3f}s  "
+            f"incumbent={inc_text:<12} bound={lb_text:<12} gap={gap_text}  "
+            f"expanded={int(point.get('nodes_expanded', 0)):<8d} "
+            f"open={int(point.get('open_size', 0))}"
+        )
+    return "\n".join(lines)
+
+
+def chrome_trace_events(events: Iterable[Event]) -> Dict[str, object]:
+    """Convert schema-v1 events to Chrome trace-event format.
+
+    The returned dict serialises to a JSON file Perfetto /
+    ``chrome://tracing`` open directly: spans become complete (``"X"``)
+    events with microsecond ``ts``/``dur``, counters become counter
+    (``"C"``) events whose ``args`` carry the value plus any numeric
+    attrs (so ``bnb.progress`` plots gap/incumbent tracks).  ``pid`` /
+    ``tid`` come from span attrs where present (``pid`` attr;
+    ``worker``/``tid`` attr), defaulting to 0 -- one lane per worker.
+    Timestamps are re-based so the trace starts at 0.
+    """
+    events = list(events)
+    starts = [
+        e.start if isinstance(e, SpanEvent) else e.time
+        for e in events
+        if isinstance(e, (SpanEvent, CounterEvent))
+    ]
+    origin = min(starts, default=0.0)
+
+    def lane(attrs: Dict[str, object]) -> Tuple[object, object]:
+        pid = attrs.get("pid", 0)
+        tid = attrs.get("worker", attrs.get("tid", 0))
+        return pid, tid
+
+    trace_events: List[Dict[str, object]] = []
+    for event in events:
+        if isinstance(event, SpanEvent):
+            pid, tid = lane(event.attrs)
+            trace_events.append({
+                "name": event.name,
+                "ph": "X",
+                "cat": "span",
+                "ts": (event.start - origin) * 1e6,
+                "dur": event.duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(event.attrs),
+            })
+        elif isinstance(event, CounterEvent):
+            pid, tid = lane(event.attrs)
+            args: Dict[str, object] = {"value": event.value}
+            for key, value in event.attrs.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                args[key] = value
+            trace_events.append({
+                "name": event.name,
+                "ph": "C",
+                "cat": "counter",
+                "ts": (event.time - origin) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
 def _attr_suffix(span: SpanEvent) -> str:
     shown = {
         k: v for k, v in span.attrs.items()
@@ -251,6 +368,9 @@ def render_profile(
                 ]
             )
         )
+    convergence = render_convergence(events, top=top)
+    if convergence is not None:
+        sections.append(convergence)
     gauges = span_gauges(events)
     if gauges:
         width = max(len(name) for name in gauges)

@@ -23,6 +23,13 @@ flips the storage model:
 Single-writer by design: one recorder owns its sink file.  The event
 *order* in the file is the lock-serialised close order, identical to the
 base recorder's in-memory order.
+
+Because every recording path funnels through ``_record``, live solver
+telemetry -- the ``bnb.progress`` snapshot counters a
+:class:`~repro.obs.progress.ProgressTracker` emits mid-solve -- streams
+to the sink the moment each heartbeat fires, not when the solve ends:
+``tail -f`` on the sink of a serving process shows the incumbent/gap
+trajectory of the job currently running.
 """
 
 from __future__ import annotations

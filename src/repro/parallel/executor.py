@@ -43,6 +43,7 @@ __all__ = [
     "WorkerCrashed",
     "WorkerTimeout",
     "WorkerSlot",
+    "emit_slot_progress",
     "gather_one_per_worker",
 ]
 
@@ -130,16 +131,20 @@ def gather_one_per_worker(
     poll_timeout: float = DEFAULT_POLL_TIMEOUT,
     lost_result_grace: int = DEFAULT_LOST_RESULT_GRACE,
     what: str = "worker",
+    on_progress: Optional[Callable] = None,
 ) -> List[tuple]:
     """Collect one message per worker, supervising worker liveness.
 
     Messages are ``(kind, worker_id, *rest)`` tuples; ``kind ==
     "error"`` means the worker shipped a formatted traceback (raised as
-    :class:`RemoteTaskError`).  Raises :class:`WorkerCrashed` naming the
-    worker when one dies without reporting (non-zero exit code or a lost
-    result).  When ``arrivals``/``clock`` are supplied, each worker's
-    result-arrival timestamp is recorded so the caller can emit
-    per-worker spans.
+    :class:`RemoteTaskError`).  ``kind == "progress"`` messages are
+    out-of-band telemetry: fed to ``on_progress(worker_id, payload)``
+    when supplied (exceptions swallowed), dropped otherwise, and never
+    counted against a worker's one expected result.  Raises
+    :class:`WorkerCrashed` naming the worker when one dies without
+    reporting (non-zero exit code or a lost result).  When
+    ``arrivals``/``clock`` are supplied, each worker's result-arrival
+    timestamp is recorded so the caller can emit per-worker spans.
     """
     pending = dict(processes)
     results: List[tuple] = []
@@ -173,6 +178,13 @@ def gather_one_per_worker(
                     )
             continue
         kind, worker_id = message[0], message[1]
+        if kind == "progress":
+            if on_progress is not None:
+                try:
+                    on_progress(worker_id, message[2])
+                except Exception:  # noqa: BLE001 - telemetry only
+                    pass
+            continue
         if kind == "error":
             raise RemoteTaskError(worker_id, message[2], what=what)
         pending.pop(worker_id, None)
@@ -188,18 +200,47 @@ def gather_one_per_worker(
 #: Sentinel telling a slot's child process to exit its task loop.
 _STOP = None
 
+#: Child-process side of the live progress channel: the result queue of
+#: the task currently executing in this process, or ``None`` outside a
+#: task.  Module-level (not threaded through runner signatures) because
+#: the runner is an arbitrary picklable callable the slot must not
+#: constrain.
+_SLOT_PROGRESS_QUEUE = None
+
+
+def emit_slot_progress(payload) -> bool:
+    """Ship an out-of-band progress message to the parent's ``call()``.
+
+    Valid only inside a :class:`WorkerSlot` task (the child's task loop
+    installs the channel around each ``runner(task)``); anywhere else it
+    is a no-op returning ``False``.  ``payload`` must be picklable.  The
+    parent surfaces these through ``call(..., on_progress=...)``
+    *during* the call -- this is how a worker-process solver streams
+    incumbent/gap snapshots before its final payload exists.
+    """
+    q = _SLOT_PROGRESS_QUEUE
+    if q is None:
+        return False
+    q.put(("progress", payload))
+    return True
+
 
 def _slot_main(runner: Callable, task_queue, result_queue) -> None:
     """Child-process task loop: run tasks serially until told to stop.
 
     Ships ``("ok", result)`` per task, or ``("error", exc_type, message,
     traceback)`` when the task raises -- the worker itself survives task
-    exceptions and keeps serving.
+    exceptions and keeps serving.  While a task runs, the result queue
+    doubles as a live progress channel (see :func:`emit_slot_progress`):
+    ``("progress", payload)`` messages may precede the final
+    ``("ok", ...)`` / ``("error", ...)`` message.
     """
+    global _SLOT_PROGRESS_QUEUE
     while True:
         task = task_queue.get()
         if task is _STOP:
             return
+        _SLOT_PROGRESS_QUEUE = result_queue
         try:
             result = runner(task)
         except BaseException as exc:  # noqa: BLE001 - process boundary
@@ -215,6 +256,8 @@ def _slot_main(runner: Callable, task_queue, result_queue) -> None:
                 return
         else:
             result_queue.put(("ok", result))
+        finally:
+            _SLOT_PROGRESS_QUEUE = None
 
 
 class WorkerSlot:
@@ -304,7 +347,13 @@ class WorkerSlot:
         self._spawn()
 
     # ------------------------------------------------------------------
-    def call(self, task, *, deadline: Optional[float] = None):
+    def call(
+        self,
+        task,
+        *,
+        deadline: Optional[float] = None,
+        on_progress: Optional[Callable] = None,
+    ):
         """Run ``task`` in the child and return its result.
 
         ``deadline`` is an absolute ``time.time()`` deadline; once it
@@ -312,6 +361,14 @@ class WorkerSlot:
         raised.  :class:`WorkerCrashed` / :class:`WorkerTimeout` leave
         the slot respawned; :class:`RemoteTaskError` leaves the original
         (healthy) child in place.
+
+        ``on_progress`` receives the payload of every ``("progress",
+        payload)`` message the child emits via :func:`emit_slot_progress`
+        *while the call is still blocking* -- live mid-task telemetry,
+        delivered in emission order, always before the final result.  A
+        raising callback never kills the call (the exception is
+        swallowed; telemetry must not take down the job).  Without the
+        callback, progress messages are drained and dropped.
         """
         self.start()
         proc = self._proc
@@ -345,6 +402,13 @@ class WorkerSlot:
                     )
                 continue
             kind = message[0]
+            if kind == "progress":
+                if on_progress is not None:
+                    try:
+                        on_progress(message[1])
+                    except Exception:  # noqa: BLE001 - telemetry only
+                        pass
+                continue
             if kind == "ok":
                 return message[1]
             if kind == "error":

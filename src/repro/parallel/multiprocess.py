@@ -45,10 +45,11 @@ from repro.bnb.bounds import search_context
 from repro.bnb.kernel import BranchKernel, expand_positions
 from repro.bnb.relationship import insertion_is_consistent
 from repro.bnb.topology import PartialTopology
-from repro.bnb.sequential import BranchAndBoundSolver
+from repro.bnb.sequential import BranchAndBoundSolver, SearchStats
 from repro.heuristics.upgma import upgmm
 from repro.matrix.distance_matrix import DistanceMatrix
 from repro.matrix.maxmin import apply_maxmin
+from repro.obs.progress import current_progress
 from repro.parallel.executor import gather_one_per_worker
 from repro.obs.recorder import (
     NullRecorder,
@@ -365,8 +366,19 @@ def _multiprocess_impl(
                 heap_seq -= 1
                 heapq.heappush(queue, (child.lower_bound, heap_seq, child))
 
+    # The parallel master reports progress at its natural heartbeat
+    # points: after pre-branching (the frontier's bounds are the global
+    # lower bound) and on each worker-result arrival (the shared upper
+    # bound carries workers' live incumbent improvements).
+    tracker = current_progress()
+    master_stats = SearchStats()
+
     frontier = [entry[2] for entry in queue]
     if not frontier:
+        if tracker is not None:
+            master_stats.nodes_expanded = expanded
+            master_stats.nodes_created = expanded + pruned
+            tracker.final(best_cost, master_stats)
         return MultiprocessResult(
             tree=best_tree,
             cost=best_cost,
@@ -376,6 +388,11 @@ def _multiprocess_impl(
             initial_upper_bound=seed.cost(),
             start_method=method,
         )
+
+    if tracker is not None:
+        master_stats.nodes_expanded = expanded
+        master_stats.nodes_created = expanded + pruned + len(frontier)
+        tracker.tick(upper_bound, master_stats, frontier)
 
     frontier.sort(key=lambda t: t.lower_bound)
     shares: List[List[tuple]] = [[] for _ in range(n_workers)]
@@ -420,6 +437,12 @@ def _multiprocess_impl(
             _, worker_id, cost, payload, counters = message
             expanded += counters["expanded"]
             pruned += counters["pruned"]
+            if tracker is not None:
+                master_stats.nodes_expanded = expanded
+                master_stats.nodes_created = expanded + pruned
+                tracker.tick(
+                    min(best_cost, shared_ub.value), master_stats, ()
+                )
             if rec.enabled:
                 # Stamp the trace id that round-tripped through the
                 # worker process, not the master-side ambient one.
@@ -458,6 +481,10 @@ def _multiprocess_impl(
             proc.join(timeout=5.0)
         result_queue.close()
 
+    if tracker is not None:
+        master_stats.nodes_expanded = expanded
+        master_stats.nodes_created = expanded + pruned
+        tracker.final(best_cost, master_stats)
     return MultiprocessResult(
         tree=best_tree,
         cost=best_cost,

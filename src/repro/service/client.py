@@ -139,6 +139,15 @@ class ServiceClient:
         """``GET /jobs/<id>``."""
         return self._request("GET", f"/jobs/{job_id}")
 
+    def job_progress(self, job_id: str) -> dict:
+        """``GET /jobs/<id>/progress`` -- the latest live solver snapshot.
+
+        Returns ``{"id", "state", "trace_id", "progress"}`` where
+        ``progress`` is ``None`` until the solver's first heartbeat.
+        Cheap to poll at a high rate (no result payload in the body).
+        """
+        return self._request("GET", f"/jobs/{job_id}/progress")
+
     def healthz(self) -> dict:
         """``GET /healthz``."""
         return self._request("GET", "/healthz")

@@ -74,6 +74,12 @@ class Job:
         #: Oracle outcome when the job ran with ``verify``; see
         #: ``Scheduler._verify_payload`` for the shape.
         self.verification: Optional[dict] = None
+        #: Latest solver progress snapshot (``repro.obs.progress``
+        #: shape), re-based onto this process's clock; ``None`` until the
+        #: solver's first heartbeat.  Written by the scheduler, read by
+        #: ``GET /jobs/<id>/progress``; plain attribute assignment of an
+        #: immutable-once-published dict, so no lock is needed.
+        self.progress: Optional[dict] = None
         self.submitted_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -258,3 +264,17 @@ class Job:
         if self.verification is not None:
             record["verification"] = self.verification
         return record
+
+    def progress_json(self) -> dict:
+        """Wire representation served by ``GET /jobs/<id>/progress``.
+
+        Deliberately small -- state, trace id and the latest snapshot --
+        so a watcher can poll it at a high rate without paying for the
+        full job record (result payloads can be large).
+        """
+        return {
+            "id": self.id,
+            "state": self.state,
+            "trace_id": self.trace_id,
+            "progress": self.progress,
+        }

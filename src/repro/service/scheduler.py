@@ -63,6 +63,7 @@ from repro.obs.metrics import (
     as_metrics,
     replay_metric_ops,
 )
+from repro.obs.progress import ProgressTracker, progress_context
 from repro.obs.recorder import (
     NullRecorder,
     Recorder,
@@ -74,6 +75,7 @@ from repro.parallel.executor import (
     WorkerCrashed,
     WorkerSlot,
     WorkerTimeout,
+    emit_slot_progress,
 )
 from repro.service.cache import ResultCache, cache_key
 from repro.service.errors import QueueFull, SchedulerClosed
@@ -174,6 +176,15 @@ def _process_job_task(runner: Callable, task: tuple) -> dict:
     needs to make its own exports complete: the payload, the serialized
     events, the child-clock origin (for re-basing timestamps) and the
     metric ops.
+
+    A :class:`~repro.obs.progress.ProgressTracker` is bound around the
+    runner whose sink ships each snapshot through
+    :func:`~repro.parallel.executor.emit_slot_progress` -- live
+    telemetry that reaches the parent's ``call()`` *while the solve
+    runs*, each message carrying the child clock reading and origin so
+    the parent can re-base it.  The tracker also records ``bnb.progress``
+    events on the child recorder; those travel once, with the final
+    payload, via the normal event forwarding.
     """
     from repro.obs import metrics as _metrics_mod
 
@@ -184,8 +195,20 @@ def _process_job_task(runner: Callable, task: tuple) -> dict:
     forward = ForwardingMetricsRegistry()
     previous_registry = _metrics_mod.REGISTRY
     _metrics_mod.REGISTRY = forward
+
+    def _ship(snapshot: dict, _clock=rec.clock) -> None:
+        emit_slot_progress({
+            "snapshot": snapshot,
+            "time": _clock(),
+            "clock0": clock0,
+            "trace_id": trace_id,
+        })
+
+    tracker = ProgressTracker(
+        recorder=rec if collect_events else None, sink=_ship
+    )
     try:
-        with trace_context(trace_id):
+        with trace_context(trace_id), progress_context(tracker):
             payload = runner(
                 matrix, method, options, rec if collect_events else None
             )
@@ -326,6 +349,18 @@ class Scheduler:
         self._m_crashes = m.counter(
             "service.workers.crashed",
             "Worker processes that died mid-job (slot respawned).",
+        )
+        # Progress gauges are set from forwarded worker snapshots (the
+        # forwarding registry deliberately does not forward gauges) and,
+        # on the thread backend, by the job's own ProgressTracker.
+        self._m_bnb_gap = m.gauge(
+            "bnb.gap",
+            "Relative incumbent/lower-bound gap of the current "
+            "branch-and-bound search",
+        )
+        self._m_bnb_nps = m.gauge(
+            "bnb.nodes_per_second",
+            "Node-expansion rate of the current branch-and-bound search",
         )
         # Scrape-time gauges can never go stale; the last-constructed
         # scheduler on a shared registry owns them, which matches the
@@ -539,9 +574,17 @@ class Scheduler:
                     if slot is not None:
                         payload = self._run_in_slot(slot, job, rec)
                     else:
-                        payload = self._runner(
-                            job.matrix, job.method, job.options, rec
+                        tracker = ProgressTracker(
+                            recorder=rec,
+                            metrics=self.metrics,
+                            sink=functools.partial(
+                                self._publish_progress, job
+                            ),
                         )
+                        with progress_context(tracker):
+                            payload = self._runner(
+                                job.matrix, job.method, job.options, rec
+                            )
                     self.cache.put(job.key, payload)
                 if job.verify:
                     job.verification = self._verify_payload(job, payload)
@@ -603,8 +646,13 @@ class Scheduler:
             rec.enabled,
         )
         t_dispatch = rec.clock()
+        on_progress = functools.partial(
+            self._absorb_progress, job, t_dispatch
+        )
         try:
-            out = slot.call(task, deadline=job.deadline)
+            out = slot.call(
+                task, deadline=job.deadline, on_progress=on_progress
+            )
         except WorkerCrashed:
             rec.counter("worker.crashed", worker=slot.worker_id)
             self._m_crashes.inc()
@@ -619,6 +667,43 @@ class Scheduler:
         payload = out["payload"]
         self._verify_receipt(job, payload)
         return payload
+
+    def _publish_progress(self, job: Job, snapshot: dict) -> None:
+        """Thread-backend progress sink: latest snapshot onto the job."""
+        snap = dict(snapshot)
+        snap["time"] = self.recorder.clock()
+        if job.trace_id is not None:
+            snap["trace_id"] = job.trace_id
+        job.progress = snap
+
+    def _absorb_progress(
+        self, job: Job, t_dispatch: float, message: dict
+    ) -> None:
+        """Process-backend progress sink: a worker snapshot arriving
+        mid-``call()``.  The child's clock reading is re-based onto this
+        process's clock (dispatch time anchors the child's origin, the
+        same offset model event ingestion uses), the job's trace id is
+        stamped, and the parent-side gauges updated -- the forwarding
+        registry never forwards gauges, so this is where ``bnb.gap``
+        goes live during a process-backend solve."""
+        snapshot = message.get("snapshot")
+        if not isinstance(snapshot, dict):
+            return
+        snap = dict(snapshot)
+        child_time = message.get("time")
+        child_clock0 = message.get("clock0")
+        if child_time is not None and child_clock0 is not None:
+            snap["time"] = t_dispatch + (child_time - child_clock0)
+        trace_id = message.get("trace_id") or job.trace_id
+        if trace_id is not None:
+            snap["trace_id"] = trace_id
+        job.progress = snap
+        gap = snap.get("gap")
+        if gap is not None:
+            self._m_bnb_gap.set(gap)
+        nps = snap.get("nodes_per_second")
+        if nps is not None:
+            self._m_bnb_nps.set(nps)
 
     def _verify_receipt(self, job: Job, payload: dict) -> None:
         """Prove a process-transported payload before accepting it.

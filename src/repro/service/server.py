@@ -3,11 +3,12 @@
 Built on :class:`http.server.ThreadingHTTPServer` -- no third-party web
 framework, per the repository's no-new-dependencies rule.  Endpoints::
 
-    POST /solve      submit a matrix; waits for the result by default
-    GET  /jobs/<id>  poll a job submitted with {"wait": false}
-    GET  /healthz    liveness + version (503 once draining)
-    GET  /stats      scheduler, queue, cache and metrics statistics
-    GET  /metrics    Prometheus text exposition of the live registry
+    POST /solve               submit a matrix; waits for the result by default
+    GET  /jobs/<id>           poll a job submitted with {"wait": false}
+    GET  /jobs/<id>/progress  latest live solver snapshot for the job
+    GET  /healthz             liveness + version (503 once draining)
+    GET  /stats               scheduler, queue, cache and metrics statistics
+    GET  /metrics             Prometheus text exposition of the live registry
 
 ``POST /solve`` accepts a JSON body with either ``"phylip"`` (the PHYLIP
 square text) or ``"matrix"`` (a list of rows, or ``{"values": ...,
@@ -205,12 +206,24 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif path.startswith("/jobs/"):
                 job_id = path[len("/jobs/"):]
+                want_progress = job_id.endswith("/progress")
+                if want_progress:
+                    job_id = job_id[: -len("/progress")]
                 job = service.scheduler.job(job_id)
                 if job is None:
                     raise JobNotFound(job_id)
                 # A queued job whose deadline passed is timed out *now*,
                 # not whenever a worker gets around to dequeuing it.
                 job.expire_if_queued()
+                if want_progress:
+                    # Always 200: progress is a telemetry read, and the
+                    # record carries the authoritative ``state`` either
+                    # way (a failed job's watcher sees "failed", not an
+                    # error page).
+                    self._send_json(
+                        200, job.progress_json(), trace_id=job.trace_id
+                    )
+                    return
                 self._send_json(
                     _STATE_STATUS.get(job.state, 200), job.to_json(),
                     trace_id=job.trace_id,

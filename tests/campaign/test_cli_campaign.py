@@ -153,6 +153,33 @@ class TestDiffAndExport:
         assert len(export["cases"]) == 4
 
 
+class TestTrend:
+    def test_trend_markdown_and_json(self, suite_file, db_path, capsys):
+        main(["campaign", "run", suite_file, "--db", db_path])
+        main(["campaign", "run", suite_file, "--db", db_path,
+              "--name", "again"])
+        assert main([
+            "campaign", "trend", "cli-demo", "again", "--db", db_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# campaign trend: cli-demo -> again" in out
+        assert "## per-case wall seconds" in out
+        assert main([
+            "campaign", "trend", "cli-demo", "again", "--db", db_path,
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"] == "cli-demo"
+        assert len(payload["cases"]) == 4
+        assert payload["wall_geomean"][0] == 1.0
+
+    def test_trend_unknown_campaign_exits_2(self, suite_file, db_path):
+        main(["campaign", "run", suite_file, "--db", db_path])
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "trend", "cli-demo", "nope", "--db", db_path])
+        assert excinfo.value.code == 2
+
+
 class TestFuzzArchive:
     def test_clean_fuzz_leaves_archive_empty(self, db_path, tmp_path,
                                              capsys):

@@ -1,0 +1,139 @@
+"""trend_campaigns: ordering, series alignment, geomean ratios, output."""
+
+import json
+import math
+
+import pytest
+
+from repro.campaign.db import CampaignDB
+from repro.campaign.trend import trend_campaigns
+
+FP_OLD = {"version": "1.0.0", "cache_key_version": 2, "trace_schema": 1,
+          "git_sha": "old"}
+FP_MID = {"version": "1.1.0", "cache_key_version": 2, "trace_schema": 1,
+          "git_sha": "mid"}
+FP_NEW = {"version": "1.2.0", "cache_key_version": 2, "trace_schema": 1,
+          "git_sha": "new"}
+
+
+@pytest.fixture
+def db(tmp_path):
+    with CampaignDB(tmp_path / "c.sqlite") as handle:
+        yield handle
+
+
+def _campaign(db, name, fingerprint, started_at, cases):
+    campaign_id = db.create_campaign(
+        name, suite="demo", suite_spec="{}", seed=0, backend="thread",
+        hostname=None, fingerprint=fingerprint, started_at=started_at,
+    )
+    for case in cases:
+        db.upsert_case(campaign_id, case.pop("case_id"), **case)
+    db.mark_status(campaign_id, "completed")
+    return campaign_id
+
+
+def _case(case_id, wall, nodes=100, **overrides):
+    base = {
+        "case_id": case_id,
+        "method": "bnb",
+        "state": "done",
+        "cost": 50.0,
+        "wall_seconds": wall,
+        "solve_seconds": wall * 0.8,
+        "nodes_expanded": nodes,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestOrderingAndSeries:
+    def test_campaigns_sorted_oldest_first_regardless_of_argument_order(
+        self, db
+    ):
+        _campaign(db, "newer", FP_NEW, 2000.0, [_case("x@bnb", 1.0)])
+        _campaign(db, "older", FP_OLD, 1000.0, [_case("x@bnb", 2.0)])
+        trend = trend_campaigns(db, ["newer", "older"])
+        assert trend.campaigns == ["older", "newer"]
+        assert trend.baseline == "older"
+
+    def test_series_aligned_by_case_with_holes(self, db):
+        _campaign(db, "a", FP_OLD, 1000.0,
+                  [_case("x@bnb", 2.0), _case("y@bnb", 4.0)])
+        _campaign(db, "b", FP_NEW, 2000.0, [_case("x@bnb", 1.0)])
+        trend = trend_campaigns(db, ["a", "b"])
+        by_id = {c.case_id: c for c in trend.cases}
+        assert set(by_id) == {"x@bnb", "y@bnb"}
+        assert by_id["x@bnb"].wall_seconds == [2.0, 1.0]
+        assert by_id["y@bnb"].wall_seconds == [4.0, None]
+
+    def test_unknown_name_and_too_few_names_raise(self, db):
+        _campaign(db, "only", FP_OLD, 1000.0, [_case("x@bnb", 1.0)])
+        with pytest.raises(KeyError, match="no campaign named"):
+            trend_campaigns(db, ["only", "ghost"])
+        with pytest.raises(KeyError, match="at least two"):
+            trend_campaigns(db, ["only", "only"])
+
+
+class TestGeomeans:
+    def test_ratios_vs_oldest(self, db):
+        _campaign(db, "a", FP_OLD, 1000.0,
+                  [_case("x@bnb", 2.0, nodes=200),
+                   _case("y@bnb", 4.0, nodes=400)])
+        _campaign(db, "b", FP_NEW, 2000.0,
+                  [_case("x@bnb", 1.0, nodes=100),
+                   _case("y@bnb", 1.0, nodes=400)])
+        trend = trend_campaigns(db, ["a", "b"])
+        assert trend.wall_geomean[0] == 1.0
+        # per-case wall ratios 0.5 and 0.25 -> geomean sqrt(0.125)
+        assert trend.wall_geomean[1] == pytest.approx(math.sqrt(0.125))
+        # node ratios 0.5 and 1.0 -> geomean sqrt(0.5)
+        assert trend.nodes_geomean[1] == pytest.approx(math.sqrt(0.5))
+
+    def test_no_overlap_yields_none(self, db):
+        _campaign(db, "a", FP_OLD, 1000.0, [_case("x@bnb", 2.0)])
+        _campaign(db, "b", FP_NEW, 2000.0, [_case("z@bnb", 1.0)])
+        trend = trend_campaigns(db, ["a", "b"])
+        assert trend.wall_geomean == [1.0, None]
+
+    def test_three_campaign_chain(self, db):
+        for name, fp, t0, wall in (
+            ("a", FP_OLD, 1000.0, 4.0),
+            ("b", FP_MID, 2000.0, 2.0),
+            ("c", FP_NEW, 3000.0, 1.0),
+        ):
+            _campaign(db, name, fp, t0, [_case("x@bnb", wall)])
+        trend = trend_campaigns(db, ["c", "a", "b"])
+        assert trend.campaigns == ["a", "b", "c"]
+        assert trend.wall_geomean == [1.0, pytest.approx(0.5),
+                                      pytest.approx(0.25)]
+
+
+class TestOutput:
+    def _two(self, db):
+        _campaign(db, "a", FP_OLD, 1000.0, [_case("x@bnb", 2.0)])
+        _campaign(db, "b", FP_NEW, 2000.0, [_case("x@bnb", 1.0)])
+        return trend_campaigns(db, ["a", "b"])
+
+    def test_json_roundtrips(self, db):
+        payload = json.loads(json.dumps(self._two(db).to_json()))
+        assert payload["baseline"] == "a"
+        assert payload["campaigns"] == ["a", "b"]
+        assert payload["cases"][0]["wall_seconds"] == [2.0, 1.0]
+        assert payload["wall_geomean"] == [1.0, 0.5]
+
+    def test_render_is_markdown_with_all_sections(self, db):
+        text = self._two(db).render()
+        assert text.startswith("# campaign trend: a -> b")
+        assert "| a (baseline) | v1.0.0@old |" in text
+        assert "## per-case wall seconds" in text
+        assert "## per-case solve seconds" in text
+        assert "## per-case nodes expanded" in text
+        assert "| x@bnb | 2.000 | 1.000 |" in text
+
+    def test_render_marks_missing_values(self, db):
+        _campaign(db, "a", FP_OLD, 1000.0, [_case("x@bnb", 2.0)])
+        _campaign(db, "b", FP_NEW, 2000.0,
+                  [_case("x@bnb", 1.0, nodes=None)])
+        text = trend_campaigns(db, ["a", "b"]).render()
+        assert "| x@bnb | 100 | - |" in text

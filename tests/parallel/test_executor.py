@@ -11,11 +11,19 @@ from repro.parallel.executor import (
     WorkerCrashed,
     WorkerSlot,
     WorkerTimeout,
+    emit_slot_progress,
 )
 
 
 def echo_task(task):
     return ("echo", task)
+
+
+def progressing_task(task):
+    """Emit ``task`` progress payloads, then return a final value."""
+    for i in range(int(task)):
+        assert emit_slot_progress({"seq": i})
+    return ("final", int(task))
 
 
 def raising_task(task):
@@ -129,6 +137,43 @@ class TestDeadline:
         with WorkerSlot(6, sleepy_task, poll_timeout=0.05) as s:
             assert s.call(0.6) == "woke"
             assert s.respawns == 0
+
+
+class TestProgressChannel:
+    """The mid-``call()`` child -> parent progress side channel."""
+
+    def test_progress_arrives_in_order_before_the_result(self):
+        seen = []
+        with WorkerSlot(11, progressing_task) as s:
+            result = s.call(5, on_progress=seen.append)
+        # call() only returns once the final payload lands, so every
+        # progress message was delivered (ordered) before the result.
+        assert result == ("final", 5)
+        assert seen == [{"seq": i} for i in range(5)]
+
+    def test_progress_ignored_without_callback(self):
+        with WorkerSlot(12, progressing_task) as s:
+            assert s.call(3) == ("final", 3)
+
+    def test_progress_callback_exceptions_are_swallowed(self):
+        def bad_callback(_payload):
+            raise RuntimeError("observer down")
+
+        with WorkerSlot(13, progressing_task) as s:
+            assert s.call(4, on_progress=bad_callback) == ("final", 4)
+            # The slot survived for the next task, callback and all.
+            assert s.call(1, on_progress=bad_callback) == ("final", 1)
+
+    def test_emit_outside_a_worker_is_a_noop(self):
+        assert emit_slot_progress({"seq": 0}) is False
+
+    def test_progress_does_not_leak_across_tasks(self):
+        first, second = [], []
+        with WorkerSlot(14, progressing_task) as s:
+            s.call(3, on_progress=first.append)
+            s.call(2, on_progress=second.append)
+        assert [p["seq"] for p in first] == [0, 1, 2]
+        assert [p["seq"] for p in second] == [0, 1]
 
 
 class TestStop:

@@ -195,6 +195,122 @@ def test_live_metrics_under_concurrent_load_and_trace_ids(live_server):
     assert {f"live-{i}" for i in range(n_solvers)} <= seen_ids
 
 
+@pytest.fixture
+def live_process_server(tmp_path):
+    """A ``repro-mut serve --backend process`` subprocess (worker
+    processes, so job progress crosses a process boundary)."""
+    trace_path = tmp_path / "service_trace.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--workers", "2",
+            "--backend", "process",
+            "--trace-out", str(trace_path),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        ready = proc.stdout.readline()
+        assert "listening on" in ready, f"server never came up: {ready!r}"
+        url = ready.strip().split()[-1]
+        yield proc, ServiceClient(url, timeout=60.0), trace_path
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+def test_live_job_progress_stream_and_watch(live_process_server):
+    """A slow capped exact solve publishes live snapshots with monotone
+    bounds at ``GET /jobs/<id>/progress``, ``repro-mut watch`` renders
+    them, and the heartbeats land in the streamed schema-v1 trace."""
+    proc, client, trace_path = live_process_server
+    matrix = clustered_matrix([13, 13], seed=5)
+
+    record = client.solve(
+        matrix,
+        method="bnb",
+        options={"node_limit": 30000},
+        wait=False,
+        trace_id="progress-live",
+    )
+    job_id = record["id"]
+    assert record["state"] in ("pending", "running")
+
+    snapshots = []
+    state = None
+    deadline = time.time() + 120.0
+    while time.time() < deadline:
+        body = client.job_progress(job_id)
+        state = body["state"]
+        assert body["id"] == job_id
+        snap = body.get("progress")
+        if snap is not None and (
+            not snapshots or snap["time"] != snapshots[-1]["time"]
+        ):
+            assert snap["trace_id"] == "progress-live"
+            snapshots.append(snap)
+        if state not in ("pending", "running"):
+            break
+        time.sleep(0.05)
+    assert state == "done", state
+    assert len(snapshots) >= 2, snapshots
+
+    # Convergence invariants across the live stream: the incumbent only
+    # improves, the lower bound only tightens, effort only grows.
+    incumbents = [
+        s["incumbent_cost"] for s in snapshots
+        if s["incumbent_cost"] is not None
+    ]
+    assert incumbents == sorted(incumbents, reverse=True)
+    bounds = [
+        s["best_lower_bound"] for s in snapshots
+        if s["best_lower_bound"] is not None
+    ]
+    assert bounds == sorted(bounds)
+    expanded = [s["nodes_expanded"] for s in snapshots]
+    assert expanded == sorted(expanded)
+    assert snapshots[-1]["final"] is True
+
+    # The settled job still serves its last snapshot, and `watch` on it
+    # renders the line and exits 0.
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "watch", job_id,
+            "--url", client.base_url, "--interval", "0.1",
+        ],
+        capture_output=True,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src")),
+        timeout=60,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "[bnb]" in out.stdout
+    assert f"job {job_id}: done" in out.stdout
+
+    # The heartbeats crossed the process boundary into the streamed
+    # schema-v1 trace, stamped with the request's trace id.
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0
+    events = read_jsonl(trace_path)
+    progress_events = [
+        e for e in events
+        if isinstance(e, CounterEvent) and e.name == "bnb.progress"
+    ]
+    assert progress_events
+    assert any(
+        e.attrs.get("trace_id") == "progress-live" for e in progress_events
+    )
+
+
 def test_live_phylip_solve_and_version(live_server):
     proc, client, _ = live_server
     import io

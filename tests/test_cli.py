@@ -93,6 +93,42 @@ class TestBuild:
         assert build.duration == pytest.approx(payload["elapsed_seconds"])
 
 
+class TestBuildProgress:
+    def test_progress_prints_heartbeats_to_stderr(self, matrix_file, capsys):
+        assert main([
+            "build", matrix_file, "--method", "bnb", "--progress",
+            "--progress-interval", "0",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "cost" in captured.out
+        lines = [
+            line for line in captured.err.splitlines()
+            if line.startswith("[bnb]")
+        ]
+        assert lines, captured.err
+        assert "incumbent=" in lines[-1]
+        assert "gap=" in lines[-1]
+
+    def test_progress_events_land_in_trace(self, matrix_file, tmp_path,
+                                           capsys):
+        from repro.obs import CounterEvent, read_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "build", matrix_file, "--method", "bnb", "--progress",
+            "--trace-out", str(trace),
+        ]) == 0
+        events = read_jsonl(trace)
+        assert any(
+            isinstance(e, CounterEvent) and e.name == "bnb.progress"
+            for e in events
+        )
+
+    def test_without_flag_no_heartbeats(self, matrix_file, capsys):
+        assert main(["build", matrix_file, "--method", "bnb"]) == 0
+        assert "[bnb]" not in capsys.readouterr().err
+
+
 class TestProfile:
     def test_prints_span_tree(self, matrix_file, capsys):
         assert main(["profile", matrix_file]) == 0
@@ -125,6 +161,31 @@ class TestProfile:
             "profile", matrix_file, "--trace-out", str(trace)
         ]) == 0
         assert read_jsonl(trace)
+
+    def test_chrome_trace_written(self, matrix_file, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert main([
+            "profile", matrix_file, "--chrome-trace", str(out)
+        ]) == 0
+        trace = json.loads(out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert "X" in phases  # spans as complete events
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "pipeline.build" in names
+
+    def test_chrome_trace_from_trace_file(self, matrix_file, tmp_path,
+                                          capsys):
+        jsonl = tmp_path / "profile.jsonl"
+        chrome = tmp_path / "chrome.json"
+        assert main([
+            "profile", matrix_file, "--trace-out", str(jsonl)
+        ]) == 0
+        assert main([
+            "profile", str(jsonl), "--chrome-trace", str(chrome)
+        ]) == 0
+        trace = json.loads(chrome.read_text())
+        assert trace["traceEvents"]
 
 
 class TestCompactSets:
