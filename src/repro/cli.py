@@ -168,6 +168,50 @@ def build_parser() -> argparse.ArgumentParser:
         default="p-count", help="pairwise distance (default: p-count)",
     )
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="staged FASTA -> QC -> distance -> repair -> tree pipeline "
+             "with a JSON manifest (exit 0 clean, 1 rejections, 2 usage "
+             "error; see docs/ingestion.md)",
+    )
+    ingest.add_argument("fasta", help="input FASTA / multi-FASTA file")
+    ingest.add_argument(
+        "--distance",
+        choices=("p", "p-count", "jc", "jukes-cantor", "edit"),
+        default="p",
+        help="pairwise distance for stage 2 (default: p; jc = "
+             "jukes-cantor; edit works on unaligned input)",
+    )
+    ingest.add_argument("--method", choices=METHODS, default="compact",
+                        help="tree construction method for stage 4 "
+                             "(default: compact)")
+    ingest.add_argument("--mode", choices=("strict", "lenient"),
+                        default="strict",
+                        help="strict fails a stage on any problem; lenient "
+                             "drops bad records and continues while >= 3 "
+                             "survive (default: strict)")
+    ingest.add_argument("--manifest", default=None,
+                        help="manifest JSON path; an existing manifest for "
+                             "the same input + config resumes past its "
+                             "completed stages")
+    ingest.add_argument("--scale", type=float, default=1.0,
+                        help="multiply every distance entry (default: 1.0)")
+    ingest.add_argument("--min-length", type=int, default=1,
+                        help="QC: minimum residues per record (default: 1)")
+    ingest.add_argument("--max-length", type=int, default=None,
+                        help="QC: maximum residues per record "
+                             "(default: unbounded)")
+    ingest.add_argument("--max-ambiguity", type=float, default=0.1,
+                        help="QC: tolerated ambiguity-code fraction per "
+                             "record (default: 0.1)")
+    ingest.add_argument("--verify", action="store_true",
+                        help="run the result oracles on the constructed tree")
+    ingest.add_argument("--trace-out", default=None,
+                        help="write the ingest.stage spans/counters as "
+                             "schema-v1 JSON lines to this file")
+    ingest.add_argument("--json", action="store_true",
+                        help="print the full manifest to stdout")
+
     verify = sub.add_parser(
         "verify",
         help="differential + metamorphic verification of a matrix "
@@ -220,6 +264,14 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--db", default=None,
                       help="also archive failures into this campaign "
                            "database (same file campaign run uses)")
+    fuzz.add_argument("--ingest", action="store_true",
+                      help="fuzz the FASTA ingestion pipeline instead of "
+                           "the matrix families: mutate seed FASTA files "
+                           "(ambiguity injection, truncation, duplicate "
+                           "ids, ...) through the lenient pipeline")
+    fuzz.add_argument("--fasta-dir", default=None,
+                      help="directory of seed .fasta files for --ingest "
+                           "(default: synthetic HMDNA-style seeds)")
 
     campaign = sub.add_parser(
         "campaign",
@@ -728,9 +780,85 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Run the staged ingestion pipeline over one FASTA file.
+
+    Exit codes: 0 clean run (tree built, nothing rejected), 1 any
+    rejection or stage failure (including a lenient run that dropped
+    records), 2 usage error.
+    """
+    from pathlib import Path
+
+    from repro.ingest import QCConfig, run_pipeline
+
+    source = Path(args.fasta)
+    if not source.exists():
+        raise _usage_error(f"no such FASTA file: {args.fasta}")
+    if args.min_length < 1:
+        raise _usage_error(
+            f"--min-length must be >= 1, got {args.min_length}"
+        )
+    if not 0.0 <= args.max_ambiguity <= 1.0:
+        raise _usage_error(
+            f"--max-ambiguity must be in [0, 1], got {args.max_ambiguity}"
+        )
+    qc = QCConfig(
+        min_length=args.min_length,
+        max_length=args.max_length,
+        max_ambiguity=args.max_ambiguity,
+    )
+    recorder = Recorder() if args.trace_out else None
+    outcome = run_pipeline(
+        source,
+        distance=args.distance,
+        tree_method=args.method,
+        mode=args.mode,
+        qc=qc,
+        scale=args.scale,
+        verify=args.verify,
+        manifest_path=args.manifest,
+        recorder=recorder,
+    )
+    if recorder is not None:
+        recorder.write_jsonl(args.trace_out)
+    manifest = outcome.manifest
+    if args.json:
+        print(json.dumps(manifest.to_json(), indent=2, sort_keys=True))
+    else:
+        print(f"input  : {args.fasta} "
+              f"(sha256 {str(manifest.input.get('sha256', ''))[:12]}...)")
+        for stage in manifest.stages:
+            marker = "ok" if stage.status == "completed" else "FAILED"
+            counters = ", ".join(
+                f"{k}={v}" for k, v in sorted(stage.counters.items())
+            )
+            print(f"stage {stage.index} {stage.name:<8}: {marker}"
+                  + (f" ({counters})" if counters else ""))
+        if manifest.resumed_from:
+            print(f"resumed: {manifest.resumed_from} stage(s) skipped")
+        if manifest.result and "cost" in manifest.result:
+            print(f"tree   : cost {manifest.result['cost']:.6g} "
+                  f"[{manifest.result['method']}] "
+                  f"verified={manifest.result.get('verified_ok')}")
+            print(f"newick : {manifest.result['newick']}")
+        print(f"status : {manifest.status}")
+    for rejection in manifest.rejections:
+        print(
+            f"REJECTED stage={rejection.stage}({rejection.stage_name}) "
+            f"code={rejection.code} record={rejection.record or '-'}: "
+            f"{rejection.detail}",
+            file=sys.stderr,
+        )
+    if args.manifest and not args.json:
+        print(f"manifest: {args.manifest}", file=sys.stderr)
+    return outcome.exit_code
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.verify.fuzz import run_fuzz
 
+    if args.ingest:
+        return _cmd_fuzz_ingest(args)
     methods = _parse_method_list(args.methods)
     if args.budget < 1:
         raise _usage_error(f"--budget must be >= 1, got {args.budget}")
@@ -801,6 +929,66 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"repro-mut fuzz: {len(report.failures)} failing case(s); "
             f"replay the campaign with: repro-mut fuzz --seed {report.seed} "
             f"--budget {report.budget} --methods {','.join(methods)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_fuzz_ingest(args: argparse.Namespace) -> int:
+    """The ``fuzz --ingest`` family: mutated FASTA through the pipeline."""
+    from pathlib import Path
+
+    from repro.verify.fuzz import run_ingest_fuzz
+
+    if args.budget < 1:
+        raise _usage_error(f"--budget must be >= 1, got {args.budget}")
+    seed_files = None
+    if args.fasta_dir is not None:
+        seed_files = sorted(Path(args.fasta_dir).glob("*.fasta"))
+        if not seed_files:
+            raise _usage_error(
+                f"no .fasta files in --fasta-dir {args.fasta_dir}"
+            )
+
+    def progress(iteration: int, mutation: str) -> None:
+        if iteration and iteration % 50 == 0:
+            print(f"... case {iteration}/{args.budget}", file=sys.stderr)
+
+    report = run_ingest_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        seed_files=seed_files,
+        corpus_dir=args.corpus,
+        max_failures=args.max_failures,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(f"seed     : {report.seed}")
+        print(f"cases    : {report.cases_run}/{report.budget}")
+        print("mutations: " + ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(report.mutations.items())
+        ))
+        print(f"verdict  : {'OK' if report.ok else 'FAILURES FOUND'}")
+    if not report.ok:
+        for failure in report.failures:
+            print(
+                f"INGEST FUZZ FAILURE seed={report.seed} "
+                f"case={failure.iteration} mutation={failure.mutation} "
+                f"corpus={failure.corpus_path}",
+                file=sys.stderr,
+            )
+            print(f"  {failure.detail}", file=sys.stderr)
+            if failure.repro_command:
+                print(f"  reproduce: {failure.repro_command}",
+                      file=sys.stderr)
+        print(
+            f"repro-mut fuzz --ingest: {len(report.failures)} failing "
+            f"case(s); replay with: repro-mut fuzz --ingest "
+            f"--seed {report.seed} --budget {report.budget}",
             file=sys.stderr,
         )
         return 1
@@ -1180,6 +1368,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compact-sets": _cmd_compact_sets,
         "generate": _cmd_generate,
         "distances": _cmd_distances,
+        "ingest": _cmd_ingest,
         "render": _cmd_render,
         "validate": _cmd_validate,
         "verify": _cmd_verify,

@@ -218,6 +218,7 @@ def construct_tree_cached(
     cluster: Optional[ClusterConfig] = None,
     recorder: Optional[NullRecorder] = None,
     metrics: Optional[MetricsRegistry] = None,
+    verify: bool = False,
     **options,
 ) -> ConstructionResult:
     """:func:`construct_tree` behind a content-addressed result cache.
@@ -231,6 +232,13 @@ def construct_tree_cached(
     object) and emits a ``cache.hit`` counter on ``recorder``; a miss
     solves, stores the payload and emits ``cache.miss``.
 
+    ``verify=True`` runs the verification oracles on the returned tree
+    whether it came from the cache or a fresh solve -- a hit's
+    reconstructed tree is checked too, so a corrupted cache entry cannot
+    smuggle an unchecked result past the caller.  ``verify`` is *not*
+    part of the cache key (the same convention the service scheduler
+    uses): verification changes what is checked, not what is computed.
+
     ``"nj"`` bypasses the cache: additive NJ trees do not round-trip
     through the ultrametric Newick parser.
     """
@@ -240,7 +248,7 @@ def construct_tree_cached(
     if method == "nj":
         return construct_tree(
             matrix, method, cluster=cluster, recorder=recorder,
-            metrics=metrics, **options
+            metrics=metrics, verify=verify, **options
         )
     rec = as_recorder(recorder)
     registry = as_metrics(metrics)
@@ -254,19 +262,31 @@ def construct_tree_cached(
         registry.counter(
             "cache.hit", "Content-addressed result-cache hits."
         ).inc()
-        return ConstructionResult(
+        result = ConstructionResult(
             tree=parse_newick(payload["newick"]),
             cost=payload["cost"],
             method=payload["method"],
             details=payload,
         )
+        if verify:
+            from repro.verify.oracles import run_oracles
+
+            result.verification = run_oracles(
+                result.tree,
+                matrix,
+                reported_cost=result.cost,
+                method=result.method,
+                recorder=recorder,
+                metrics=registry,
+            )
+        return result
     rec.counter("cache.miss", key=key[:12])
     registry.counter(
         "cache.miss", "Content-addressed result-cache misses."
     ).inc()
     result = construct_tree(
         matrix, method, cluster=cluster, recorder=recorder,
-        metrics=metrics, **options
+        metrics=metrics, verify=verify, **options
     )
     cache.put(key, {
         "method": result.method,

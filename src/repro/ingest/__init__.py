@@ -1,0 +1,56 @@
+"""Real-sequence ingestion: staged FASTA -> QC -> distance -> tree.
+
+The synthetic workloads elsewhere in the repository trust their own
+inputs; uploads from real users cannot be trusted, and the paper's
+compact-set construction assumes a *metric* distance matrix besides.
+This package is the auditable path between the two: a five-stage
+pipeline (parse, qc, distance, repair, tree) that QC-gates raw FASTA,
+measures how far the metric repair moved the data, and only then lets a
+matrix near the solvers.  Every run writes a JSON manifest
+(:mod:`repro.ingest.manifest`) that doubles as the resume token for
+re-runs.
+
+Surfaces: ``repro-mut ingest`` on the CLI and ``POST /ingest`` on the
+service (:mod:`repro.service.server`).
+"""
+
+from repro.ingest.manifest import (
+    MANIFEST_VERSION,
+    STAGE_NAMES,
+    IngestRejection,
+    Manifest,
+    StageRecord,
+    sha256_text,
+    strip_volatile,
+)
+from repro.ingest.pipeline import IngestResult, run_pipeline
+from repro.ingest.stages import (
+    MIN_SEQUENCES,
+    QCConfig,
+    QCVerdict,
+    StageFailure,
+    stage_distance,
+    stage_parse,
+    stage_qc,
+    stage_repair,
+)
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "MIN_SEQUENCES",
+    "STAGE_NAMES",
+    "IngestRejection",
+    "IngestResult",
+    "Manifest",
+    "QCConfig",
+    "QCVerdict",
+    "StageFailure",
+    "StageRecord",
+    "run_pipeline",
+    "sha256_text",
+    "stage_distance",
+    "stage_parse",
+    "stage_qc",
+    "stage_repair",
+    "strip_volatile",
+]

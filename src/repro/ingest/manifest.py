@@ -1,0 +1,246 @@
+"""The ingestion manifest: one JSON document per pipeline run.
+
+The manifest is the audit trail the ROADMAP's "millions of users upload
+their own data" scenario needs: what file came in (path, sha256, size),
+what the QC stage decided about every record, how far each distance pair
+had diverged, how much the metric repair moved the matrix, and what tree
+came out -- plus per-stage durations and the engine fingerprint so a
+failed batch is diagnosable after the fact.
+
+It is also the pipeline's *resume token*: each completed stage appends a
+:class:`StageRecord` carrying enough artifact state (surviving
+sequences, raw and repaired matrices) that a re-run against the same
+input and configuration skips straight past it.  See
+:func:`repro.ingest.pipeline.run_pipeline` for the resume rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "STAGE_NAMES",
+    "IngestRejection",
+    "StageRecord",
+    "Manifest",
+    "sha256_text",
+    "strip_volatile",
+]
+
+MANIFEST_VERSION = 1
+
+#: Pipeline stages, in order.  Indices are stable and appear in
+#: rejection records, stage records and trace spans.
+STAGE_NAMES = ("parse", "qc", "distance", "repair", "tree")
+
+
+def sha256_text(text: str) -> str:
+    """Hex sha256 of the input text (UTF-8), the manifest's input digest."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class IngestRejection:
+    """One structured, JSON-safe reason a record (or batch) was refused.
+
+    ``stage`` is the stage index, ``stage_name`` its name, ``code`` a
+    stable machine-readable reason (``"duplicate-id"``,
+    ``"ambiguity-fraction"``, ...), ``record`` the offending record id
+    (empty for batch-level rejections) and ``detail`` the human
+    sentence.  These land in the manifest -- never as tracebacks.
+    """
+
+    stage: int
+    code: str
+    detail: str
+    record: str = ""
+    lineno: int = 0
+
+    @property
+    def stage_name(self) -> str:
+        return STAGE_NAMES[self.stage]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "stage_name": self.stage_name,
+            "code": self.code,
+            "detail": self.detail,
+            "record": self.record,
+            "lineno": self.lineno,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "IngestRejection":
+        return cls(
+            stage=int(data["stage"]),
+            code=str(data["code"]),
+            detail=str(data.get("detail", "")),
+            record=str(data.get("record", "")),
+            lineno=int(data.get("lineno", 0)),
+        )
+
+
+@dataclass
+class StageRecord:
+    """One completed (or failed) stage: status, timing, counters, detail.
+
+    ``detail`` is stage-specific JSON (QC verdicts, saturation flags,
+    repair norms, the result summary); ``artifacts`` is the state a
+    resumed run needs to skip this stage (e.g. the surviving sequences
+    after QC, the repaired matrix after repair).
+    """
+
+    index: int
+    name: str
+    status: str  # "completed" | "failed"
+    duration_seconds: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    detail: Dict[str, object] = field(default_factory=dict)
+    artifacts: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "status": self.status,
+            "duration_seconds": self.duration_seconds,
+            "counters": dict(self.counters),
+            "detail": self.detail,
+            "artifacts": self.artifacts,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "StageRecord":
+        return cls(
+            index=int(data["index"]),
+            name=str(data["name"]),
+            status=str(data["status"]),
+            duration_seconds=float(data.get("duration_seconds", 0.0)),
+            counters=dict(data.get("counters", {})),
+            detail=dict(data.get("detail", {})),
+            artifacts=dict(data.get("artifacts", {})),
+        )
+
+
+@dataclass
+class Manifest:
+    """The whole pipeline run, JSON round-trippable.
+
+    ``status`` is ``"ok"`` (tree built, no rejections), ``"partial"``
+    (tree built in lenient mode but some records were dropped) or
+    ``"failed"`` (a stage refused to continue; ``failed_stage`` says
+    which).  ``resumed_from`` is the number of stages skipped because a
+    prior manifest already carried them.
+    """
+
+    version: int = MANIFEST_VERSION
+    input: Dict[str, object] = field(default_factory=dict)
+    engine: Dict[str, object] = field(default_factory=dict)
+    config: Dict[str, object] = field(default_factory=dict)
+    stages: List[StageRecord] = field(default_factory=list)
+    rejections: List[IngestRejection] = field(default_factory=list)
+    result: Optional[Dict[str, object]] = None
+    status: str = "failed"
+    failed_stage: Optional[int] = None
+    resumed_from: int = 0
+
+    # ------------------------------------------------------------------
+    # Resume support
+    # ------------------------------------------------------------------
+    def completed_stages(self) -> int:
+        """Number of consecutive completed stages from the front."""
+        done = 0
+        for record in self.stages:
+            if record.index == done and record.status == "completed":
+                done += 1
+            else:
+                break
+        return done
+
+    def stage(self, name: str) -> Optional[StageRecord]:
+        for record in self.stages:
+            if record.name == name:
+                return record
+        return None
+
+    def matches(self, input_sha256: str, config: Dict[str, object]) -> bool:
+        """True when a re-run may resume from this manifest.
+
+        The input digest and the pipeline configuration (distance,
+        tree method, mode, QC gates, scale -- everything except
+        ``verify``, which only affects the final stage) must agree.
+        """
+        if self.input.get("sha256") != input_sha256:
+            return False
+        mine = {k: v for k, v in self.config.items() if k != "verify"}
+        theirs = {k: v for k, v in config.items() if k != "verify"}
+        return mine == theirs
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "status": self.status,
+            "failed_stage": self.failed_stage,
+            "resumed_from": self.resumed_from,
+            "input": self.input,
+            "engine": self.engine,
+            "config": self.config,
+            "stages": [s.to_json() for s in self.stages],
+            "rejections": [r.to_json() for r in self.rejections],
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "Manifest":
+        return cls(
+            version=int(data.get("version", MANIFEST_VERSION)),
+            input=dict(data.get("input", {})),
+            engine=dict(data.get("engine", {})),
+            config=dict(data.get("config", {})),
+            stages=[StageRecord.from_json(s) for s in data.get("stages", [])],
+            rejections=[
+                IngestRejection.from_json(r)
+                for r in data.get("rejections", [])
+            ],
+            result=data.get("result"),
+            status=str(data.get("status", "failed")),
+            failed_stage=data.get("failed_stage"),
+            resumed_from=int(data.get("resumed_from", 0)),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Manifest":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+def strip_volatile(manifest_json: Dict[str, object]) -> Dict[str, object]:
+    """A manifest with its run-to-run noise removed, for golden pinning.
+
+    Drops stage durations, the engine fingerprint, the absolute input
+    path and the resume counter, keeping everything content-derived
+    (digests, verdicts, counters, rejection codes, the tree).  Both the
+    golden-manifest test and the CI ``ingest-smoke`` diff go through
+    this, so they agree on what "the same output" means.
+    """
+    cleaned = json.loads(json.dumps(manifest_json))  # deep copy
+    cleaned.pop("engine", None)
+    cleaned.pop("resumed_from", None)
+    if "input" in cleaned:
+        cleaned["input"].pop("path", None)
+    for stage in cleaned.get("stages", []):
+        stage.pop("duration_seconds", None)
+    return cleaned

@@ -10,7 +10,14 @@ distance).  The resulting matrices carry the hierarchical signal that
 distinguishes the paper's HMDNA runs from its uniform-random runs.
 """
 
-from repro.sequences.alphabet import DNA_ALPHABET, random_sequence, validate_sequence
+from repro.sequences.alphabet import (
+    DNA_ALPHABET,
+    ambiguity_fraction,
+    classify_sequence,
+    detect_alphabet,
+    random_sequence,
+    validate_sequence,
+)
 from repro.sequences.evolution import (
     random_species_tree,
     evolve_sequences,
@@ -20,9 +27,11 @@ from repro.sequences.distance import (
     jukes_cantor_distance,
     edit_distance,
     distance_matrix_from_sequences,
+    resolve_method,
+    saturated_pairs,
 )
 from repro.sequences.hmdna import HMDNADataset, generate_hmdna_dataset, hmdna_matrices
-from repro.sequences.fasta import read_fasta, write_fasta
+from repro.sequences.fasta import parse_fasta, read_fasta, write_fasta
 from repro.sequences.bootstrap import (
     bootstrap_sequences,
     bootstrap_matrices,
@@ -31,6 +40,9 @@ from repro.sequences.bootstrap import (
 
 __all__ = [
     "DNA_ALPHABET",
+    "ambiguity_fraction",
+    "classify_sequence",
+    "detect_alphabet",
     "random_sequence",
     "validate_sequence",
     "random_species_tree",
@@ -39,9 +51,12 @@ __all__ = [
     "jukes_cantor_distance",
     "edit_distance",
     "distance_matrix_from_sequences",
+    "resolve_method",
+    "saturated_pairs",
     "HMDNADataset",
     "generate_hmdna_dataset",
     "hmdna_matrices",
+    "parse_fasta",
     "read_fasta",
     "write_fasta",
     "bootstrap_sequences",

@@ -1,15 +1,58 @@
-"""DNA alphabet helpers."""
+"""Sequence alphabets: DNA, IUPAC ambiguity codes, protein.
+
+The synthetic generators only ever emit clean ``ACGT``, but real FASTA
+uploads arrive with IUPAC ambiguity codes (``N``, ``R``, ``Y``, ...),
+alignment gaps, protein sequences and outright garbage.  The ingestion
+pipeline (:mod:`repro.ingest`) QC-gates on the classifications this
+module provides:
+
+* :func:`classify_sequence` -- ``"dna"`` / ``"protein"`` / ``"unknown"``
+  for one sequence;
+* :func:`detect_alphabet` -- the consensus over a whole batch (``"mixed"``
+  when records disagree);
+* :func:`ambiguity_fraction` -- how much of a sequence is ambiguity
+  codes or gaps, the QC gate for saturation-prone inputs.
+"""
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Iterable, Union
 
 import numpy as np
 
-__all__ = ["DNA_ALPHABET", "random_sequence", "validate_sequence"]
+__all__ = [
+    "DNA_ALPHABET",
+    "DNA_AMBIGUITY",
+    "PROTEIN_ALPHABET",
+    "PROTEIN_AMBIGUITY",
+    "GAP_CHARS",
+    "ambiguity_fraction",
+    "classify_sequence",
+    "detect_alphabet",
+    "random_sequence",
+    "validate_sequence",
+]
 
 #: The nucleotide alphabet, in the conventional order.
 DNA_ALPHABET = "ACGT"
+
+#: IUPAC nucleotide ambiguity codes (any-of sets over ``ACGT``).
+DNA_AMBIGUITY = "RYSWKMBDHVN"
+
+#: The twenty standard amino acids.
+PROTEIN_ALPHABET = "ACDEFGHIKLMNPQRSTVWY"
+
+#: Amino-acid ambiguity/rare codes (B = D/N, Z = E/Q, J = I/L, X = any,
+#: plus the non-standard U (selenocysteine) and O (pyrrolysine)).
+PROTEIN_AMBIGUITY = "BJOUXZ"
+
+#: Alignment gap characters tolerated in aligned FASTA.
+GAP_CHARS = "-."
+
+_DNA_SET = frozenset(DNA_ALPHABET)
+_DNA_FULL = frozenset(DNA_ALPHABET + DNA_AMBIGUITY + GAP_CHARS + "U")
+_PROTEIN_SET = frozenset(PROTEIN_ALPHABET)
+_PROTEIN_FULL = frozenset(PROTEIN_ALPHABET + PROTEIN_AMBIGUITY + GAP_CHARS)
 
 RngLike = Union[int, np.random.Generator, None]
 
@@ -36,3 +79,76 @@ def validate_sequence(sequence: str) -> str:
     if bad:
         raise ValueError(f"sequence contains non-DNA symbols: {sorted(bad)}")
     return upper
+
+
+def classify_sequence(sequence: str) -> str:
+    """Classify one sequence as ``"dna"``, ``"protein"`` or ``"unknown"``.
+
+    Case-insensitive.  Every ``ACGT`` string is also a legal protein
+    string, so DNA is checked first: a sequence over the nucleotide
+    alphabet plus IUPAC ambiguity codes (and gaps) whose unambiguous
+    fraction is mostly ``ACGT`` is DNA.  Anything over the amino-acid
+    alphabet (plus ``BJOUXZ`` and gaps) is protein; anything else --
+    digits, ``*`` stops, punctuation -- is ``"unknown"`` and fails QC.
+    An empty sequence is ``"unknown"`` (there is nothing to classify).
+    """
+    upper = sequence.upper()
+    chars = set(upper)
+    if not chars:
+        return "unknown"
+    if chars <= _DNA_FULL:
+        residues = [c for c in upper if c not in GAP_CHARS]
+        if not residues:
+            return "unknown"
+        acgt = sum(1 for c in residues if c in _DNA_SET)
+        # Mostly unambiguous nucleotides: DNA.  An all-N smear (or an
+        # ambiguity-dominated read) is still DNA-shaped; only when the
+        # letters could equally be amino acids do we need the majority
+        # test, and every DNA ambiguity code *is* an amino-acid letter,
+        # so the 50% rule keeps e.g. "NHWKDS..." protein out of "dna".
+        if acgt * 2 >= len(residues):
+            return "dna"
+        if chars <= frozenset(DNA_AMBIGUITY + GAP_CHARS):
+            # No ACGT at all but pure ambiguity codes -- an N-run.
+            if chars - frozenset("N" + GAP_CHARS) == set():
+                return "dna"
+        return "protein" if chars <= _PROTEIN_FULL else "unknown"
+    if chars <= _PROTEIN_FULL:
+        return "protein"
+    return "unknown"
+
+
+def ambiguity_fraction(sequence: str) -> float:
+    """Fraction of a sequence that is ambiguity codes or gaps.
+
+    For DNA this is everything outside ``ACGT``; for protein everything
+    outside the twenty standard residues.  Unknown-alphabet sequences
+    report the DNA fraction (the caller has already rejected them).
+    Empty sequences report 1.0 -- maximally uninformative.
+    """
+    upper = sequence.upper()
+    if not upper:
+        return 1.0
+    kind = classify_sequence(upper)
+    core = _PROTEIN_SET if kind == "protein" else _DNA_SET
+    ambiguous = sum(1 for c in upper if c not in core)
+    return ambiguous / len(upper)
+
+
+def detect_alphabet(sequences: Iterable[str]) -> str:
+    """Consensus alphabet over a batch of sequences.
+
+    Returns ``"dna"`` or ``"protein"`` when every classifiable sequence
+    agrees, ``"mixed"`` when they disagree, and ``"unknown"`` when no
+    sequence classifies at all (or the batch is empty).
+    """
+    seen = set()
+    for sequence in sequences:
+        kind = classify_sequence(sequence)
+        if kind != "unknown":
+            seen.add(kind)
+    if not seen:
+        return "unknown"
+    if len(seen) > 1:
+        return "mixed"
+    return seen.pop()

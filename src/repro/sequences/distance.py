@@ -29,7 +29,14 @@ __all__ = [
     "jukes_cantor_distance",
     "edit_distance",
     "distance_matrix_from_sequences",
+    "saturated_pairs",
+    "resolve_method",
+    "SATURATION_THRESHOLD",
 ]
+
+#: p-distance at or above this is "saturated": the Jukes-Cantor
+#: correction diverges and the site signal is mostly noise.
+SATURATION_THRESHOLD = 0.75
 
 
 def p_distance(a: str, b: str, *, normalized: bool = True) -> float:
@@ -121,6 +128,47 @@ _METHODS = {
     "edit": lambda a, b: float(edit_distance(a, b)),
 }
 
+#: Short spellings accepted everywhere a distance method is named.
+_ALIASES = {"jc": "jukes-cantor", "levenshtein": "edit", "hamming": "p-count"}
+
+
+def resolve_method(method: str) -> str:
+    """Canonicalise a distance-method name (``"jc"`` -> ``"jukes-cantor"``).
+
+    Raises ``ValueError`` for names that are neither canonical nor an
+    alias, listing the canonical choices.
+    """
+    canonical = _ALIASES.get(method, method)
+    if canonical not in _METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(_METHODS)}"
+        )
+    return canonical
+
+
+def saturated_pairs(
+    sequences: Mapping[str, str],
+    *,
+    order: Optional[Sequence[str]] = None,
+    threshold: float = SATURATION_THRESHOLD,
+) -> list:
+    """Aligned label pairs whose p-distance is at or past saturation.
+
+    Returns ``[(label_a, label_b, p), ...]`` for every unordered pair
+    with ``p >= threshold``.  At such divergence the Jukes-Cantor
+    correction has blown up (we clamp it) and even the raw p-distance
+    carries little phylogenetic signal, so the ingestion pipeline flags
+    -- but does not reject -- these pairs in its manifest.
+    """
+    labels = list(order) if order is not None else sorted(sequences)
+    flagged = []
+    for i, a in enumerate(labels):
+        for b in labels[i + 1 :]:
+            p = p_distance(sequences[a], sequences[b])
+            if p >= threshold:
+                flagged.append((a, b, p))
+    return flagged
+
 
 def distance_matrix_from_sequences(
     sequences: Mapping[str, str],
@@ -128,17 +176,21 @@ def distance_matrix_from_sequences(
     method: str = "p-count",
     scale: float = 1.0,
     order: Optional[Sequence[str]] = None,
+    repair: bool = True,
 ) -> DistanceMatrix:
     """Build a :class:`DistanceMatrix` from labelled sequences.
 
     ``method`` is one of ``"p"``, ``"p-count"``, ``"jukes-cantor"`` or
-    ``"edit"``; ``scale`` multiplies every entry (the papers work with
-    integer-ish distances, so scaling a p-distance by the sequence length
-    or by 100 keeps the numbers in their range).  The result is run
-    through a metric closure so downstream solvers always see a metric.
+    ``"edit"`` (aliases ``"jc"``, ``"levenshtein"``, ``"hamming"``);
+    ``scale`` multiplies every entry (the papers work with integer-ish
+    distances, so scaling a p-distance by the sequence length or by 100
+    keeps the numbers in their range).  With ``repair`` (the default)
+    the result is run through a metric closure so downstream solvers
+    always see a metric; ``repair=False`` returns the raw pairwise
+    matrix so callers -- the ingestion pipeline's repair stage -- can
+    measure how much the closure perturbs it.
     """
-    if method not in _METHODS:
-        raise ValueError(f"unknown method {method!r}; choose from {sorted(_METHODS)}")
+    method = resolve_method(method)
     fn = _METHODS[method]
     labels = list(order) if order is not None else sorted(sequences)
     missing = [name for name in labels if name not in sequences]
@@ -150,4 +202,5 @@ def distance_matrix_from_sequences(
         for j in range(i + 1, n):
             d = fn(sequences[labels[i]], sequences[labels[j]]) * scale
             values[i, j] = values[j, i] = d
-    return metric_closure(DistanceMatrix(values, labels, validate=False))
+    raw = DistanceMatrix(values, labels, validate=False)
+    return metric_closure(raw) if repair else raw

@@ -3,23 +3,203 @@
 Biologists bring sequences as FASTA; the tool system accepts them, and
 the synthetic datasets can be exported for inspection in standard
 viewers.
+
+Two parsing surfaces:
+
+* :func:`read_fasta` -- the strict historical API: raises
+  :class:`FastaError` on the first structural problem and returns a
+  ``{name: sequence}`` dict of validated DNA.  Synthetic workflows use
+  this.
+* :func:`parse_fasta` -- the ingestion front end: tolerates CRLF,
+  wrapped lines, duplicate ids and empty records, returning *every*
+  record (as :class:`FastaRecord`, duplicates included, in file order)
+  plus a list of structured :class:`FastaIssue` records describing what
+  was wrong.  ``strict=True`` promotes the first issue to a
+  :class:`FastaError`; ``strict=False`` never raises on record-level
+  problems -- the QC stage downstream decides what survives.
 """
 
 from __future__ import annotations
 
 import io as _io
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, List, Union
 
 from repro.sequences.alphabet import validate_sequence
 
-__all__ = ["read_fasta", "write_fasta", "FastaError"]
+__all__ = [
+    "read_fasta",
+    "write_fasta",
+    "parse_fasta",
+    "FastaError",
+    "FastaIssue",
+    "FastaParse",
+    "FastaRecord",
+]
 
 PathLike = Union[str, Path]
 
 
 class FastaError(ValueError):
     """Raised on malformed FASTA input."""
+
+
+@dataclass
+class FastaRecord:
+    """One FASTA record, exactly as parsed (no alphabet validation).
+
+    ``name`` is the first whitespace-delimited token after ``>``;
+    ``description`` is the rest of the header line.  ``sequence`` is the
+    concatenated, upper-cased data lines -- possibly empty for a header
+    with no data.  ``lineno`` is the 1-based header line number, so QC
+    rejections can point back into the file.
+    """
+
+    name: str
+    sequence: str
+    description: str = ""
+    lineno: int = 0
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+@dataclass
+class FastaIssue:
+    """One structural problem found while parsing (JSON-safe)."""
+
+    code: str
+    detail: str
+    lineno: int = 0
+    record: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "detail": self.detail,
+            "lineno": self.lineno,
+            "record": self.record,
+        }
+
+
+@dataclass
+class FastaParse:
+    """Everything :func:`parse_fasta` found: records plus issues."""
+
+    records: List[FastaRecord] = field(default_factory=list)
+    issues: List[FastaIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+
+def parse_fasta(
+    source: Union[PathLike, _io.TextIOBase, str],
+    *,
+    strict: bool = False,
+    text: bool = False,
+) -> FastaParse:
+    """Parse FASTA text into records + structured issues.
+
+    ``source`` is a path or an open file; pass ``text=True`` to treat a
+    string as the FASTA *content* itself (the service endpoint receives
+    uploads as text).  Handles CRLF line endings and wrapped sequence
+    lines; sequences are upper-cased but **not** alphabet-validated --
+    ambiguity codes, protein residues and garbage all come through for
+    the QC stage to judge.
+
+    Issue codes produced here (the ingestion pipeline's *stage 0*):
+
+    ``empty-header``
+        A ``>`` line with nothing after it; the following data lines are
+        skipped.
+    ``data-before-header``
+        Sequence data before the first ``>`` line (skipped).
+    ``truncated-record``
+        The *final* record has a header but no sequence data -- the
+        signature of a file cut off mid-transfer.  (An empty record
+        mid-file is returned with ``sequence == ""`` and left to QC:
+        that is a bad record, not a torn file.)
+    ``no-records``
+        The input contains no FASTA records at all.
+
+    With ``strict=True`` the first issue raises :class:`FastaError`
+    instead; otherwise issues accumulate and parsing continues.
+    """
+    if text:
+        raw = str(source)
+    elif hasattr(source, "read"):
+        raw = source.read()  # type: ignore[union-attr]
+    else:
+        raw = Path(source).read_text()
+
+    parse = FastaParse()
+
+    def issue(code: str, detail: str, lineno: int, record: str = "") -> None:
+        if strict:
+            raise FastaError(f"{detail} (line {lineno})")
+        parse.issues.append(FastaIssue(code, detail, lineno, record))
+
+    current: Union[FastaRecord, None] = None
+    chunks: List[str] = []
+    skipping = False  # inside a record whose header was rejected
+
+    def flush() -> None:
+        nonlocal current
+        if current is None:
+            return
+        current.sequence = "".join(chunks).upper()
+        parse.records.append(current)
+        current = None
+
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            header = line[1:].strip()
+            if not header:
+                issue("empty-header", "empty FASTA header", lineno)
+                skipping = True
+                continue
+            skipping = False
+            tokens = header.split(None, 1)
+            current = FastaRecord(
+                name=tokens[0],
+                sequence="",
+                description=tokens[1] if len(tokens) > 1 else "",
+                lineno=lineno,
+            )
+            chunks = []
+        else:
+            if skipping:
+                continue
+            if current is None:
+                issue(
+                    "data-before-header",
+                    "sequence data before any FASTA header",
+                    lineno,
+                )
+                skipping = True
+                continue
+            chunks.append("".join(line.split()))
+    flush()
+
+    if not parse.records:
+        issue("no-records", "no FASTA records found", 0)
+    elif not parse.records[-1].sequence:
+        last = parse.records[-1]
+        issue(
+            "truncated-record",
+            f"final record {last.name!r} has a header but no sequence "
+            f"data; the file looks truncated",
+            last.lineno,
+            record=last.name,
+        )
+    return parse
 
 
 def _read_text(source: Union[PathLike, _io.TextIOBase]) -> str:

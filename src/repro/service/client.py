@@ -23,9 +23,11 @@ from repro.matrix.distance_matrix import DistanceMatrix
 from repro.service.errors import (
     BadRequest,
     JobNotFound,
+    PayloadTooLarge,
     QueueFull,
     SchedulerClosed,
     ServiceError,
+    UnprocessableInput,
 )
 
 __all__ = ["ServiceClient"]
@@ -41,6 +43,16 @@ def _raise_for_payload(status: int, payload: dict) -> None:
         raise JobNotFound(detail)
     if code == BadRequest.code:
         raise BadRequest(detail)
+    if code == PayloadTooLarge.code:
+        error = PayloadTooLarge(0)
+        error.args = (detail,)
+        raise error
+    if code == UnprocessableInput.code:
+        extra = {
+            k: v for k, v in payload.items()
+            if k not in ("error", "detail")
+        }
+        raise UnprocessableInput(detail, extra=extra)
     error = ServiceError(f"{code or 'error'}: {detail}")
     error.http_status = status
     raise error
@@ -134,6 +146,92 @@ class ServiceClient:
             body["verify"] = True
         headers = {"X-Trace-Id": trace_id} if trace_id else None
         return self._request("POST", "/solve", body, headers)
+
+    def ingest(
+        self,
+        fasta: str,
+        *,
+        distance: str = "p",
+        mode: str = "strict",
+        method: Optional[str] = None,
+        qc: Optional[dict] = None,
+        options: Optional[dict] = None,
+        wait: bool = True,
+        wait_seconds: Optional[float] = None,
+        timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
+        verify: bool = False,
+        multipart: bool = False,
+    ) -> dict:
+        """``POST /ingest``; returns the job record with its manifest.
+
+        ``fasta`` is the raw FASTA text.  A QC-rejected upload raises
+        :class:`~repro.service.errors.UnprocessableInput` whose
+        ``extra`` dict carries the structured rejection records and the
+        failure manifest; an oversized one raises
+        :class:`~repro.service.errors.PayloadTooLarge`.  With
+        ``multipart=True`` the upload is sent as
+        ``multipart/form-data`` (exercising the file-upload path)
+        instead of JSON.
+        """
+        body: dict = {"fasta": fasta, "distance": distance, "mode": mode,
+                      "wait": wait}
+        if method is not None:
+            body["method"] = method
+        if qc:
+            body["qc"] = qc
+        if options:
+            body["options"] = options
+        if wait_seconds is not None:
+            body["wait_seconds"] = wait_seconds
+        if timeout is not None:
+            body["timeout"] = timeout
+        if verify:
+            body["verify"] = True
+        headers = {"X-Trace-Id": trace_id} if trace_id else {}
+        if not multipart:
+            return self._request("POST", "/ingest", body, headers)
+
+        boundary = "reproingest"
+        parts = []
+        for name, value in body.items():
+            if isinstance(value, dict):
+                value = json.dumps(value)
+            elif isinstance(value, bool):
+                value = "true" if value else "false"
+            filename = '; filename="upload.fasta"' if name == "fasta" else ""
+            parts.append(
+                f"--{boundary}\r\n"
+                f'Content-Disposition: form-data; name="{name}"{filename}'
+                f"\r\n\r\n{value}\r\n"
+            )
+        parts.append(f"--{boundary}--\r\n")
+        data = "".join(parts).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + "/ingest",
+            data=data,
+            method="POST",
+            headers={
+                "Content-Type": (
+                    f"multipart/form-data; boundary={boundary}"
+                ),
+                **headers,
+            },
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except (json.JSONDecodeError, OSError):
+                payload = {}
+            if isinstance(payload, dict) and "state" in payload:
+                return payload
+            _raise_for_payload(
+                exc.code, payload if isinstance(payload, dict) else {}
+            )
+            raise  # pragma: no cover - _raise_for_payload always raises
 
     def job(self, job_id: str) -> dict:
         """``GET /jobs/<id>``."""

@@ -16,6 +16,8 @@ __all__ = [
     "JobNotFound",
     "JobTimeout",
     "BadRequest",
+    "PayloadTooLarge",
+    "UnprocessableInput",
 ]
 
 
@@ -83,3 +85,35 @@ class BadRequest(ServiceError):
 
     code = "bad_request"
     http_status = 400
+
+
+class PayloadTooLarge(ServiceError):
+    """The request body exceeds the upload cap (``413``)."""
+
+    code = "payload_too_large"
+    http_status = 413
+
+    def __init__(self, limit_bytes: int, actual_bytes: "int | None" = None):
+        detail = f" (got {actual_bytes})" if actual_bytes is not None else ""
+        super().__init__(
+            f"request body exceeds {limit_bytes} bytes{detail}"
+        )
+        self.limit_bytes = limit_bytes
+        self.actual_bytes = actual_bytes
+
+
+class UnprocessableInput(ServiceError):
+    """The upload parsed as a request but failed ingestion QC (``422``).
+
+    Carries the pipeline's structured rejection records and the failure
+    manifest in ``extra``, which the HTTP front end merges into the
+    error body -- so a rejected upload is diagnosable from the response
+    alone (which stage, which record, which code), not just "422".
+    """
+
+    code = "unprocessable_input"
+    http_status = 422
+
+    def __init__(self, detail: str, *, extra: "dict | None" = None) -> None:
+        super().__init__(detail)
+        self.extra = extra or {}

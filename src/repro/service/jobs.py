@@ -74,6 +74,11 @@ class Job:
         #: Oracle outcome when the job ran with ``verify``; see
         #: ``Scheduler._verify_payload`` for the shape.
         self.verification: Optional[dict] = None
+        #: Ingestion manifest (``repro.ingest.Manifest.to_json()``) for
+        #: jobs scheduled through ``POST /ingest``; ``None`` for plain
+        #: ``/solve`` jobs.  Attached by the HTTP front end right after
+        #: submission, exposed verbatim in :meth:`to_json`.
+        self.manifest: Optional[dict] = None
         #: Latest solver progress snapshot (``repro.obs.progress``
         #: shape), re-based onto this process's clock; ``None`` until the
         #: solver's first heartbeat.  Written by the scheduler, read by
@@ -263,6 +268,8 @@ class Job:
             record["error"] = self.error
         if self.verification is not None:
             record["verification"] = self.verification
+        if self.manifest is not None:
+            record["manifest"] = self.manifest
         return record
 
     def progress_json(self) -> dict:

@@ -4,6 +4,7 @@ Built on :class:`http.server.ThreadingHTTPServer` -- no third-party web
 framework, per the repository's no-new-dependencies rule.  Endpoints::
 
     POST /solve               submit a matrix; waits for the result by default
+    POST /ingest              upload FASTA; QC -> distance -> repair -> job
     GET  /jobs/<id>           poll a job submitted with {"wait": false}
     GET  /jobs/<id>/progress  latest live solver snapshot for the job
     GET  /healthz             liveness + version (503 once draining)
@@ -20,6 +21,19 @@ as ``"verification"`` in the job record -- see ``docs/verification.md``).
 Errors come back as
 ``{"error": <code>, "detail": <message>}`` with the status of the typed
 :class:`~repro.service.errors.ServiceError` they correspond to.
+
+``POST /ingest`` accepts either a JSON body (``{"fasta": <text>, ...}``)
+or ``multipart/form-data`` with a ``fasta`` part, runs the staged
+ingestion pipeline (:mod:`repro.ingest`) inline -- parse, QC, distance,
+metric repair -- and schedules the repaired matrix as an ordinary job,
+returning the job record with the full ingestion ``manifest`` attached.
+Optional fields: ``distance`` (p / jc / edit), ``mode``
+(strict / lenient), ``qc`` (gate overrides), plus the same ``method`` /
+``options`` / ``timeout`` / ``wait`` / ``wait_seconds`` / ``verify``
+fields ``/solve`` takes.  Oversized uploads are rejected with ``413
+payload_too_large``; uploads that fail the pipeline come back as ``422
+unprocessable_input`` with the structured rejection records and the
+failure manifest in the body (see ``docs/ingestion.md``).
 
 Trace correlation: every request gets a ``trace_id`` -- the inbound
 ``X-Trace-Id`` header when it looks sane, a fresh id otherwise -- which
@@ -46,7 +60,9 @@ from repro.matrix.io import read_phylip
 from repro.service.errors import (
     BadRequest,
     JobNotFound,
+    PayloadTooLarge,
     ServiceError,
+    UnprocessableInput,
 )
 from repro.service.jobs import JobState
 from repro.service.scheduler import Scheduler, select_backend
@@ -74,6 +90,9 @@ DEFAULT_WAIT_SECONDS = 30.0
 #: Cap on request body size: a 10k-species float matrix is ~1.6 GB of
 #: JSON; nothing legitimate is near this.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Cap on ``POST /ingest`` uploads; a full mitochondrial alignment of a
+#: few hundred taxa is ~5 MB of FASTA, so 8 MB is generous.
+MAX_INGEST_BYTES = 8 * 1024 * 1024
 
 #: Job states whose HTTP representation is not 200.
 _STATE_STATUS = {
@@ -109,6 +128,42 @@ def _matrix_from_request(body: dict) -> DistanceMatrix:
         raise BadRequest(f"invalid matrix: {exc}") from exc
     except (TypeError, ValueError) as exc:
         raise BadRequest(f"malformed matrix payload: {exc}") from exc
+
+
+def _parse_multipart(raw: bytes, content_type: str) -> dict:
+    """Minimal ``multipart/form-data`` parser for ``POST /ingest``.
+
+    Hand-rolled because the stdlib's ``cgi`` module is removed in 3.13
+    and ``email`` round-trips are heavyweight for one upload.  Returns
+    ``{field-name: text}``; file parts decode as UTF-8 with replacement
+    (the FASTA parser rejects garbage downstream).
+    """
+    match = re.search(r'boundary="?([^";,\s]+)"?', content_type)
+    if not match:
+        raise BadRequest("multipart body without a boundary parameter")
+    boundary = b"--" + match.group(1).encode("utf-8")
+    fields: dict = {}
+    for part in raw.split(boundary):
+        part = part.strip(b"\r\n")
+        if not part or part == b"--":
+            continue
+        for separator in (b"\r\n\r\n", b"\n\n"):
+            if separator in part:
+                header_blob, value = part.split(separator, 1)
+                break
+        else:
+            continue
+        name = None
+        for line in header_blob.decode("utf-8", "replace").splitlines():
+            if line.lower().startswith("content-disposition"):
+                found = re.search(r'name="([^"]+)"', line)
+                if found:
+                    name = found.group(1)
+        if name:
+            fields[name] = value.decode("utf-8", "replace")
+    if not fields:
+        raise BadRequest("multipart body contained no form fields")
+    return fields
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -147,9 +202,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_json(self, exc: ServiceError) -> None:
-        self._send_json(
-            exc.http_status, {"error": exc.code, "detail": str(exc)}
-        )
+        payload = {"error": exc.code, "detail": str(exc)}
+        extra = getattr(exc, "extra", None)
+        if extra:
+            payload.update(extra)
+        self._send_json(exc.http_status, payload)
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -168,9 +225,13 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
-            if self.path.rstrip("/") != "/solve":
+            path = self.path.rstrip("/")
+            if path == "/solve":
+                self._solve()
+            elif path == "/ingest":
+                self._ingest()
+            else:
                 raise JobNotFound(self.path)
-            self._solve()
         except ServiceError as exc:
             self._send_error_json(exc)
 
@@ -260,6 +321,165 @@ class _Handler(BaseHTTPRequestHandler):
         record = job.to_json()
         # A deduplicated submission shares the first caller's job -- and
         # therefore the first caller's trace id; echo the job's.
+        if job.done:
+            self._send_json(
+                _STATE_STATUS.get(job.state, 200), record,
+                trace_id=job.trace_id,
+            )
+        else:
+            self._send_json(202, record, trace_id=job.trace_id)
+
+    # ------------------------------------------------------------------
+    def _ingest(self) -> None:
+        """``POST /ingest``: FASTA upload -> pipeline -> scheduled job.
+
+        The pipeline's parse/QC/distance/repair stages run inline on the
+        request thread (they are milliseconds at upload sizes) inside
+        the request's trace context, so ``ingest.stage`` spans carry the
+        caller's ``X-Trace-Id``; only the solve itself goes through the
+        scheduler's queue and workers.
+        """
+        from repro.ingest import QCConfig, run_pipeline
+        from repro.obs.recorder import trace_context
+
+        service = self.server.service
+        trace_id = resolve_trace_id(self.headers.get("X-Trace-Id"))
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequest("request body required")
+        if length > MAX_INGEST_BYTES:
+            # Drain a bounded amount of the in-flight body first so the
+            # still-sending client can read the 413 instead of dying on
+            # a broken pipe; truly abusive lengths just get the socket
+            # closed on them.
+            if length <= 4 * MAX_INGEST_BYTES:
+                remaining = length
+                while remaining > 0:
+                    chunk = self.rfile.read(min(remaining, 65536))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+            raise PayloadTooLarge(MAX_INGEST_BYTES, length)
+        raw = self.rfile.read(length)
+        content_type = self.headers.get("Content-Type") or ""
+        if content_type.startswith("multipart/form-data"):
+            fields = _parse_multipart(raw, content_type)
+        else:
+            try:
+                fields = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise BadRequest(f"body is not valid JSON: {exc}") from exc
+            if not isinstance(fields, dict):
+                raise BadRequest("body must be a JSON object")
+
+        fasta = fields.get("fasta")
+        if not isinstance(fasta, str) or not fasta.strip():
+            raise BadRequest(
+                "provide the FASTA text in the 'fasta' field "
+                "(JSON string or multipart part)"
+            )
+        mode = str(fields.get("mode", "strict"))
+        if mode not in ("strict", "lenient"):
+            raise BadRequest("'mode' must be 'strict' or 'lenient'")
+        method = str(fields.get("method", service.default_method))
+
+        # Multipart form fields arrive as strings; coerce the typed ones.
+        def as_bool(value, name: str) -> bool:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str):
+                return value.lower() in ("1", "true", "yes")
+            raise BadRequest(f"'{name}' must be a boolean")
+
+        def as_object(value, name: str) -> dict:
+            if value in (None, ""):
+                return {}
+            if isinstance(value, str):
+                try:
+                    value = json.loads(value)
+                except json.JSONDecodeError as exc:
+                    raise BadRequest(
+                        f"'{name}' is not valid JSON: {exc.msg}"
+                    ) from exc
+            if not isinstance(value, dict):
+                raise BadRequest(f"'{name}' must be a JSON object")
+            return value
+
+        verify = as_bool(fields.get("verify", False), "verify")
+        options = as_object(fields.get("options"), "options")
+        qc_fields = as_object(fields.get("qc"), "qc")
+        try:
+            max_length = qc_fields.get("max_length")
+            qc = QCConfig(
+                min_length=int(qc_fields.get("min_length", 1)),
+                max_length=None if max_length is None else int(max_length),
+                max_ambiguity=float(qc_fields.get("max_ambiguity", 0.1)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"invalid 'qc' config: {exc}") from exc
+        timeout = fields.get("timeout")
+        try:
+            timeout = None if timeout in (None, "") else float(timeout)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"'timeout' must be a number: {exc}") from exc
+
+        holder: dict = {}
+
+        def submit(matrix) -> dict:
+            job = service.scheduler.submit(
+                matrix, method, options,
+                timeout=timeout,
+                trace_id=trace_id,
+                verify=verify,
+            )
+            holder["job"] = job
+            return {
+                "scheduled": True,
+                "job_id": job.id,
+                "method": method,
+                "n_species": matrix.n,
+            }
+
+        try:
+            with trace_context(trace_id):
+                outcome = run_pipeline(
+                    fasta,
+                    text=True,
+                    distance=str(fields.get("distance", "p")),
+                    tree_method=method,
+                    mode=mode,
+                    qc=qc,
+                    recorder=service.scheduler.recorder,
+                    metrics=service.scheduler.metrics,
+                    submit=submit,
+                )
+        except ValueError as exc:  # e.g. unknown distance method
+            raise BadRequest(str(exc)) from exc
+        manifest = outcome.manifest
+        if manifest.status == "failed" or "job" not in holder:
+            first = manifest.rejections[0] if manifest.rejections else None
+            raise UnprocessableInput(
+                first.detail if first else "ingestion pipeline failed",
+                extra={
+                    "rejections": [
+                        r.to_json() for r in manifest.rejections
+                    ],
+                    "manifest": manifest.to_json(),
+                },
+            )
+        job = holder["job"]
+        job.manifest = manifest.to_json()
+        if as_bool(fields.get("wait", True), "wait"):
+            try:
+                budget = float(
+                    fields.get("wait_seconds", service.wait_seconds)
+                )
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(
+                    f"'wait_seconds' must be a number: {exc}"
+                ) from exc
+            job.wait(budget)
+        record = job.to_json()
         if job.done:
             self._send_json(
                 _STATE_STATUS.get(job.state, 200), record,

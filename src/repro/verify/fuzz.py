@@ -45,7 +45,11 @@ __all__ = [
     "FAMILIES",
     "FuzzFailure",
     "FuzzReport",
+    "INGEST_MUTATIONS",
+    "IngestFuzzFailure",
+    "IngestFuzzReport",
     "run_fuzz",
+    "run_ingest_fuzz",
     "shrink_matrix",
     "verify_matrix",
 ]
@@ -371,6 +375,280 @@ def run_fuzz(
         if len(report.failures) >= max_failures:
             break
     return report
+
+
+# ----------------------------------------------------------------------
+# ingestion fuzzing: mutated FASTA through the lenient pipeline
+# ----------------------------------------------------------------------
+#: FASTA mutation operators, cycled deterministically per iteration.
+INGEST_MUTATIONS = (
+    "ambiguity",
+    "truncate",
+    "duplicate-id",
+    "blank-lines",
+    "case-noise",
+    "crlf",
+    "drop-header",
+    "garbage",
+)
+
+
+def _mutate_fasta(text: str, mutation: str, rng: np.random.Generator) -> str:
+    """Apply one mutation operator to FASTA text.
+
+    Operators model the damage real uploads actually carry: ambiguity
+    smears, files cut off mid-transfer, copy-pasted duplicate records,
+    editor artifacts (blank lines, case, CRLF), lost headers and stray
+    garbage characters.  Every operator is deterministic given ``rng``.
+    """
+    lines = text.splitlines()
+    if mutation == "ambiguity":
+        codes = "RYSWKMBDHVN"
+        out = []
+        for line in lines:
+            if line.startswith(">") or not line:
+                out.append(line)
+                continue
+            chars = list(line)
+            for i in range(len(chars)):
+                if rng.random() < 0.15:
+                    chars[i] = codes[int(rng.integers(0, len(codes)))]
+            out.append("".join(chars))
+        return "\n".join(out) + "\n"
+    if mutation == "truncate":
+        cut = int(rng.integers(max(1, len(text) * 2 // 3), len(text) + 1))
+        return text[:cut]
+    if mutation == "duplicate-id":
+        headers = [i for i, line in enumerate(lines) if line.startswith(">")]
+        if len(headers) >= 2:
+            src, dst = rng.choice(headers, size=2, replace=False)
+            lines[int(dst)] = lines[int(src)]
+        return "\n".join(lines) + "\n"
+    if mutation == "blank-lines":
+        out = []
+        for line in lines:
+            out.append(line)
+            if rng.random() < 0.2:
+                out.append("")
+        return "\n".join(out) + "\n"
+    if mutation == "case-noise":
+        return "".join(
+            c.lower() if rng.random() < 0.5 else c for c in text
+        )
+    if mutation == "crlf":
+        return "\r\n".join(lines) + "\r\n"
+    if mutation == "drop-header":
+        headers = [i for i, line in enumerate(lines) if line.startswith(">")]
+        if headers:
+            victim = int(rng.choice(headers))
+            del lines[victim]
+        return "\n".join(lines) + "\n"
+    if mutation == "garbage":
+        junk = "0123456789!@#*"
+        out = []
+        for line in lines:
+            if line.startswith(">") or not line:
+                out.append(line)
+                continue
+            chars = list(line)
+            for i in range(len(chars)):
+                if rng.random() < 0.05:
+                    chars[i] = junk[int(rng.integers(0, len(junk)))]
+            out.append("".join(chars))
+        return "\n".join(out) + "\n"
+    raise ValueError(f"unknown mutation {mutation!r}")
+
+
+@dataclass
+class IngestFuzzFailure:
+    """One FASTA input the ingestion pipeline mishandled."""
+
+    iteration: int
+    mutation: str
+    detail: str
+    fasta: str
+    corpus_path: Optional[str] = None
+    meta_path: Optional[str] = None
+    repro_command: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "mutation": self.mutation,
+            "detail": self.detail,
+            "corpus_path": self.corpus_path,
+            "meta_path": self.meta_path,
+            "repro_command": self.repro_command,
+        }
+
+
+@dataclass
+class IngestFuzzReport:
+    """Outcome of one ``run_ingest_fuzz`` campaign."""
+
+    seed: int
+    budget: int
+    cases_run: int = 0
+    mutations: Dict[str, int] = field(default_factory=dict)
+    failures: List[IngestFuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "cases_run": self.cases_run,
+            "mutations": dict(self.mutations),
+            "ok": self.ok,
+            "failures": [f.to_json() for f in self.failures],
+        }
+
+
+def _ingest_case_failure(fasta_text: str, distance: str) -> Optional[str]:
+    """Run one FASTA through the lenient pipeline; describe any breakage.
+
+    The pipeline's contract under fuzzing: *whatever* the input, it must
+    either build a tree or record structured rejections -- never raise,
+    never hand the solver a non-metric matrix, never produce a manifest
+    that does not serialise to JSON.  Returns a human description of the
+    broken property, or ``None`` when the contract held.
+    """
+    from repro.ingest import run_pipeline
+
+    try:
+        outcome = run_pipeline(
+            fasta_text,
+            text=True,
+            distance=distance,
+            tree_method="upgmm",
+            mode="lenient",
+        )
+    except Exception as exc:  # noqa: BLE001 - the contract is "never raise"
+        return f"pipeline raised {type(exc).__name__}: {exc}"
+    try:
+        json.dumps(outcome.manifest.to_json())
+    except (TypeError, ValueError) as exc:
+        return f"manifest not JSON-serialisable: {exc}"
+    if outcome.manifest.status == "failed":
+        if not outcome.manifest.rejections:
+            return "failed run recorded no rejections"
+        return None
+    if outcome.matrix is None:
+        return f"status {outcome.manifest.status} but no matrix produced"
+    if not outcome.matrix.is_metric():
+        return "pipeline emitted a non-metric matrix after repair"
+    return None
+
+
+def run_ingest_fuzz(
+    seed: int = 0,
+    budget: int = 50,
+    *,
+    seed_files: Optional[Sequence] = None,
+    distance: str = "p",
+    corpus_dir: Optional[str] = "corpus",
+    max_failures: int = 5,
+    progress: Optional[Callable[[int, str], None]] = None,
+) -> IngestFuzzReport:
+    """Fuzz the ingestion pipeline with mutated FASTA inputs.
+
+    Seeds come from ``seed_files`` (paths to ``.fasta`` files -- the
+    golden corpus in CI) or, when none are given, from synthetic
+    HMDNA-style datasets.  Each iteration derives a child seed from the
+    master ``seed``, picks a base file and a mutation operator
+    deterministically, mutates, and runs the *lenient* pipeline
+    end to end.  Any uncaught exception, non-metric output matrix or
+    non-JSON manifest is a failure; the mutated FASTA is archived to
+    ``corpus_dir`` with a sidecar holding the detail and a working
+    ``repro-mut ingest`` repro command.
+    """
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    bases: List[str] = []
+    if seed_files:
+        for path in seed_files:
+            bases.append(Path(path).read_text())
+    else:
+        from repro.sequences.fasta import write_fasta
+        from repro.sequences.hmdna import generate_hmdna_dataset
+        import io
+
+        for i in range(3):
+            dataset = generate_hmdna_dataset(
+                n_species=6 + i, seed=seed + i, sequence_length=80
+            )
+            buffer = io.StringIO()
+            write_fasta(dataset.sequences, buffer)
+            bases.append(buffer.getvalue())
+    if not bases:
+        raise ValueError("no seed FASTA inputs")
+
+    children = np.random.SeedSequence(seed).spawn(budget)
+    report = IngestFuzzReport(seed=seed, budget=budget)
+    for iteration in range(budget):
+        mutation = INGEST_MUTATIONS[iteration % len(INGEST_MUTATIONS)]
+        if progress is not None:
+            progress(iteration, mutation)
+        rng = np.random.default_rng(children[iteration])
+        base = bases[int(rng.integers(0, len(bases)))]
+        mutated = _mutate_fasta(base, mutation, rng)
+        report.cases_run += 1
+        report.mutations[mutation] = report.mutations.get(mutation, 0) + 1
+        detail = _ingest_case_failure(mutated, distance)
+        if detail is None:
+            continue
+        failure = IngestFuzzFailure(
+            iteration=iteration,
+            mutation=mutation,
+            detail=detail,
+            fasta=mutated,
+        )
+        if corpus_dir is not None:
+            _write_ingest_corpus_entry(failure, corpus_dir, seed, distance)
+        report.failures.append(failure)
+        if len(report.failures) >= max_failures:
+            break
+    return report
+
+
+def _write_ingest_corpus_entry(
+    failure: IngestFuzzFailure,
+    corpus_dir: str,
+    master_seed: int,
+    distance: str,
+) -> None:
+    from repro.version import engine_fingerprint
+
+    directory = Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"ingest-seed{master_seed}-case{failure.iteration}"
+    fasta_path = directory / f"{stem}.fasta"
+    meta_path = directory / f"{stem}.json"
+    fasta_path.write_text(failure.fasta)
+    failure.corpus_path = str(fasta_path)
+    failure.meta_path = str(meta_path)
+    failure.repro_command = (
+        f"repro-mut ingest {fasta_path} --distance {distance} "
+        f"--mode lenient --method upgmm "
+        f"--manifest {directory / (stem + '.manifest.json')}"
+    )
+    meta_path.write_text(
+        json.dumps(
+            {
+                "master_seed": master_seed,
+                "iteration": failure.iteration,
+                "mutation": failure.mutation,
+                "detail": failure.detail,
+                "engine_fingerprint": engine_fingerprint(),
+                "repro_command": failure.repro_command,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
 
 
 def _write_corpus_entry(

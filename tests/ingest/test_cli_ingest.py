@@ -1,0 +1,127 @@
+"""CLI contract for ``repro-mut ingest`` (and ``fuzz --ingest``).
+
+Exit-code discipline is the whole point: 0 only for a clean end-to-end
+run, 1 for any rejection (strict failure *or* a lenient run that had to
+drop records), 2 for usage errors -- so shell pipelines can branch on
+the outcome without parsing the report.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.ingest import STAGE_NAMES
+from repro.obs import SpanEvent, read_jsonl
+
+FIXTURES = Path(__file__).resolve().parent.parent / "data" / "fasta"
+
+
+def fixture(name):
+    return str(FIXTURES / name)
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["ingest", fixture("clean_dna.fasta")]) == 0
+        out = capsys.readouterr().out
+        assert "status : ok" in out
+        for stage in STAGE_NAMES:
+            assert stage in out
+
+    @pytest.mark.parametrize("name", [
+        "truncated.fasta", "ambiguous.fasta", "duplicate_id.fasta",
+        "empty_sequence.fasta", "unaligned.fasta",
+    ])
+    def test_malformed_fixture_exits_one(self, name, capsys):
+        assert main(["ingest", fixture(name)]) == 1
+        err = capsys.readouterr().err
+        assert "REJECTED stage=" in err
+
+    def test_rejection_lines_name_stage_and_code(self, capsys):
+        main(["ingest", fixture("truncated.fasta")])
+        err = capsys.readouterr().err
+        assert "stage=0(parse)" in err
+        assert "code=truncated-record" in err
+
+    def test_lenient_partial_run_still_exits_one(self, capsys):
+        assert main([
+            "ingest", fixture("duplicate_id.fasta"), "--mode", "lenient",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "status : partial" in captured.out
+        assert "code=duplicate-id" in captured.err
+
+    def test_missing_file_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["ingest", "/nonexistent/reads.fasta"])
+        assert excinfo.value.code == 2
+
+    def test_bad_qc_flags_are_usage_errors(self):
+        for argv in (
+            ["ingest", fixture("clean_dna.fasta"), "--min-length", "0"],
+            ["ingest", fixture("clean_dna.fasta"), "--max-ambiguity", "1.5"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+
+
+class TestArtifacts:
+    def test_manifest_and_json_report(self, tmp_path, capsys):
+        manifest_path = tmp_path / "manifest.json"
+        assert main([
+            "ingest", fixture("clean_dna.fasta"),
+            "--manifest", str(manifest_path), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+        assert payload["result"]["newick"].endswith(";")
+        on_disk = json.loads(manifest_path.read_text())
+        assert on_disk["input"]["sha256"] == payload["input"]["sha256"]
+
+    def test_resume_is_reported(self, tmp_path, capsys):
+        manifest_path = tmp_path / "manifest.json"
+        argv = [
+            "ingest", fixture("clean_dna.fasta"),
+            "--manifest", str(manifest_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_trace_out_writes_stage_spans(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "ingest", fixture("clean_dna.fasta"),
+            "--trace-out", str(trace_path),
+        ]) == 0
+        events = read_jsonl(trace_path)
+        stages = [
+            e.attrs["stage"] for e in events
+            if isinstance(e, SpanEvent) and e.name == "ingest.stage"
+        ]
+        assert stages == list(STAGE_NAMES)
+
+
+class TestFuzzIngest:
+    def test_fuzz_ingest_over_the_corpus(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--ingest",
+            "--fasta-dir", str(FIXTURES),
+            "--budget", "8", "--seed", "3",
+            "--corpus", str(tmp_path / "corpus"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cases    : 8/8" in out
+        assert "verdict  : OK" in out
+
+    def test_fuzz_ingest_empty_dir_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "fuzz", "--ingest", "--fasta-dir", str(tmp_path),
+                "--budget", "2",
+            ])
+        assert excinfo.value.code == 2

@@ -1,0 +1,104 @@
+"""Unit tests for the ingest fuzz family (``repro.verify.fuzz``).
+
+The fuzzer's promise is the pipeline's robustness contract: *no mutated
+FASTA ever escapes the structured-failure path*.  These tests pin the
+fuzzer itself -- determinism per seed, mutation coverage, and the
+failure-archiving machinery (exercised via an injected checker, since a
+healthy pipeline gives the real one nothing to archive).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.verify.fuzz as fuzz_mod
+from repro.verify.fuzz import (
+    INGEST_MUTATIONS,
+    _ingest_case_failure,
+    _mutate_fasta,
+    run_ingest_fuzz,
+)
+
+FIXTURES = Path(__file__).resolve().parent.parent / "data" / "fasta"
+
+
+def corpus_files():
+    return sorted(FIXTURES.glob("*.fasta"))
+
+
+class TestDeterminism:
+    def test_same_seed_same_campaign(self, tmp_path):
+        kwargs = dict(
+            budget=12, seed_files=corpus_files(),
+            corpus_dir=str(tmp_path / "corpus"),
+        )
+        first = run_ingest_fuzz(seed=7, **kwargs)
+        second = run_ingest_fuzz(seed=7, **kwargs)
+        assert first.ok and second.ok
+        assert first.cases_run == second.cases_run == 12
+        assert first.mutations == second.mutations
+
+    def test_mutation_rotation_covers_every_operator(self, tmp_path):
+        report = run_ingest_fuzz(
+            seed=1, budget=len(INGEST_MUTATIONS),
+            seed_files=corpus_files(),
+            corpus_dir=str(tmp_path / "corpus"),
+        )
+        assert set(report.mutations) == set(INGEST_MUTATIONS)
+
+    def test_mutate_fasta_is_deterministic_per_rng_seed(self):
+        import numpy as np
+
+        text = (FIXTURES / "clean_dna.fasta").read_text()
+        for mutation in INGEST_MUTATIONS:
+            a = _mutate_fasta(text, mutation, np.random.default_rng(5))
+            b = _mutate_fasta(text, mutation, np.random.default_rng(5))
+            assert a == b, mutation
+
+    def test_synthetic_seeds_when_no_files_given(self, tmp_path):
+        report = run_ingest_fuzz(
+            seed=2, budget=4, corpus_dir=str(tmp_path / "corpus"),
+        )
+        assert report.ok
+        assert report.cases_run == 4
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", [p.name for p in corpus_files()])
+    def test_unmutated_corpus_never_trips_the_checker(self, name):
+        # The checker runs the *lenient* pipeline: malformed fixtures
+        # must come back as structured rejections, never as failures.
+        text = (FIXTURES / name).read_text()
+        assert _ingest_case_failure(text, "p") is None
+
+
+class TestArchiving:
+    def test_failures_are_archived_with_a_repro_command(
+        self, tmp_path, monkeypatch
+    ):
+        # Inject a checker that condemns every third case, then assert
+        # the corpus entries + sidecars the real path would write.
+        calls = {"n": 0}
+
+        def fake_checker(fasta_text, distance):
+            calls["n"] += 1
+            return "injected failure" if calls["n"] % 3 == 0 else None
+
+        monkeypatch.setattr(fuzz_mod, "_ingest_case_failure", fake_checker)
+        corpus = tmp_path / "corpus"
+        report = run_ingest_fuzz(
+            seed=9, budget=6, seed_files=corpus_files(),
+            corpus_dir=str(corpus), max_failures=2,
+        )
+        assert calls["n"] == 6
+        assert not report.ok
+        assert len(report.failures) == 2
+        for failure in report.failures:
+            fasta = Path(failure.corpus_path)
+            meta = Path(failure.meta_path)
+            assert fasta.exists() and meta.exists()
+            sidecar = json.loads(meta.read_text())
+            assert sidecar["detail"] == "injected failure"
+            assert "repro-mut ingest" in failure.repro_command
+            assert str(fasta) in failure.repro_command
